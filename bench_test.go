@@ -1,0 +1,148 @@
+package ceres
+
+// This file provides one testing.B benchmark per table and figure of the
+// paper's evaluation section (run them with `go test -bench=.`), plus
+// micro-benchmarks of the pipeline's hot stages. The table/figure
+// benchmarks run at the reduced "quick" scale so the whole suite finishes
+// in minutes; `cmd/ceres-bench` regenerates the full-scale numbers that
+// EXPERIMENTS.md records.
+
+import (
+	"testing"
+
+	"ceres/internal/bench"
+	"ceres/internal/core"
+	"ceres/internal/websim"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := bench.QuickConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.Run(cfg)
+		if r.Text == "" {
+			b.Fatalf("%s produced no report", id)
+		}
+	}
+}
+
+func BenchmarkTable1SWDEGeneration(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkTable2KBConstruction(b *testing.B)    { benchExperiment(b, "table2") }
+func BenchmarkTable3SWDEComparison(b *testing.B)    { benchExperiment(b, "table3") }
+func BenchmarkTable4PerPredicate(b *testing.B)      { benchExperiment(b, "table4") }
+func BenchmarkFigure4BookOverlap(b *testing.B)      { benchExperiment(b, "figure4") }
+func BenchmarkFigure5AnnotationBudget(b *testing.B) { benchExperiment(b, "figure5") }
+func BenchmarkTable5IMDbExtraction(b *testing.B)    { benchExperiment(b, "table5") }
+func BenchmarkTable6AnnotationQuality(b *testing.B) { benchExperiment(b, "table6") }
+func BenchmarkTable7TopicID(b *testing.B)           { benchExperiment(b, "table7") }
+func BenchmarkFigure6ConfidenceSweep(b *testing.B)  { benchExperiment(b, "figure6") }
+func BenchmarkTable8CrawlBreakdown(b *testing.B)    { benchExperiment(b, "table8") }
+func BenchmarkTable9TopPredicates(b *testing.B)     { benchExperiment(b, "table9") }
+func BenchmarkAblations(b *testing.B)               { benchExperiment(b, "ablate") }
+
+// ---------------------------------------------------------------- micro
+
+// pipelineFixture builds a 60-page movie site once for the stage
+// micro-benchmarks.
+type pipelineFixture struct {
+	sources []core.PageSource
+	pages   []*core.Page
+	kb      *KB
+}
+
+var fixture *pipelineFixture
+
+func getFixture(b *testing.B) *pipelineFixture {
+	b.Helper()
+	if fixture != nil {
+		return fixture
+	}
+	w := websim.NewWorld(websim.WorldConfig{Seed: 42})
+	site := websim.BuildMovieSite(w, w.Films[:60],
+		websim.MovieSiteStyle{Layout: "table", Prefix: "bm", Language: "en", Recommendations: true},
+		"bench-site", 7)
+	f := &pipelineFixture{kb: websim.BuildKB(w, websim.FullCoverage(), 3)}
+	for _, p := range site.Pages {
+		f.sources = append(f.sources, core.PageSource{ID: p.ID, HTML: p.HTML})
+	}
+	f.pages = core.ParsePages(f.sources, 0)
+	fixture = f
+	return f
+}
+
+// BenchmarkStageParse measures HTML parsing + text-field enumeration.
+func BenchmarkStageParse(b *testing.B) {
+	f := getFixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.PreparePage(f.sources[i%len(f.sources)].ID, f.sources[i%len(f.sources)].HTML)
+	}
+}
+
+// BenchmarkStageTopicIdentification measures Algorithm 1 over the site.
+func BenchmarkStageTopicIdentification(b *testing.B) {
+	f := getFixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.IdentifyTopics(f.pages, f.kb, core.TopicOptions{})
+	}
+}
+
+// BenchmarkStageAnnotate measures Algorithms 1+2 over the site.
+func BenchmarkStageAnnotate(b *testing.B) {
+	f := getFixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.Annotate(f.pages, f.kb, core.TopicOptions{}, core.RelationOptions{})
+	}
+}
+
+// BenchmarkStageTrain measures feature extraction + L-BFGS training.
+func BenchmarkStageTrain(b *testing.B) {
+	f := getFixture(b)
+	ann := core.Annotate(f.pages, f.kb, core.TopicOptions{}, core.RelationOptions{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fz := core.NewFeaturizer(f.pages, core.FeatureOptions{})
+		ds, classes := core.BuildExamples(f.pages, ann, fz, core.TrainOptions{Seed: 1})
+		fz.Freeze()
+		if _, err := core.TrainModel(ds, classes, fz, core.TrainOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageExtract measures per-page classification throughput.
+func BenchmarkStageExtract(b *testing.B) {
+	f := getFixture(b)
+	ann := core.Annotate(f.pages, f.kb, core.TopicOptions{}, core.RelationOptions{})
+	fz := core.NewFeaturizer(f.pages, core.FeatureOptions{})
+	ds, classes := core.BuildExamples(f.pages, ann, fz, core.TrainOptions{Seed: 1})
+	fz.Freeze()
+	model, err := core.TrainModel(ds, classes, fz, core.TrainOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ExtractPage(f.pages[i%len(f.pages)], model, core.ExtractOptions{})
+	}
+}
+
+// BenchmarkEndToEndSite measures the full pipeline on the 60-page site.
+func BenchmarkEndToEndSite(b *testing.B) {
+	f := getFixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(f.sources, f.kb, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

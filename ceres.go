@@ -1,0 +1,235 @@
+// Package ceres is a from-scratch Go implementation of CERES — distantly
+// supervised relation extraction from semi-structured websites (Lockard,
+// Dong, Einolghozati, Shiralkar; VLDB 2018, arXiv:1804.04635).
+//
+// Given the detail pages of a template-generated website and a seed
+// knowledge base, a Pipeline automatically annotates the pages by aligning
+// them with the KB (topic identification + relation annotation), trains a
+// logistic-regression node classifier over DOM features, and extracts new
+// (subject, predicate, object) triples — including triples about entities
+// the seed KB has never heard of — each with a calibrated confidence.
+//
+// Quick start:
+//
+//	k := ceres.NewKB(ceres.NewOntology(
+//	    ceres.Predicate{Name: "directedBy", Domain: "film", Range: "person"},
+//	))
+//	// ... add seed entities and triples ...
+//	p := ceres.NewPipeline(k, ceres.WithThreshold(0.75))
+//	result, err := p.ExtractPages(pages)
+//
+// See examples/ for runnable end-to-end programs, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the reproduction of every table and
+// figure in the paper.
+package ceres
+
+import (
+	"fmt"
+	"sort"
+
+	"ceres/internal/core"
+	"ceres/internal/kb"
+)
+
+// Re-exported knowledge-base types. The implementation lives in
+// ceres/internal/kb; the aliases make the full method sets part of the
+// public API.
+type (
+	// KB is an in-memory seed knowledge base with the name/alias and
+	// object indexes CERES queries during annotation.
+	KB = kb.KB
+	// Ontology is the set of relation predicates extraction is restricted
+	// to.
+	Ontology = kb.Ontology
+	// Predicate describes one relation of the ontology.
+	Predicate = kb.Predicate
+	// Entity is a node of the knowledge graph.
+	Entity = kb.Entity
+	// Object is a triple's object: an entity reference or a literal.
+	Object = kb.Object
+	// KBTriple is one (subject, predicate, object) seed fact.
+	KBTriple = kb.Triple
+)
+
+// NewKB creates an empty knowledge base over the ontology.
+func NewKB(o *Ontology) *KB { return kb.New(o) }
+
+// NewOntology builds an ontology from predicate definitions.
+func NewOntology(preds ...Predicate) *Ontology { return kb.NewOntology(preds...) }
+
+// EntityObject makes an entity-valued triple object.
+func EntityObject(id string) Object { return kb.EntityObject(id) }
+
+// LiteralObject makes a literal-valued triple object.
+func LiteralObject(v string) Object { return kb.LiteralObject(v) }
+
+// ReadKB parses a KB from its TSV serialization (see KB.Write).
+var ReadKB = kb.Read
+
+// PageSource is one raw page of a site: an identifier plus its HTML.
+type PageSource struct {
+	ID   string
+	HTML string
+}
+
+// Triple is one extracted fact.
+type Triple struct {
+	// Subject is the text of the page's topic-name node.
+	Subject string
+	// Predicate names the relation (from the seed KB's ontology).
+	Predicate string
+	// Object is the extracted value text.
+	Object string
+	// Confidence in (0,1]; thresholding trades precision for recall
+	// (paper Figure 6).
+	Confidence float64
+	// Page identifies the source page; Path is the XPath of the extracted
+	// node on it.
+	Page string
+	Path string
+}
+
+// Result is the outcome of extracting one site.
+type Result struct {
+	// Triples holds extractions at or above the pipeline threshold,
+	// sorted by descending confidence then page.
+	Triples []Triple
+	// AnnotatedPages and Annotations report distant-supervision yield
+	// (how many pages aligned with the seed KB, and how many labels that
+	// produced).
+	AnnotatedPages int
+	Annotations    int
+	// TemplateClusters is the number of template groups the site split
+	// into.
+	TemplateClusters int
+	// Pages is the number of input pages.
+	Pages int
+}
+
+// Mode selects the annotation strategy.
+type Mode int
+
+const (
+	// ModeFull is the paper's CERES-Full: Algorithm 1 + Algorithm 2.
+	ModeFull Mode = iota
+	// ModeTopicOnly is the CERES-Topic baseline: topic identification but
+	// no relation-annotation disambiguation (every object mention is
+	// labelled with every applicable relation).
+	ModeTopicOnly
+)
+
+// Option configures a Pipeline.
+type Option func(*Pipeline)
+
+// WithThreshold sets the extraction-confidence cutoff (default 0.5, the
+// paper's setting; 0.75 trades recall for ~90% precision in the paper's
+// long-tail experiment).
+func WithThreshold(t float64) Option {
+	return func(p *Pipeline) { p.threshold = t }
+}
+
+// WithMode selects the annotation strategy (default ModeFull).
+func WithMode(m Mode) Option {
+	return func(p *Pipeline) { p.cfg.Relation.AnnotateAllMentions = m == ModeTopicOnly }
+}
+
+// WithSeed fixes the random seed of negative sampling (default 1).
+func WithSeed(seed int64) Option {
+	return func(p *Pipeline) { p.cfg.Train.Seed = seed }
+}
+
+// WithNegativeRatio sets r, the negatives sampled per positive label
+// (default 3, per §4.1).
+func WithNegativeRatio(r int) Option {
+	return func(p *Pipeline) { p.cfg.Train.NegativeRatio = r }
+}
+
+// WithoutTemplateClustering treats the whole site as one template instead
+// of clustering pages first.
+func WithoutTemplateClustering() Option {
+	return func(p *Pipeline) { p.cfg.DisablePageClustering = true }
+}
+
+// WithMinAnnotations sets the informativeness filter: pages producing
+// fewer relation annotations are discarded (default 3, per §3.1.2).
+func WithMinAnnotations(n int) Option {
+	return func(p *Pipeline) { p.cfg.Relation.MinAnnotations = n }
+}
+
+// WithWorkers bounds parsing/extraction parallelism.
+func WithWorkers(n int) Option {
+	return func(p *Pipeline) { p.cfg.Workers = n }
+}
+
+// Pipeline is a configured CERES extractor bound to a seed KB.
+type Pipeline struct {
+	kb        *KB
+	cfg       core.Config
+	threshold float64
+}
+
+// NewPipeline builds a pipeline over the seed KB.
+func NewPipeline(k *KB, opts ...Option) *Pipeline {
+	p := &Pipeline{
+		kb:        k,
+		cfg:       core.Config{Train: core.TrainOptions{Seed: 1}},
+		threshold: 0.5,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// ExtractPages runs annotation, training and extraction over the pages of
+// one website (they should come from a single site: CERES learns one
+// extractor per site template).
+func (p *Pipeline) ExtractPages(pages []PageSource) (*Result, error) {
+	if len(pages) == 0 {
+		return nil, fmt.Errorf("ceres: no pages")
+	}
+	src := make([]core.PageSource, len(pages))
+	for i, pg := range pages {
+		if pg.ID == "" {
+			return nil, fmt.Errorf("ceres: page %d has an empty ID", i)
+		}
+		src[i] = core.PageSource{ID: pg.ID, HTML: pg.HTML}
+	}
+	res, err := core.Run(src, p.kb, p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		AnnotatedPages:   res.NumAnnotatedPages(),
+		Annotations:      res.NumAnnotations(),
+		TemplateClusters: len(res.Clusters),
+		Pages:            len(pages),
+	}
+	for _, e := range res.Extractions {
+		if e.Confidence < p.threshold {
+			continue
+		}
+		out.Triples = append(out.Triples, Triple{
+			Subject:    e.Subject,
+			Predicate:  e.Predicate,
+			Object:     e.Value,
+			Confidence: e.Confidence,
+			Page:       e.PageID,
+			Path:       e.Path,
+		})
+	}
+	sort.Slice(out.Triples, func(i, j int) bool {
+		a, b := out.Triples[i], out.Triples[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Page != b.Page {
+			return a.Page < b.Page
+		}
+		if a.Predicate != b.Predicate {
+			return a.Predicate < b.Predicate
+		}
+		return a.Object < b.Object
+	})
+	return out, nil
+}

@@ -1,0 +1,55 @@
+// Command ceres-bench regenerates the tables and figures of the paper's
+// evaluation section over the synthetic corpora (see DESIGN.md §1 for the
+// data substitutions and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	ceres-bench                  # run everything at the default scale
+//	ceres-bench table3 figure6   # run specific experiments
+//	ceres-bench -quick table5    # reduced scale
+//	ceres-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ceres/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced corpus scale")
+	list := flag.Bool("list", false, "list experiments and exit")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-9s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	cfg.Seed = *seed
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = bench.IDs()
+	}
+	for _, id := range ids {
+		e, ok := bench.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		r := e.Run(cfg)
+		fmt.Print(bench.FormatReport(r))
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

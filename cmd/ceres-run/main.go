@@ -1,0 +1,82 @@
+// Command ceres-run extracts triples from a directory of HTML pages using
+// a seed KB, printing the results as TSV (subject, predicate, object,
+// confidence, page).
+//
+// Usage:
+//
+//	ceres-run -pages ./corpus/pages -kb ./corpus/kb.tsv -threshold 0.75
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ceres"
+)
+
+func main() {
+	pagesDir := flag.String("pages", "", "directory of .html pages")
+	kbPath := flag.String("kb", "", "seed KB file (TSV, see ceres.KB.Write)")
+	threshold := flag.Float64("threshold", 0.5, "extraction confidence threshold")
+	topicOnly := flag.Bool("topic-only", false, "use the CERES-Topic annotation baseline")
+	stats := flag.Bool("stats", false, "print pipeline statistics to stderr")
+	flag.Parse()
+	if *pagesDir == "" || *kbPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	kbFile, err := os.Open(*kbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := ceres.ReadKB(kbFile)
+	if err != nil {
+		log.Fatalf("reading KB: %v", err)
+	}
+	kbFile.Close()
+
+	entries, err := os.ReadDir(*pagesDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pages []ceres.PageSource
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".html") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(*pagesDir, e.Name()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pages = append(pages, ceres.PageSource{
+			ID:   strings.TrimSuffix(e.Name(), ".html"),
+			HTML: string(b),
+		})
+	}
+	if len(pages) == 0 {
+		log.Fatalf("no .html pages in %s", *pagesDir)
+	}
+
+	opts := []ceres.Option{ceres.WithThreshold(*threshold)}
+	if *topicOnly {
+		opts = append(opts, ceres.WithMode(ceres.ModeTopicOnly))
+	}
+	res, err := ceres.NewPipeline(k, opts...).ExtractPages(pages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "pages=%d annotated=%d annotations=%d clusters=%d triples=%d\n",
+			res.Pages, res.AnnotatedPages, res.Annotations, res.TemplateClusters, len(res.Triples))
+	}
+	for _, t := range res.Triples {
+		fmt.Printf("%s\t%s\t%s\t%.4f\t%s\n", t.Subject, t.Predicate, t.Object, t.Confidence, t.Page)
+	}
+}

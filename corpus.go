@@ -1,0 +1,136 @@
+package ceres
+
+import (
+	"fmt"
+
+	"ceres/internal/strmatch"
+	"ceres/internal/websim"
+)
+
+// norm canonicalizes a value for comparison.
+func norm(s string) string { return strmatch.Normalize(s) }
+
+// GoldFact is a ground-truth assertion of a generated demo page, for
+// evaluating extraction quality in the examples and benchmarks.
+type GoldFact struct {
+	Page      string
+	Predicate string
+	Value     string
+}
+
+// Corpus is a generated demo website with its seed KB and ground truth —
+// a stand-in for the proprietary corpora the paper evaluates on (see
+// DESIGN.md §1).
+type Corpus struct {
+	// Name describes the corpus.
+	Name string
+	// Pages are the site's pages, ready for Pipeline.ExtractPages.
+	Pages []PageSource
+	// KB is the seed knowledge base aligned with part of the site.
+	KB *KB
+	// Gold lists every (page, predicate, value) the pages assert,
+	// including facts about entities absent from KB.
+	Gold []GoldFact
+	// TopicOf maps page ID to the page's topic-entity name.
+	TopicOf map[string]string
+}
+
+// DemoCorpus generates a deterministic demo corpus. Kinds:
+//
+//   - "movies": one movie site (like the paper's SWDE Movie vertical);
+//     the seed KB knows every entity, so annotation coverage is high.
+//   - "movies-longtail": the same site but the KB covers only half the
+//     films — the new-entity-discovery setting of §5.5.
+//   - "imdb-films", "imdb-people": the complex film/person templates of
+//     §5.4, with Known-For sections, recommendation rails and biased KB
+//     coverage.
+//   - "crawl-czech": a Czech-language long-tail movie site.
+//
+// pages bounds the site size (0 = a small default).
+func DemoCorpus(kind string, seed int64, pages int) (*Corpus, error) {
+	if pages == 0 {
+		pages = 60
+	}
+	switch kind {
+	case "movies", "movies-longtail":
+		w := websim.NewWorld(websim.WorldConfig{Seed: seed})
+		if pages > len(w.Films) {
+			pages = len(w.Films)
+		}
+		style := websim.MovieSiteStyle{
+			Layout: "table", Prefix: "demo", Language: "en", Recommendations: true,
+		}
+		site := websim.BuildMovieSite(w, w.Films[:pages], style, "demo-movies", seed+1)
+		kbWorld := w
+		if kind == "movies-longtail" {
+			kbWorld = websim.TrimFilms(w, pages/2)
+		}
+		return corpusOf(kind, site, websim.BuildKB(kbWorld, websim.FullCoverage(), seed+2)), nil
+	case "imdb-films", "imdb-people":
+		w := websim.NewWorld(websim.WorldConfig{Seed: seed})
+		films, people := websim.GenerateIMDB(w, websim.IMDBConfig{
+			FilmPages: pages, PersonPages: pages, Seed: seed + 1,
+		})
+		site := films
+		if kind == "imdb-people" {
+			site = people
+		}
+		return corpusOf(kind, site, websim.BuildKB(w, websim.PaperCoverage(), seed+2)), nil
+	case "crawl-czech":
+		c := websim.GenerateCrawl(websim.CrawlConfig{
+			Seed: seed, Scale: float64(pages) / 37988.0, MaxSitePages: pages,
+			Sites: []string{"kinobox.cz"},
+		})
+		return corpusOf(kind, c.Sites[0], c.SeedKB), nil
+	default:
+		return nil, fmt.Errorf("ceres: unknown demo corpus %q", kind)
+	}
+}
+
+func corpusOf(name string, site *websim.Site, k *KB) *Corpus {
+	c := &Corpus{Name: name, KB: k, TopicOf: map[string]string{}}
+	for _, p := range site.Pages {
+		c.Pages = append(c.Pages, PageSource{ID: p.ID, HTML: p.HTML})
+		if p.TopicID != "" {
+			c.TopicOf[p.ID] = p.TopicName
+		}
+		for _, f := range p.GoldValues() {
+			if f.Predicate == "name" {
+				continue
+			}
+			c.Gold = append(c.Gold, GoldFact{Page: p.ID, Predicate: f.Predicate, Value: f.Value})
+		}
+	}
+	return c
+}
+
+// Score compares extracted triples against the corpus ground truth,
+// returning precision, recall and F1 over distinct (page, predicate,
+// value) facts.
+func (c *Corpus) Score(triples []Triple) (p, r, f1 float64) {
+	type key struct{ page, pred, val string }
+	gold := map[key]bool{}
+	for _, g := range c.Gold {
+		gold[key{g.Page, g.Predicate, norm(g.Value)}] = true
+	}
+	pred := map[key]bool{}
+	for _, t := range triples {
+		pred[key{t.Page, t.Predicate, norm(t.Object)}] = true
+	}
+	tp := 0
+	for k := range pred {
+		if gold[k] {
+			tp++
+		}
+	}
+	if len(pred) > 0 {
+		p = float64(tp) / float64(len(pred))
+	}
+	if len(gold) > 0 {
+		r = float64(tp) / float64(len(gold))
+	}
+	if p+r > 0 {
+		f1 = 2 * p * r / (p + r)
+	}
+	return p, r, f1
+}

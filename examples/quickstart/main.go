@@ -1,0 +1,92 @@
+// Command quickstart runs CERES end-to-end on a tiny hand-written website:
+// six film detail pages sharing one template, and a seed knowledge base
+// that knows four of the six films. CERES aligns the KB with the pages,
+// trains an extractor, and then extracts facts from every page — including
+// the two films the KB has never heard of.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ceres"
+)
+
+// page renders one detail page of the demo site's fixed template.
+func page(title, director, year string, genres []string) string {
+	g := ""
+	for _, x := range genres {
+		g += "<li><a href='#'>" + x + "</a></li>"
+	}
+	return `<html><head><title>` + title + `</title></head><body>
+<header><a href="/">Tiny Movie DB</a><nav><ul><li>Home</li><li>Movies</li></ul></nav></header>
+<div id="content">
+  <h1 class="title">` + title + `</h1>
+  <table class="facts">
+    <tr><th>Director</th><td><a href="#">` + director + `</a></td></tr>
+    <tr><th>Year</th><td>` + year + `</td></tr>
+  </table>
+  <div class="genres"><h3>Genres</h3><ul>` + g + `</ul></div>
+</div>
+<footer>© Tiny Movie DB</footer>
+</body></html>`
+}
+
+func main() {
+	pages := []ceres.PageSource{
+		{ID: "m1", HTML: page("Do the Right Thing", "Spike Lee", "1989", []string{"Comedy", "Drama"})},
+		{ID: "m2", HTML: page("Crooklyn", "Spike Lee", "1994", []string{"Comedy", "Drama"})},
+		{ID: "m3", HTML: page("The Silent Harbor", "Ada Dahl", "2001", []string{"Mystery"})},
+		{ID: "m4", HTML: page("Crimson Orchard", "Tessa Novak", "2010", []string{"Horror", "Thriller"})},
+		{ID: "m5", HTML: page("Counting Tides", "Emil Weber", "2015", []string{"Documentary"})},
+		{ID: "m6", HTML: page("Paper Lantern", "Mai Kimura", "2017", []string{"Drama", "Romance"})},
+	}
+
+	// The seed KB: an ontology of three predicates and facts about four of
+	// the six films. CERES never needs labels — just this overlap.
+	k := ceres.NewKB(ceres.NewOntology(
+		ceres.Predicate{Name: "directedBy", Domain: "film", Range: "person"},
+		ceres.Predicate{Name: "releaseYear", Domain: "film"},
+		ceres.Predicate{Name: "hasGenre", Domain: "film", MultiValued: true},
+	))
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	type seed struct {
+		id, title, director, year string
+		genres                    []string
+	}
+	for i, s := range []seed{
+		{"f1", "Do the Right Thing", "Spike Lee", "1989", []string{"Comedy", "Drama"}},
+		{"f2", "Crooklyn", "Spike Lee", "1994", []string{"Comedy", "Drama"}},
+		{"f3", "The Silent Harbor", "Ada Dahl", "2001", []string{"Mystery"}},
+		{"f4", "Crimson Orchard", "Tessa Novak", "2010", []string{"Horror", "Thriller"}},
+	} {
+		pid := fmt.Sprintf("p%d", i+1)
+		must(k.AddEntity(ceres.Entity{ID: s.id, Type: "film", Name: s.title}))
+		must(k.AddEntity(ceres.Entity{ID: pid, Type: "person", Name: s.director}))
+		must(k.AddTriple(ceres.KBTriple{Subject: s.id, Predicate: "directedBy", Object: ceres.EntityObject(pid)}))
+		must(k.AddTriple(ceres.KBTriple{Subject: s.id, Predicate: "releaseYear", Object: ceres.LiteralObject(s.year)}))
+		for _, g := range s.genres {
+			must(k.AddTriple(ceres.KBTriple{Subject: s.id, Predicate: "hasGenre", Object: ceres.LiteralObject(g)}))
+		}
+	}
+
+	p := ceres.NewPipeline(k,
+		ceres.WithThreshold(0.5),
+		ceres.WithMinAnnotations(2), // tiny site: relax the informativeness filter
+	)
+	res, err := p.ExtractPages(pages)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("pages: %d   annotated: %d   annotations: %d   template clusters: %d\n\n",
+		res.Pages, res.AnnotatedPages, res.Annotations, res.TemplateClusters)
+	fmt.Println("extracted triples (note m5 and m6 are NOT in the seed KB):")
+	for _, t := range res.Triples {
+		fmt.Printf("  [%.2f] (%s, %s, %s)  page=%s\n", t.Confidence, t.Subject, t.Predicate, t.Object, t.Page)
+	}
+}

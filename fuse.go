@@ -1,0 +1,34 @@
+package ceres
+
+import "ceres/internal/fusion"
+
+// FusedFact is a triple aggregated across sites with combined belief.
+type FusedFact = fusion.Fact
+
+// FusionOptions tunes cross-site aggregation. SourcePriors assigns
+// per-site reliability (default 0.7); Functional marks single-valued
+// predicates whose competing objects must be resolved.
+type FusionOptions = fusion.Options
+
+// Fuse aggregates extraction results from multiple sites into fused facts
+// — the knowledge-fusion post-processing step the paper points to for
+// cleaning a multi-site harvest (§5.5.1). results maps a site identifier
+// to that site's extraction Result.
+func Fuse(results map[string]*Result, opts FusionOptions) []FusedFact {
+	var obs []fusion.Observation
+	for site, res := range results {
+		if res == nil {
+			continue
+		}
+		for _, t := range res.Triples {
+			obs = append(obs, fusion.Observation{
+				Source:     site,
+				Subject:    t.Subject,
+				Predicate:  t.Predicate,
+				Object:     t.Object,
+				Confidence: t.Confidence,
+			})
+		}
+	}
+	return fusion.Fuse(obs, opts)
+}

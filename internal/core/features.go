@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"ceres/internal/dom"
+	"ceres/internal/mlr"
+)
+
+// FeatureOptions tunes §4.2's node representation.
+type FeatureOptions struct {
+	// MaxAncestors bounds how far up the tree structural features reach
+	// (default 5, per Vertex).
+	MaxAncestors int
+	// SiblingWindow bounds how many siblings on either side of each
+	// ancestor contribute features (default 5, "up to a width of 5 on
+	// either side").
+	SiblingWindow int
+	// TextAncestors bounds how far up text features look for frequent
+	// strings (default 3).
+	TextAncestors int
+	// FrequentStringMinFrac: strings appearing on at least this fraction
+	// of pages join the frequent-string lexicon (default 0.2).
+	FrequentStringMinFrac float64
+	// MaxFrequentStringLen drops long strings from the lexicon
+	// (default 40 bytes).
+	MaxFrequentStringLen int
+	// DisableStructural / DisableText switch feature families off for the
+	// ablation of DESIGN.md §4.
+	DisableStructural bool
+	DisableText       bool
+}
+
+func (o FeatureOptions) withDefaults() FeatureOptions {
+	if o.MaxAncestors == 0 {
+		o.MaxAncestors = 5
+	}
+	if o.SiblingWindow == 0 {
+		o.SiblingWindow = 5
+	}
+	if o.TextAncestors == 0 {
+		o.TextAncestors = 3
+	}
+	if o.FrequentStringMinFrac == 0 {
+		o.FrequentStringMinFrac = 0.2
+	}
+	if o.MaxFrequentStringLen == 0 {
+		o.MaxFrequentStringLen = 40
+	}
+	return o
+}
+
+// structuralAttrs are the HTML attributes Vertex-style features read
+// (§4.2: "tag, class, ID, itemprop, itemtype, and property").
+var structuralAttrs = []string{"class", "id", "itemprop", "itemtype", "property"}
+
+// Featurizer converts fields to sparse vectors over a shared dictionary.
+type Featurizer struct {
+	opts FeatureOptions
+	dict *mlr.Dict
+	// frequent is the site-level frequent-string lexicon for text
+	// features ("a list of strings that appear frequently on the
+	// website", §4.2).
+	frequent map[string]bool
+}
+
+// NewFeaturizer builds the featurizer for one template cluster,
+// assembling the frequent-string lexicon from the given pages.
+func NewFeaturizer(pages []*Page, opts FeatureOptions) *Featurizer {
+	opts = opts.withDefaults()
+	fz := &Featurizer{
+		opts: opts,
+		dict: mlr.NewDict(),
+	}
+	fz.frequent = frequentStrings(pages, opts)
+	return fz
+}
+
+// Dict exposes the feature dictionary (frozen by the trainer before
+// extraction).
+func (fz *Featurizer) Dict() *mlr.Dict { return fz.dict }
+
+// Freeze stops dictionary growth; unseen features are then dropped.
+func (fz *Featurizer) Freeze() { fz.dict.Freeze() }
+
+// frequentStrings counts, per distinct collapsed text, the number of pages
+// it appears on, and keeps those above the threshold.
+func frequentStrings(pages []*Page, opts FeatureOptions) map[string]bool {
+	pageCount := map[string]int{}
+	for _, p := range pages {
+		seen := map[string]bool{}
+		for _, f := range p.Fields {
+			if len(f.Text) > opts.MaxFrequentStringLen || f.Text == "" {
+				continue
+			}
+			if !seen[f.Text] {
+				seen[f.Text] = true
+				pageCount[f.Text]++
+			}
+		}
+	}
+	min := int(opts.FrequentStringMinFrac*float64(len(pages)) + 0.5)
+	if min < 2 {
+		min = 2
+	}
+	out := map[string]bool{}
+	for s, n := range pageCount {
+		if n >= min {
+			out[s] = true
+		}
+	}
+	return out
+}
+
+// Features computes the sparse vector of a field: structural 4-tuples
+// (attribute name, attribute value, ancestor distance, sibling offset)
+// over the node, its ancestors and the ancestors' siblings, plus
+// frequent-string text features keyed by the relative tree position of the
+// string.
+func (fz *Featurizer) Features(f *Field) mlr.Vector {
+	var feats []mlr.Feature
+	add := func(name string) {
+		if id := fz.dict.ID(name); id >= 0 {
+			feats = append(feats, mlr.Feature{Index: id, Value: 1})
+		}
+	}
+	// Level 0 is the element containing the text node.
+	elem := f.Node.Parent
+	if elem == nil {
+		return mlr.NewVector(feats)
+	}
+	if !fz.opts.DisableStructural {
+		node := elem
+		for lvl := 0; node != nil && node.Type == dom.ElementNode && lvl <= fz.opts.MaxAncestors; lvl++ {
+			fz.structuralFor(node, lvl, 0, add)
+			if lvl > 0 || true {
+				// Siblings of this ancestor within the window.
+				sibs := elementSiblings(node)
+				pos := indexOf(sibs, node)
+				for off := 1; off <= fz.opts.SiblingWindow; off++ {
+					if pos-off >= 0 {
+						fz.structuralFor(sibs[pos-off], lvl, -off, add)
+					}
+					if pos+off < len(sibs) {
+						fz.structuralFor(sibs[pos+off], lvl, off, add)
+					}
+				}
+			}
+			node = node.Parent
+		}
+	}
+	if !fz.opts.DisableText {
+		// Frequent strings in nearby nodes: for each ancestor level, scan
+		// the ancestor's preceding element siblings (and their subtree
+		// text) — where key/value templates put their labels.
+		node := elem
+		for lvl := 0; node != nil && node.Type == dom.ElementNode && lvl <= fz.opts.TextAncestors; lvl++ {
+			sibs := elementSiblings(node)
+			pos := indexOf(sibs, node)
+			for off := 1; off <= fz.opts.SiblingWindow; off++ {
+				if pos-off < 0 {
+					break
+				}
+				text := sibs[pos-off].Text()
+				if fz.frequent[text] {
+					add("t|" + strconv.Itoa(lvl) + "|-" + strconv.Itoa(off) + "|" + text)
+				}
+			}
+			// Direct text of the ancestor itself (e.g. heading text mixed
+			// with the value container).
+			if lvl > 0 {
+				if own := node.OwnText(); own != "" && fz.frequent[own] {
+					add("t|" + strconv.Itoa(lvl) + "|0|" + own)
+				}
+			}
+			node = node.Parent
+		}
+	}
+	return mlr.NewVector(feats)
+}
+
+// structuralFor emits the 4-tuple features of one context node.
+func (fz *Featurizer) structuralFor(n *dom.Node, lvl, off int, add func(string)) {
+	prefix := "s|" + strconv.Itoa(lvl) + "|" + strconv.Itoa(off) + "|"
+	add(prefix + "tag|" + n.Tag)
+	for _, attr := range structuralAttrs {
+		if v, ok := n.Attr(attr); ok && v != "" {
+			add(prefix + attr + "|" + v)
+		}
+	}
+}
+
+func elementSiblings(n *dom.Node) []*dom.Node {
+	if n.Parent == nil {
+		return []*dom.Node{n}
+	}
+	var out []*dom.Node
+	for _, c := range n.Parent.Children {
+		if c.Type == dom.ElementNode {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func indexOf(xs []*dom.Node, x *dom.Node) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// featureName is a debugging helper that renders a feature index back to
+// its name.
+func (fz *Featurizer) featureName(id int) string {
+	return fmt.Sprintf("%q", fz.dict.Name(id))
+}

@@ -1,0 +1,77 @@
+// Package core implements the CERES extraction framework itself (paper
+// §2–§4): two-step distant-supervision annotation — topic identification
+// (Algorithm 1) and relation annotation (Algorithm 2) — followed by
+// training a multinomial logistic-regression node classifier over
+// DOM-structural and nearby-text features, and extraction of new triples
+// with calibrated confidences. The baseline variants the paper compares
+// against (CERES-Topic, CERES-Baseline) are modes of the same pipeline.
+package core
+
+import (
+	"ceres/internal/dom"
+	"ceres/internal/strmatch"
+	"ceres/internal/xpath"
+)
+
+// Field is one candidate text field of a page: the unit of annotation and
+// extraction (§2.1).
+type Field struct {
+	// Node is the underlying text node.
+	Node *dom.Node
+	// Text is the collapsed text content.
+	Text string
+	// Path is the absolute XPath of the text node.
+	Path xpath.Path
+	// PathString caches Path.String().
+	PathString string
+	// Norm caches the normalized text.
+	Norm string
+}
+
+// Page is a parsed page prepared for the pipeline.
+type Page struct {
+	// ID identifies the page within its site.
+	ID  string
+	Doc *dom.Node
+	// Fields lists the non-empty text fields in document order.
+	Fields []*Field
+	// fieldByNode resolves a text node back to its Field.
+	fieldByNode map[*dom.Node]*Field
+}
+
+// PreparePage parses HTML and enumerates its text fields.
+func PreparePage(id, html string) *Page {
+	doc := dom.Parse(html)
+	nodes := dom.TextFields(doc)
+	p := &Page{
+		ID:          id,
+		Doc:         doc,
+		Fields:      make([]*Field, 0, len(nodes)),
+		fieldByNode: make(map[*dom.Node]*Field, len(nodes)),
+	}
+	for _, n := range nodes {
+		text := dom.CollapseSpace(n.Data)
+		path := xpath.FromNode(n)
+		f := &Field{
+			Node:       n,
+			Text:       text,
+			Path:       path,
+			PathString: path.String(),
+			Norm:       strmatch.Normalize(text),
+		}
+		p.Fields = append(p.Fields, f)
+		p.fieldByNode[n] = f
+	}
+	return p
+}
+
+// FieldAt returns the field whose text node has the given path string, or
+// nil.
+func (p *Page) FieldAt(pathString string) *Field {
+	for _, f := range p.Fields {
+		if f.PathString == pathString {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"ceres/internal/cluster"
+	"ceres/internal/kb"
+)
+
+// PageSource is one raw input page.
+type PageSource struct {
+	ID   string
+	HTML string
+}
+
+// Config assembles the options of every pipeline stage.
+type Config struct {
+	Topic    TopicOptions
+	Relation RelationOptions
+	Features FeatureOptions
+	Train    TrainOptions
+	Extract  ExtractOptions
+	// PageCluster configures template clustering (§2.1); set
+	// DisablePageClustering to treat the whole site as one template.
+	PageCluster           cluster.PageClusterOptions
+	DisablePageClustering bool
+	// MinAnnotatedPages is the smallest number of annotated pages worth
+	// training a cluster model on (default 2; the paper extracted from
+	// sites with "only a few tens" of annotated pages and produced
+	// nothing on sites with 1-2).
+	MinAnnotatedPages int
+	// Workers bounds parsing/extraction parallelism (default: NumCPU,
+	// capped at 8).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinAnnotatedPages == 0 {
+		c.MinAnnotatedPages = 2
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	return c
+}
+
+// ClusterResult is the pipeline output for one template cluster.
+type ClusterResult struct {
+	// PageIdxs indexes into Result.Pages.
+	PageIdxs   []int
+	Annotation *AnnotationResult
+	// Model is nil when the cluster had too few annotated pages.
+	Model *Model
+	// Trained reports whether extraction ran for this cluster.
+	Trained bool
+}
+
+// Result is the full pipeline output for one site.
+type Result struct {
+	Pages    []*Page
+	Clusters []*ClusterResult
+	// Extractions pools all clusters' extractions, unthresholded.
+	Extractions []Extraction
+}
+
+// NumAnnotations counts positive labels across clusters.
+func (r *Result) NumAnnotations() int {
+	n := 0
+	for _, c := range r.Clusters {
+		if c.Annotation != nil {
+			n += len(c.Annotation.Annotations)
+		}
+	}
+	return n
+}
+
+// NumAnnotatedPages counts pages that produced annotations.
+func (r *Result) NumAnnotatedPages() int {
+	n := 0
+	for _, c := range r.Clusters {
+		if c.Annotation != nil {
+			n += c.Annotation.NumAnnotatedPages()
+		}
+	}
+	return n
+}
+
+// Run executes the CERES pipeline on one site: parse, cluster templates,
+// annotate, train, extract (Figure 3's architecture).
+func Run(sources []PageSource, K *kb.KB, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	pages := ParsePages(sources, cfg.Workers)
+
+	var groups [][]int
+	if cfg.DisablePageClustering {
+		all := make([]int, len(pages))
+		for i := range all {
+			all[i] = i
+		}
+		groups = [][]int{all}
+	} else {
+		sigs := make([]cluster.PageSignature, len(pages))
+		parallelFor(len(pages), cfg.Workers, func(i int) {
+			sigs[i] = cluster.Signature(pages[i].Doc)
+		})
+		groups = cluster.ClusterPages(sigs, cfg.PageCluster)
+	}
+
+	res := &Result{Pages: pages}
+	for _, group := range groups {
+		cr, err := runCluster(pages, group, K, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Clusters = append(res.Clusters, cr)
+		res.Extractions = append(res.Extractions, extractionsOf(pages, group, cr, cfg)...)
+	}
+	return res, nil
+}
+
+// ParsePages parses page sources concurrently, preserving order.
+func ParsePages(sources []PageSource, workers int) []*Page {
+	pages := make([]*Page, len(sources))
+	parallelFor(len(sources), workers, func(i int) {
+		pages[i] = PreparePage(sources[i].ID, sources[i].HTML)
+	})
+	return pages
+}
+
+func runCluster(pages []*Page, group []int, K *kb.KB, cfg Config) (*ClusterResult, error) {
+	sub := make([]*Page, len(group))
+	for i, pi := range group {
+		sub[i] = pages[pi]
+	}
+	ann := Annotate(sub, K, cfg.Topic, cfg.Relation)
+	cr := &ClusterResult{PageIdxs: group, Annotation: ann}
+	if ann.NumAnnotatedPages() < cfg.MinAnnotatedPages {
+		return cr, nil
+	}
+	fz := NewFeaturizer(sub, cfg.Features)
+	ds, classes := BuildExamples(sub, ann, fz, cfg.Train)
+	if classes.Len() < 2 || ds.Len() == 0 {
+		return cr, nil
+	}
+	fz.Freeze()
+	model, err := TrainModel(ds, classes, fz, cfg.Train)
+	if err != nil {
+		return nil, err
+	}
+	cr.Model = model
+	cr.Trained = true
+	return cr, nil
+}
+
+func extractionsOf(pages []*Page, group []int, cr *ClusterResult, cfg Config) []Extraction {
+	if !cr.Trained {
+		return nil
+	}
+	perPage := make([][]Extraction, len(group))
+	parallelFor(len(group), cfg.Workers, func(i int) {
+		perPage[i] = ExtractPage(pages[group[i]], cr.Model, cfg.Extract)
+	})
+	var out []Extraction
+	for _, exts := range perPage {
+		out = append(out, exts...)
+	}
+	return out
+}
+
+// parallelFor runs fn(i) for i in [0,n) on up to `workers` goroutines.
+func parallelFor(n, workers int, fn func(int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ceres/internal/websim"
+)
+
+func TestAnnotateMovieSite(t *testing.T) {
+	pages, K, _, gold := buildMovieSite(t, 30, defaultStyle())
+	res := Annotate(pages, K, TopicOptions{}, RelationOptions{})
+	if res.NumAnnotatedPages() < 25 {
+		t.Fatalf("annotated only %d/30 pages", res.NumAnnotatedPages())
+	}
+	// Annotation precision against node-level gold: an annotation is
+	// correct iff the (predicate, nodePath) pair is in the page's gold
+	// fact set.
+	correct, total := 0, 0
+	for _, a := range res.Annotations {
+		if a.Predicate == NameClass {
+			continue
+		}
+		total++
+		goldSet := gold[a.PageIdx].GoldNodeSet()
+		if goldSet[a.Predicate+"\x00"+pages[a.PageIdx].Fields[a.FieldIdx].PathString] {
+			correct++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no relation annotations at all")
+	}
+	prec := float64(correct) / float64(total)
+	if prec < 0.9 {
+		t.Errorf("annotation precision %.3f below 0.9 (%d/%d)", prec, correct, total)
+	}
+}
+
+// TestAnnotateAtMostOneMentionPerObject checks the §3.2 invariant: CERES
+// annotates at most one mention of each (predicate, object) per page.
+func TestAnnotateAtMostOneMentionPerObject(t *testing.T) {
+	pages, K, _, _ := buildMovieSite(t, 20, defaultStyle())
+	res := Annotate(pages, K, TopicOptions{}, RelationOptions{})
+	type key struct {
+		page int
+		pred string
+		text string
+	}
+	seen := map[key]int{}
+	for _, a := range res.Annotations {
+		if a.Predicate == NameClass {
+			continue
+		}
+		k := key{a.PageIdx, a.Predicate, pages[a.PageIdx].Fields[a.FieldIdx].Norm}
+		seen[k]++
+		if seen[k] > 1 {
+			t.Fatalf("object %q annotated twice for %s on page %d", k.text, k.pred, k.page)
+		}
+	}
+}
+
+// TestGenreDuplicationTrap reproduces Example 3.2: genres appear both in
+// the infobox and in the recommendation rail of other films; the
+// annotation must prefer the infobox mention (which all pages share),
+// not the rail.
+func TestGenreDuplicationTrap(t *testing.T) {
+	style := defaultStyle() // Recommendations: true
+	pages, K, _, gold := buildMovieSite(t, 40, style)
+	res := Annotate(pages, K, TopicOptions{}, RelationOptions{})
+	var genreAnns, correct int
+	for _, a := range res.Annotations {
+		if a.Predicate != websim.PredGenre {
+			continue
+		}
+		genreAnns++
+		if gold[a.PageIdx].GoldNodeSet()[a.Predicate+"\x00"+pages[a.PageIdx].Fields[a.FieldIdx].PathString] {
+			correct++
+		}
+	}
+	if genreAnns == 0 {
+		t.Fatal("no genre annotations")
+	}
+	if float64(correct)/float64(genreAnns) < 0.9 {
+		t.Errorf("genre annotation precision %d/%d below 0.9 — the rail trap is winning", correct, genreAnns)
+	}
+}
+
+// TestCeresTopicAnnotatesMoreNoisily: the CERES-Topic mode (annotate all
+// mentions) must produce at least as many annotations, with lower or
+// equal node-level precision — the Table 6 relationship.
+func TestCeresTopicAnnotatesMoreNoisily(t *testing.T) {
+	pages, K, _, gold := buildMovieSite(t, 40, defaultStyle())
+	full := Annotate(pages, K, TopicOptions{}, RelationOptions{})
+	topic := Annotate(pages, K, TopicOptions{}, RelationOptions{AnnotateAllMentions: true})
+	if len(topic.Annotations) < len(full.Annotations) {
+		t.Errorf("CERES-Topic produced fewer annotations (%d) than CERES-Full (%d)",
+			len(topic.Annotations), len(full.Annotations))
+	}
+	prec := func(res *AnnotationResult) float64 {
+		correct, total := 0, 0
+		for _, a := range res.Annotations {
+			if a.Predicate == NameClass {
+				continue
+			}
+			total++
+			if gold[a.PageIdx].GoldNodeSet()[a.Predicate+"\x00"+pages[a.PageIdx].Fields[a.FieldIdx].PathString] {
+				correct++
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(correct) / float64(total)
+	}
+	pFull, pTopic := prec(full), prec(topic)
+	if pTopic > pFull+1e-9 {
+		t.Errorf("CERES-Topic precision %.3f exceeds CERES-Full %.3f", pTopic, pFull)
+	}
+}
+
+func TestInformativenessFilter(t *testing.T) {
+	pages, K, _, _ := buildMovieSite(t, 15, defaultStyle())
+	strict := Annotate(pages, K, TopicOptions{}, RelationOptions{MinAnnotations: 50})
+	if strict.NumAnnotatedPages() != 0 {
+		t.Errorf("MinAnnotations=50 should reject every page, got %d", strict.NumAnnotatedPages())
+	}
+	loose := Annotate(pages, K, TopicOptions{}, RelationOptions{MinAnnotations: 1})
+	if loose.NumAnnotatedPages() == 0 {
+		t.Errorf("MinAnnotations=1 should keep pages")
+	}
+}
+
+func TestClusterPredPaths(t *testing.T) {
+	paths := map[string]int{
+		"/html[1]/body[1]/div[1]/ul[1]/li[1]/a[1]": 30,
+		"/html[1]/body[1]/div[1]/ul[1]/li[2]/a[1]": 28,
+		"/html[1]/body[1]/div[1]/ul[1]/li[3]/a[1]": 25,
+		"/html[1]/body[1]/div[9]/span[2]/a[1]":     4,
+	}
+	sizes := clusterPredPaths(paths, 2, 100)
+	listSize := sizes["/html[1]/body[1]/div[1]/ul[1]/li[1]/a[1]"]
+	railSize := sizes["/html[1]/body[1]/div[9]/span[2]/a[1]"]
+	if listSize != 83 {
+		t.Errorf("list cluster size = %d, want 83", listSize)
+	}
+	if railSize != 4 {
+		t.Errorf("rail cluster size = %d, want 4", railSize)
+	}
+	// Single path.
+	one := clusterPredPaths(map[string]int{"/html[1]/a[1]": 7}, 3, 100)
+	if one["/html[1]/a[1]"] != 7 {
+		t.Errorf("single-path cluster = %v", one)
+	}
+	// Empty.
+	if got := clusterPredPaths(map[string]int{}, 1, 10); len(got) != 0 {
+		t.Errorf("empty input: %v", got)
+	}
+}
+
+func TestAnnotationsRespectTopicField(t *testing.T) {
+	pages, K, _, _ := buildMovieSite(t, 20, defaultStyle())
+	res := Annotate(pages, K, TopicOptions{}, RelationOptions{})
+	nameCount := map[int]int{}
+	for _, a := range res.Annotations {
+		if a.Predicate == NameClass {
+			nameCount[a.PageIdx]++
+			if res.Topics[a.PageIdx].FieldIdx != a.FieldIdx {
+				t.Errorf("name annotation not at the topic field on page %d", a.PageIdx)
+			}
+		}
+	}
+	for pi, n := range nameCount {
+		if n != 1 {
+			t.Errorf("page %d has %d name annotations", pi, n)
+		}
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	for _, s := range []string{"1989", "7", "0001"} {
+		if !isNumeric(s) {
+			t.Errorf("isNumeric(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"", "19a9", "-3", "1.5", "year"} {
+		if isNumeric(s) {
+			t.Errorf("isNumeric(%q) = true", s)
+		}
+	}
+	_ = strings.TrimSpace("")
+}

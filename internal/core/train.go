@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"ceres/internal/mlr"
+	"ceres/internal/xpath"
+)
+
+// TrainOptions configures example generation and model fitting (§4.1–4.2).
+type TrainOptions struct {
+	// NegativeRatio is r, the number of unlabeled nodes sampled as
+	// "OTHER" examples per positive (§4.1: "Following convention in
+	// distantly supervised text extraction, we choose r = 3").
+	NegativeRatio int
+	// Seed drives negative sampling.
+	Seed int64
+	// DisableListExclusion turns off the list-sibling exclusion of §4.1
+	// (ablation 4 of DESIGN.md).
+	DisableListExclusion bool
+	// Model forwards to the classifier trainer; zero values take the
+	// paper-faithful defaults (LBFGS, L2 with C=1).
+	Model mlr.TrainOptions
+	// Classifier selects "lr" (default) or "nb" for the classifier
+	// ablation.
+	Classifier string
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.NegativeRatio == 0 {
+		o.NegativeRatio = 3
+	}
+	if o.Classifier == "" {
+		o.Classifier = "lr"
+	}
+	return o
+}
+
+// OtherClass is class index 0: "no relation in our ontology".
+const OtherClass = 0
+
+// Classes maps predicate names to class indices. Index 0 is OTHER.
+type Classes struct {
+	names []string
+	index map[string]int
+}
+
+// NewClasses builds the class space from the annotation set.
+func NewClasses(anns []Annotation) *Classes {
+	set := map[string]bool{}
+	for _, a := range anns {
+		set[a.Predicate] = true
+	}
+	names := make([]string, 0, len(set)+1)
+	names = append(names, "OTHER")
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names[1:])
+	c := &Classes{names: names, index: map[string]int{}}
+	for i, n := range names {
+		c.index[n] = i
+	}
+	return c
+}
+
+// Index returns the class index of a predicate (OtherClass if unknown).
+func (c *Classes) Index(pred string) int {
+	if i, ok := c.index[pred]; ok {
+		return i
+	}
+	return OtherClass
+}
+
+// Name returns the predicate of a class index.
+func (c *Classes) Name(i int) string {
+	if i < 0 || i >= len(c.names) {
+		return "OTHER"
+	}
+	return c.names[i]
+}
+
+// Len returns the number of classes including OTHER.
+func (c *Classes) Len() int { return len(c.names) }
+
+// Names returns a copy of the class names.
+func (c *Classes) Names() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// Model bundles a trained classifier with its feature and class spaces.
+type Model struct {
+	Classes    *Classes
+	Featurizer *Featurizer
+	// LR is the paper's classifier; NB replaces it when the ablation
+	// selects naive Bayes.
+	LR *mlr.Model
+	NB *mlr.NaiveBayes
+}
+
+// Proba returns the class distribution for a field.
+func (m *Model) Proba(f *Field) []float64 {
+	x := m.Featurizer.Features(f)
+	if m.NB != nil {
+		return m.NB.Proba(x)
+	}
+	return m.LR.Proba(x)
+}
+
+// BuildExamples converts annotations into a labelled dataset: positives
+// with their predicate class, plus r sampled negatives per positive,
+// excluding likely list siblings of positives (§4.1).
+func BuildExamples(pages []*Page, res *AnnotationResult, fz *Featurizer, opts TrainOptions) (*mlr.Dataset, *Classes) {
+	opts = opts.withDefaults()
+	classes := NewClasses(res.Annotations)
+	ds := &mlr.Dataset{NumClasses: classes.Len()}
+	rng := rand.New(rand.NewSource(opts.Seed + 17))
+
+	// Group annotations per page.
+	perPage := map[int][]Annotation{}
+	for _, a := range res.Annotations {
+		perPage[a.PageIdx] = append(perPage[a.PageIdx], a)
+	}
+	pageIdxs := make([]int, 0, len(perPage))
+	for pi := range perPage {
+		pageIdxs = append(pageIdxs, pi)
+	}
+	sort.Ints(pageIdxs)
+
+	for _, pi := range pageIdxs {
+		p := pages[pi]
+		anns := perPage[pi]
+		positive := map[int]bool{}
+		for _, a := range anns {
+			positive[a.FieldIdx] = true
+		}
+		excluded := map[int]bool{}
+		if !opts.DisableListExclusion {
+			excluded = listSiblingExclusions(p, anns)
+		}
+		// Positives.
+		for _, a := range anns {
+			ds.Add(fz.Features(p.Fields[a.FieldIdx]), classes.Index(a.Predicate))
+		}
+		// Negatives: r per positive, sampled among unlabeled,
+		// non-excluded fields.
+		var candidates []int
+		for fi := range p.Fields {
+			if !positive[fi] && !excluded[fi] {
+				candidates = append(candidates, fi)
+			}
+		}
+		want := opts.NegativeRatio * len(anns)
+		if want > len(candidates) {
+			want = len(candidates)
+		}
+		rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+		for _, fi := range candidates[:want] {
+			ds.Add(fz.Features(p.Fields[fi]), OtherClass)
+		}
+	}
+	return ds, classes
+}
+
+// listSiblingExclusions finds unlabeled fields that likely belong to the
+// same value list as a positive (§4.1: "we exclude other nodes that differ
+// from these positives only at these indices, since they are likely to be
+// part of the same list").
+func listSiblingExclusions(p *Page, anns []Annotation) map[int]bool {
+	byPred := map[string][]xpath.Path{}
+	for _, a := range anns {
+		byPred[a.Predicate] = append(byPred[a.Predicate], p.Fields[a.FieldIdx].Path)
+	}
+	excluded := map[int]bool{}
+	for _, pred := range sortedKeys(byPred) {
+		paths := byPred[pred]
+		if len(paths) < 2 {
+			continue
+		}
+		// Group same-shape paths, wildcard the differing indices.
+		pattern, ok := xpath.Generalize(paths)
+		if !ok || len(pattern.Wildcards()) == 0 {
+			continue
+		}
+		for fi, f := range p.Fields {
+			if pattern.Matches(f.Path) {
+				excluded[fi] = true
+			}
+		}
+	}
+	return excluded
+}
+
+// TrainModel fits the classifier on the training set.
+func TrainModel(ds *mlr.Dataset, classes *Classes, fz *Featurizer, opts TrainOptions) (*Model, error) {
+	opts = opts.withDefaults()
+	m := &Model{Classes: classes, Featurizer: fz}
+	if opts.Classifier == "nb" {
+		m.NB = mlr.TrainNaiveBayes(ds)
+		return m, nil
+	}
+	lr, err := mlr.Train(ds, opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	m.LR = lr
+	return m, nil
+}

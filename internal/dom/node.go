@@ -1,0 +1,190 @@
+// Package dom implements the HTML document model CERES operates over: a
+// from-scratch HTML tokenizer and tree builder (the repository is
+// stdlib-only, so golang.org/x/net/html is unavailable), absolute-XPath
+// generation for every node, and the text-field enumeration that defines
+// the unit of annotation and extraction (paper §2.1: "a node in the tree
+// can be uniquely defined by an absolute XPath").
+package dom
+
+import "strings"
+
+// NodeType discriminates the kinds of nodes in a parsed document.
+type NodeType uint8
+
+const (
+	// DocumentNode is the synthetic root of a parsed page.
+	DocumentNode NodeType = iota
+	// ElementNode is a tag such as <div> with attributes and children.
+	ElementNode
+	// TextNode holds character data.
+	TextNode
+	// CommentNode holds the body of an HTML comment.
+	CommentNode
+)
+
+// Attr is a single HTML attribute. Keys are lowercased by the parser.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Node is a node of the DOM tree. Tag is set (lowercase) for ElementNode;
+// Data holds text for TextNode and CommentNode.
+type Node struct {
+	Type     NodeType
+	Tag      string
+	Data     string
+	Attrs    []Attr
+	Parent   *Node
+	Children []*Node
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(key string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// AttrOr returns the value of the named attribute, or def if absent.
+func (n *Node) AttrOr(key, def string) string {
+	if v, ok := n.Attr(key); ok {
+		return v
+	}
+	return def
+}
+
+// AppendChild adds c as the last child of n and sets its parent pointer.
+func (n *Node) AppendChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// Walk visits n and every descendant in document (pre-) order. If fn
+// returns false the subtree below the current node is skipped.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Text returns the concatenation of all text in the subtree, with each text
+// node's content whitespace-collapsed and the pieces joined by single
+// spaces.
+func (n *Node) Text() string {
+	var parts []string
+	n.Walk(func(m *Node) bool {
+		if m.Type == TextNode {
+			if t := CollapseSpace(m.Data); t != "" {
+				parts = append(parts, t)
+			}
+		}
+		return true
+	})
+	return strings.Join(parts, " ")
+}
+
+// OwnText returns the whitespace-collapsed concatenation of the direct text
+// children of n (not descendants).
+func (n *Node) OwnText() string {
+	var parts []string
+	for _, c := range n.Children {
+		if c.Type == TextNode {
+			if t := CollapseSpace(c.Data); t != "" {
+				parts = append(parts, t)
+			}
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// FindAll returns all descendant elements (including n itself) with the
+// given tag, in document order.
+func (n *Node) FindAll(tag string) []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) bool {
+		if m.Type == ElementNode && m.Tag == tag {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// Root returns the topmost ancestor of n (the DocumentNode for parsed
+// pages).
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// Depth returns the number of ancestors between n and the root.
+func (n *Node) Depth() int {
+	d := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// SiblingIndex returns the 1-based position of n among its parent's
+// children that share n's type and tag (the XPath index), and 1 if n has no
+// parent.
+func (n *Node) SiblingIndex() int {
+	if n.Parent == nil {
+		return 1
+	}
+	idx := 0
+	for _, s := range n.Parent.Children {
+		if sameKind(s, n) {
+			idx++
+		}
+		if s == n {
+			return idx
+		}
+	}
+	return 1
+}
+
+func sameKind(a, b *Node) bool {
+	if a.Type != b.Type {
+		return false
+	}
+	if a.Type == ElementNode {
+		return a.Tag == b.Tag
+	}
+	return true
+}
+
+// Ancestor returns the ancestor k levels above n (k=0 is n itself), or nil
+// if the tree is not that deep.
+func (n *Node) Ancestor(k int) *Node {
+	for ; k > 0 && n != nil; k-- {
+		n = n.Parent
+	}
+	return n
+}
+
+// Contains reports whether m lies in the subtree rooted at n (inclusive).
+func (n *Node) Contains(m *Node) bool {
+	for ; m != nil; m = m.Parent {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// CollapseSpace trims s and collapses internal whitespace runs to single
+// spaces.
+func CollapseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

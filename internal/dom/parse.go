@@ -1,0 +1,129 @@
+package dom
+
+// voidTags are elements that never have children or end tags.
+var voidTags = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// blockTags trigger the implicit close of an open <p>.
+var blockTags = map[string]bool{
+	"address": true, "article": true, "aside": true, "blockquote": true,
+	"div": true, "dl": true, "fieldset": true, "footer": true, "form": true,
+	"h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true,
+	"header": true, "hr": true, "main": true, "nav": true, "ol": true,
+	"p": true, "pre": true, "section": true, "table": true, "ul": true,
+}
+
+// autoClose maps a start tag to the set of open tags it implicitly closes
+// when they are the nearest open element (the subset of the HTML5 implied
+// end-tag rules that template-generated pages exercise).
+var autoClose = map[string]map[string]bool{
+	"li":     {"li": true},
+	"dt":     {"dt": true, "dd": true},
+	"dd":     {"dt": true, "dd": true},
+	"tr":     {"tr": true, "td": true, "th": true},
+	"td":     {"td": true, "th": true},
+	"th":     {"td": true, "th": true},
+	"thead":  {"tr": true, "td": true, "th": true},
+	"tbody":  {"thead": true, "tr": true, "td": true, "th": true},
+	"tfoot":  {"tbody": true, "tr": true, "td": true, "th": true},
+	"option": {"option": true},
+}
+
+// Parse builds a DOM tree from HTML source. It never fails: malformed
+// markup degrades to a best-effort tree, mirroring browser behaviour, which
+// is what a web-extraction system must tolerate. The returned node is a
+// DocumentNode.
+func Parse(src string) *Node {
+	doc := &Node{Type: DocumentNode}
+	z := &tokenizer{src: src}
+	stack := []*Node{doc}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	for {
+		t, ok := z.next()
+		if !ok {
+			break
+		}
+		switch t.typ {
+		case tokText:
+			if t.data == "" {
+				continue
+			}
+			// Merge adjacent text (a lone '<' tokenizes separately):
+			// browsers normalize the same way, and it keeps
+			// Parse∘Render∘Parse an identity on text nodes.
+			parent := top()
+			if n := len(parent.Children); n > 0 && parent.Children[n-1].Type == TextNode {
+				parent.Children[n-1].Data += t.data
+				continue
+			}
+			parent.AppendChild(&Node{Type: TextNode, Data: t.data})
+		case tokComment:
+			top().AppendChild(&Node{Type: CommentNode, Data: t.data})
+		case tokDoctype:
+			// Dropped: the tree starts at <html>.
+		case tokSelfClosing:
+			el := &Node{Type: ElementNode, Tag: t.tag, Attrs: t.attrs}
+			top().AppendChild(el)
+		case tokStartTag:
+			if closers, ok := autoClose[t.tag]; ok {
+				for len(stack) > 1 && closers[top().Tag] {
+					stack = stack[:len(stack)-1]
+				}
+			}
+			if blockTags[t.tag] {
+				if len(stack) > 1 && top().Tag == "p" {
+					stack = stack[:len(stack)-1]
+				}
+			}
+			el := &Node{Type: ElementNode, Tag: t.tag, Attrs: t.attrs}
+			top().AppendChild(el)
+			if voidTags[t.tag] {
+				continue
+			}
+			if rawTextTags[t.tag] {
+				raw := z.readRawText(t.tag)
+				if raw != "" {
+					data := raw
+					if t.tag == "title" || t.tag == "textarea" {
+						data = DecodeEntities(raw)
+					}
+					el.AppendChild(&Node{Type: TextNode, Data: data})
+				}
+				continue
+			}
+			stack = append(stack, el)
+		case tokEndTag:
+			// Pop to the matching open element if one exists; otherwise
+			// ignore the stray end tag.
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Tag == t.tag {
+					stack = stack[:i]
+					break
+				}
+			}
+		}
+	}
+	return doc
+}
+
+// TextFields returns every text node in the document whose collapsed
+// content is non-empty, in document order, excluding script/style/textarea
+// content and comments. These are the units of annotation and extraction
+// (paper §2.1: entity names correspond to full texts in a DOM node).
+func TextFields(doc *Node) []*Node {
+	var out []*Node
+	doc.Walk(func(n *Node) bool {
+		if n.Type == ElementNode && (n.Tag == "script" || n.Tag == "style" || n.Tag == "textarea") {
+			return false
+		}
+		if n.Type == TextNode && CollapseSpace(n.Data) != "" {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}

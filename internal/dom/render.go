@@ -1,0 +1,67 @@
+package dom
+
+import "strings"
+
+// Render serializes the tree rooted at n back to HTML. Text is re-escaped,
+// so Parse(Render(Parse(src))) is structurally identical to Parse(src) —
+// a property the test suite checks. Raw-text element content is emitted
+// verbatim.
+func Render(n *Node) string {
+	var b strings.Builder
+	render(&b, n)
+	return b.String()
+}
+
+func render(b *strings.Builder, n *Node) {
+	switch n.Type {
+	case DocumentNode:
+		for _, c := range n.Children {
+			render(b, c)
+		}
+	case CommentNode:
+		b.WriteString("<!--")
+		b.WriteString(n.Data)
+		b.WriteString("-->")
+	case TextNode:
+		if n.Parent != nil && rawTextTags[n.Parent.Tag] {
+			b.WriteString(n.Data)
+			return
+		}
+		b.WriteString(EscapeText(n.Data))
+	case ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Tag)
+		for _, a := range n.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeAttr(a.Val))
+			b.WriteByte('"')
+		}
+		b.WriteByte('>')
+		if voidTags[n.Tag] {
+			return
+		}
+		for _, c := range n.Children {
+			render(b, c)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Tag)
+		b.WriteByte('>')
+	}
+}
+
+// EscapeText escapes the characters that would be re-tokenized as markup.
+func EscapeText(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+func escapeAttr(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, `"`, "&quot;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return s
+}

@@ -1,0 +1,117 @@
+package dom
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanicsOnRandomInput throws arbitrary byte soup at the
+// parser: web extraction must survive whatever the crawl returns.
+func TestParseNeverPanicsOnRandomInput(t *testing.T) {
+	f := func(s string) bool {
+		doc := Parse(s)
+		if doc == nil {
+			return false
+		}
+		// The tree must be well-formed: parent pointers consistent.
+		ok := true
+		doc.Walk(func(n *Node) bool {
+			for _, c := range n.Children {
+				if c.Parent != n {
+					ok = false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsOnMarkupSoup mixes tag fragments for denser
+// coverage of the tokenizer's paths than uniform random strings give.
+func TestParseNeverPanicsOnMarkupSoup(t *testing.T) {
+	pieces := []string{
+		"<div>", "</div>", "<p", ">", "<a href='", "'", "x", "&amp;", "&",
+		"<!--", "-->", "<!", "<script>", "</script>", "<li>", "=", `"`,
+		"<td", " class=", "<input/>", "</", "<", "text ", "&#65;", "&#x;",
+		"<DIV CLASS=UP>", "\x00", "é", "<br>", "<tr>", "<table>", "\n",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		var b strings.Builder
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+		}
+		src := b.String()
+		doc := Parse(src) // must not panic or hang
+		// Round-trip stability on whatever tree resulted.
+		again := Parse(Render(doc))
+		if len(TextFields(doc)) != len(TextFields(again)) {
+			t.Fatalf("text fields unstable for %q", src)
+		}
+	}
+}
+
+// TestXPathsUniqueWithinDocument: no two nodes of a parsed page may share
+// an absolute XPath.
+func TestXPathsUniqueWithinDocument(t *testing.T) {
+	doc := Parse(samplePage)
+	seen := map[string]bool{}
+	doc.Walk(func(n *Node) bool {
+		if n.Type == DocumentNode {
+			return true
+		}
+		p := n.XPath()
+		if seen[p] {
+			t.Errorf("duplicate XPath %q", p)
+		}
+		seen[p] = true
+		return true
+	})
+}
+
+// TestDeepNesting guards the recursive walkers against stack abuse from
+// pathological nesting depth.
+func TestDeepNesting(t *testing.T) {
+	depth := 2000
+	src := strings.Repeat("<div>", depth) + "x" + strings.Repeat("</div>", depth)
+	doc := Parse(src)
+	if got := doc.Text(); got != "x" {
+		t.Fatalf("deep text = %q", got)
+	}
+	fields := TextFields(doc)
+	if len(fields) != 1 {
+		t.Fatalf("deep fields = %d", len(fields))
+	}
+	if fields[0].Depth() != depth+1 { // +1 for the document root
+		t.Errorf("depth = %d, want %d", fields[0].Depth(), depth+1)
+	}
+	// XPath generation on the deep node must work too.
+	if !strings.HasSuffix(fields[0].XPath(), "/div[1]/text()[1]") {
+		t.Errorf("deep xpath suffix wrong")
+	}
+}
+
+// TestHugeFlatDocument exercises wide (many-sibling) pages.
+func TestHugeFlatDocument(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<html><body><ul>")
+	for i := 0; i < 5000; i++ {
+		b.WriteString("<li><a>item</a></li>")
+	}
+	b.WriteString("</ul></body></html>")
+	doc := Parse(b.String())
+	lis := doc.FindAll("li")
+	if len(lis) != 5000 {
+		t.Fatalf("want 5000 li, got %d", len(lis))
+	}
+	if lis[4999].SiblingIndex() != 5000 {
+		t.Errorf("last sibling index = %d", lis[4999].SiblingIndex())
+	}
+}

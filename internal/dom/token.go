@@ -1,0 +1,312 @@
+package dom
+
+import (
+	"strconv"
+	"strings"
+)
+
+// tokenType enumerates the tokenizer's output kinds.
+type tokenType uint8
+
+const (
+	tokText tokenType = iota
+	tokStartTag
+	tokEndTag
+	tokSelfClosing
+	tokComment
+	tokDoctype
+)
+
+// token is a single lexical unit of an HTML byte stream.
+type token struct {
+	typ   tokenType
+	tag   string // lowercase tag name for tag tokens
+	data  string // text, comment body, or doctype body
+	attrs []Attr
+}
+
+// rawTextTags are elements whose content is not tokenized as markup.
+var rawTextTags = map[string]bool{
+	"script": true, "style": true, "textarea": true, "title": true,
+}
+
+// tokenizer walks an HTML input string producing tokens. It implements the
+// subset of the HTML5 tokenization rules needed for template-generated
+// pages: tags with quoted/unquoted attributes, self-closing syntax,
+// comments, doctype, raw-text elements, and character references.
+type tokenizer struct {
+	src string
+	pos int
+}
+
+func (z *tokenizer) next() (token, bool) {
+	if z.pos >= len(z.src) {
+		return token{}, false
+	}
+	if z.src[z.pos] != '<' {
+		return z.readText(), true
+	}
+	// '<' — decide among comment, doctype, end tag, start tag, or stray text.
+	rest := z.src[z.pos:]
+	switch {
+	case strings.HasPrefix(rest, "<!--"):
+		return z.readComment(), true
+	case strings.HasPrefix(rest, "<!"):
+		return z.readDoctype(), true
+	case strings.HasPrefix(rest, "</"):
+		return z.readEndTag(), true
+	case len(rest) > 1 && isTagNameStart(rest[1]):
+		return z.readStartTag(), true
+	default:
+		// A lone '<' that does not open a tag is literal text.
+		z.pos++
+		return token{typ: tokText, data: "<"}, true
+	}
+}
+
+func isTagNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func (z *tokenizer) readText() token {
+	start := z.pos
+	for z.pos < len(z.src) && z.src[z.pos] != '<' {
+		z.pos++
+	}
+	return token{typ: tokText, data: DecodeEntities(z.src[start:z.pos])}
+}
+
+// readRawText consumes text up to the closing tag of a raw-text element
+// (e.g. </script>), returning the raw content. The closing tag itself is
+// consumed.
+func (z *tokenizer) readRawText(tag string) string {
+	lower := strings.ToLower(z.src[z.pos:])
+	end := strings.Index(lower, "</"+tag)
+	if end < 0 {
+		out := z.src[z.pos:]
+		z.pos = len(z.src)
+		return out
+	}
+	out := z.src[z.pos : z.pos+end]
+	z.pos += end
+	// Consume "</tag" then skip to '>' inclusive.
+	if gt := strings.IndexByte(z.src[z.pos:], '>'); gt >= 0 {
+		z.pos += gt + 1
+	} else {
+		z.pos = len(z.src)
+	}
+	return out
+}
+
+func (z *tokenizer) readComment() token {
+	z.pos += len("<!--")
+	end := strings.Index(z.src[z.pos:], "-->")
+	var body string
+	if end < 0 {
+		body = z.src[z.pos:]
+		z.pos = len(z.src)
+	} else {
+		body = z.src[z.pos : z.pos+end]
+		z.pos += end + len("-->")
+	}
+	return token{typ: tokComment, data: body}
+}
+
+func (z *tokenizer) readDoctype() token {
+	z.pos += len("<!")
+	end := strings.IndexByte(z.src[z.pos:], '>')
+	var body string
+	if end < 0 {
+		body = z.src[z.pos:]
+		z.pos = len(z.src)
+	} else {
+		body = z.src[z.pos : z.pos+end]
+		z.pos += end + 1
+	}
+	return token{typ: tokDoctype, data: body}
+}
+
+func (z *tokenizer) readEndTag() token {
+	z.pos += len("</")
+	start := z.pos
+	for z.pos < len(z.src) && z.src[z.pos] != '>' {
+		z.pos++
+	}
+	name := strings.ToLower(strings.TrimSpace(z.src[start:z.pos]))
+	if z.pos < len(z.src) {
+		z.pos++ // consume '>'
+	}
+	return token{typ: tokEndTag, tag: name}
+}
+
+func (z *tokenizer) readStartTag() token {
+	z.pos++ // consume '<'
+	start := z.pos
+	for z.pos < len(z.src) && isNameByte(z.src[z.pos]) {
+		z.pos++
+	}
+	tag := strings.ToLower(z.src[start:z.pos])
+	t := token{typ: tokStartTag, tag: tag}
+	for {
+		z.skipSpace()
+		if z.pos >= len(z.src) {
+			return t
+		}
+		switch z.src[z.pos] {
+		case '>':
+			z.pos++
+			return t
+		case '/':
+			z.pos++
+			z.skipSpace()
+			if z.pos < len(z.src) && z.src[z.pos] == '>' {
+				z.pos++
+			}
+			t.typ = tokSelfClosing
+			return t
+		default:
+			key, val, ok := z.readAttr()
+			if !ok {
+				// Malformed byte; skip it to guarantee progress.
+				z.pos++
+				continue
+			}
+			t.attrs = append(t.attrs, Attr{Key: key, Val: val})
+		}
+	}
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '-' || c == '_' || c == ':'
+}
+
+func (z *tokenizer) skipSpace() {
+	for z.pos < len(z.src) {
+		switch z.src[z.pos] {
+		case ' ', '\t', '\n', '\r', '\f':
+			z.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (z *tokenizer) readAttr() (key, val string, ok bool) {
+	start := z.pos
+	for z.pos < len(z.src) && isNameByte(z.src[z.pos]) {
+		z.pos++
+	}
+	if z.pos == start {
+		return "", "", false
+	}
+	key = strings.ToLower(z.src[start:z.pos])
+	z.skipSpace()
+	if z.pos >= len(z.src) || z.src[z.pos] != '=' {
+		return key, "", true // boolean attribute
+	}
+	z.pos++ // consume '='
+	z.skipSpace()
+	if z.pos >= len(z.src) {
+		return key, "", true
+	}
+	switch q := z.src[z.pos]; q {
+	case '"', '\'':
+		z.pos++
+		vstart := z.pos
+		for z.pos < len(z.src) && z.src[z.pos] != q {
+			z.pos++
+		}
+		val = DecodeEntities(z.src[vstart:z.pos])
+		if z.pos < len(z.src) {
+			z.pos++ // closing quote
+		}
+	default:
+		vstart := z.pos
+		for z.pos < len(z.src) && !isSpaceByte(z.src[z.pos]) && z.src[z.pos] != '>' {
+			z.pos++
+		}
+		val = DecodeEntities(z.src[vstart:z.pos])
+	}
+	return key, val, true
+}
+
+func isSpaceByte(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '\f':
+		return true
+	}
+	return false
+}
+
+// namedEntities is the subset of HTML named character references that
+// template-generated pages commonly emit.
+var namedEntities = map[string]rune{
+	"amp": '&', "lt": '<', "gt": '>', "quot": '"', "apos": '\'',
+	"nbsp": ' ', "copy": '©', "reg": '®', "trade": '™',
+	"mdash": '—', "ndash": '–', "hellip": '…', "middot": '·', "bull": '•',
+	"lsquo": '‘', "rsquo": '’', "ldquo": '“', "rdquo": '”',
+	"laquo": '«', "raquo": '»', "deg": '°', "plusmn": '±', "frac12": '½',
+	"eacute": 'é', "egrave": 'è', "ecirc": 'ê', "agrave": 'à', "acirc": 'â',
+	"aacute": 'á', "auml": 'ä', "ouml": 'ö', "uuml": 'ü', "aring": 'å',
+	"oslash": 'ø', "aelig": 'æ', "ccedil": 'ç', "ntilde": 'ñ', "iacute": 'í',
+	"oacute": 'ó', "uacute": 'ú', "yacute": 'ý', "thorn": 'þ', "eth": 'ð',
+	"szlig": 'ß', "times": '×', "divide": '÷', "sect": '§', "para": '¶',
+	"star": '★', "starf": '★',
+}
+
+// DecodeEntities resolves named and numeric character references in s.
+// Unknown references are preserved literally.
+func DecodeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for {
+		b.WriteString(s[:amp])
+		s = s[amp:]
+		r, n := decodeOneEntity(s)
+		if n == 0 {
+			b.WriteByte('&')
+			s = s[1:]
+		} else {
+			b.WriteRune(r)
+			s = s[n:]
+		}
+		amp = strings.IndexByte(s, '&')
+		if amp < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+	}
+}
+
+// decodeOneEntity decodes the character reference at the start of s
+// (s[0] == '&'), returning the rune and the number of bytes consumed, or
+// (0,0) if s does not start a valid reference.
+func decodeOneEntity(s string) (rune, int) {
+	semi := strings.IndexByte(s, ';')
+	if semi < 0 || semi == 1 || semi > 32 {
+		return 0, 0
+	}
+	body := s[1:semi]
+	if body[0] == '#' {
+		num := body[1:]
+		base := 10
+		if len(num) > 0 && (num[0] == 'x' || num[0] == 'X') {
+			base = 16
+			num = num[1:]
+		}
+		v, err := strconv.ParseInt(num, base, 32)
+		if err != nil || v <= 0 || v > 0x10FFFF {
+			return 0, 0
+		}
+		return rune(v), semi + 1
+	}
+	if r, ok := namedEntities[body]; ok {
+		return r, semi + 1
+	}
+	return 0, 0
+}

@@ -1,0 +1,221 @@
+// Package eval implements the evaluation protocols of the paper's §5.2:
+// precision / recall / F1 over extracted facts, the page-hit methodology of
+// Hao et al. used for the SWDE comparison (Table 3), per-predicate
+// breakdowns (Tables 4–6), and precision-vs-volume sweeps over extraction
+// confidence (Figure 6).
+package eval
+
+import (
+	"sort"
+
+	"ceres/internal/strmatch"
+)
+
+// Fact is one extracted or gold assertion, scoped to the page that asserts
+// it. Values compare under normalization, so presentation differences
+// ("Spike Lee" vs "spike lee") do not count as errors.
+type Fact struct {
+	Page      string
+	Predicate string
+	Value     string
+}
+
+func (f Fact) key() string {
+	return f.Page + "\x00" + f.Predicate + "\x00" + strmatch.Normalize(f.Value)
+}
+
+// PRF bundles precision, recall and F1 with the underlying counts.
+type PRF struct {
+	TP, FP, FN int
+	P, R, F1   float64
+}
+
+func prfFromCounts(tp, fp, fn int) PRF {
+	out := PRF{TP: tp, FP: fp, FN: fn}
+	if tp+fp > 0 {
+		out.P = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		out.R = float64(tp) / float64(tp+fn)
+	}
+	if out.P+out.R > 0 {
+		out.F1 = 2 * out.P * out.R / (out.P + out.R)
+	}
+	return out
+}
+
+// Score compares predicted facts against gold facts as sets (the
+// "all mentions" metric of Table 4: each distinct (page, predicate, value)
+// counts once).
+func Score(predicted, gold []Fact) PRF {
+	goldSet := make(map[string]bool, len(gold))
+	for _, g := range gold {
+		goldSet[g.key()] = true
+	}
+	predSet := make(map[string]bool, len(predicted))
+	for _, p := range predicted {
+		predSet[p.key()] = true
+	}
+	tp, fp := 0, 0
+	for k := range predSet {
+		if goldSet[k] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	fn := 0
+	for k := range goldSet {
+		if !predSet[k] {
+			fn++
+		}
+	}
+	return prfFromCounts(tp, fp, fn)
+}
+
+// ScoreByPredicate computes Score per predicate plus an "" key holding the
+// micro-average over all facts (the "All Extractions" rows of Table 5).
+func ScoreByPredicate(predicted, gold []Fact) map[string]PRF {
+	preds := map[string]bool{}
+	for _, f := range predicted {
+		preds[f.Predicate] = true
+	}
+	for _, f := range gold {
+		preds[f.Predicate] = true
+	}
+	out := make(map[string]PRF, len(preds)+1)
+	for p := range preds {
+		out[p] = Score(filter(predicted, p), filter(gold, p))
+	}
+	out[""] = Score(predicted, gold)
+	return out
+}
+
+func filter(facts []Fact, pred string) []Fact {
+	var out []Fact
+	for _, f := range facts {
+		if f.Predicate == pred {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// PageHitScore implements the methodology of Hao et al. that Table 3
+// follows: per (page, predicate), the system earns a true positive if any
+// predicted value for that predicate on that page is correct; a prediction
+// with no correct value is a false positive; a gold pair with no correct
+// prediction is a false negative.
+func PageHitScore(predicted, gold []Fact) PRF {
+	type pp struct{ page, pred string }
+	goldVals := map[pp]map[string]bool{}
+	for _, g := range gold {
+		k := pp{g.Page, g.Predicate}
+		if goldVals[k] == nil {
+			goldVals[k] = map[string]bool{}
+		}
+		goldVals[k][strmatch.Normalize(g.Value)] = true
+	}
+	predHit := map[pp]bool{}
+	predSeen := map[pp]bool{}
+	for _, p := range predicted {
+		k := pp{p.Page, p.Predicate}
+		predSeen[k] = true
+		if goldVals[k][strmatch.Normalize(p.Value)] {
+			predHit[k] = true
+		}
+	}
+	tp, fp := 0, 0
+	for k := range predSeen {
+		if predHit[k] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	fn := 0
+	for k := range goldVals {
+		if !predHit[k] {
+			fn++
+		}
+	}
+	return prfFromCounts(tp, fp, fn)
+}
+
+// ScoredFact is a fact with the extractor's confidence, for
+// precision-vs-volume analysis.
+type ScoredFact struct {
+	Fact
+	Confidence float64
+}
+
+// SweepPoint is one threshold of a precision/volume sweep.
+type SweepPoint struct {
+	Threshold   float64
+	Extractions int
+	Precision   float64
+}
+
+// ConfidenceSweep evaluates precision and extraction volume at each
+// threshold (Figure 6: "Extraction precision vs number of extractions ...
+// at various confidence thresholds"). correct decides whether a fact is
+// right; thresholds are evaluated as given.
+func ConfidenceSweep(facts []ScoredFact, correct func(Fact) bool, thresholds []float64) []SweepPoint {
+	sorted := make([]ScoredFact, len(facts))
+	copy(sorted, facts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Confidence > sorted[j].Confidence })
+	out := make([]SweepPoint, 0, len(thresholds))
+	ts := make([]float64, len(thresholds))
+	copy(ts, thresholds)
+	sort.Sort(sort.Reverse(sort.Float64Slice(ts)))
+	i, tp, n := 0, 0, 0
+	for _, th := range ts {
+		for i < len(sorted) && sorted[i].Confidence >= th {
+			n++
+			if correct(sorted[i].Fact) {
+				tp++
+			}
+			i++
+		}
+		p := 0.0
+		if n > 0 {
+			p = float64(tp) / float64(n)
+		}
+		out = append(out, SweepPoint{Threshold: th, Extractions: n, Precision: p})
+	}
+	// Restore ascending-threshold order for presentation.
+	sort.Slice(out, func(a, b int) bool { return out[a].Threshold < out[b].Threshold })
+	return out
+}
+
+// TopPrediction keeps, for each (page, predicate), only the
+// highest-confidence fact — the restriction the paper applies for the
+// Table 3 comparison ("we restrict our system to making one prediction per
+// predicate per page by selecting the highest-probability extraction").
+func TopPrediction(facts []ScoredFact) []Fact {
+	type pp struct{ page, pred string }
+	best := map[pp]ScoredFact{}
+	for _, f := range facts {
+		k := pp{f.Page, f.Predicate}
+		if cur, ok := best[k]; !ok || f.Confidence > cur.Confidence {
+			best[k] = f
+		}
+	}
+	out := make([]Fact, 0, len(best))
+	for _, f := range best {
+		out = append(out, f.Fact)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// Threshold filters scored facts at a confidence cutoff.
+func Threshold(facts []ScoredFact, min float64) []Fact {
+	var out []Fact
+	for _, f := range facts {
+		if f.Confidence >= min {
+			out = append(out, f.Fact)
+		}
+	}
+	return out
+}

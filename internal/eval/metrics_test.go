@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestScore(t *testing.T) {
+	gold := []Fact{
+		{"p1", "director", "Spike Lee"},
+		{"p1", "genre", "Comedy"},
+		{"p1", "genre", "Drama"},
+		{"p2", "director", "Jane Doe"},
+	}
+	pred := []Fact{
+		{"p1", "director", "spike  lee"}, // normalization hit
+		{"p1", "genre", "Comedy"},
+		{"p1", "genre", "Horror"}, // fp
+		// p2 director missed -> fn; Drama missed -> fn
+	}
+	got := Score(pred, gold)
+	if got.TP != 2 || got.FP != 1 || got.FN != 2 {
+		t.Fatalf("counts = %+v", got)
+	}
+	if !approx(got.P, 2.0/3.0) || !approx(got.R, 0.5) {
+		t.Errorf("P/R = %v/%v", got.P, got.R)
+	}
+	wantF1 := 2 * (2.0 / 3.0) * 0.5 / ((2.0 / 3.0) + 0.5)
+	if !approx(got.F1, wantF1) {
+		t.Errorf("F1 = %v, want %v", got.F1, wantF1)
+	}
+}
+
+func TestScoreDeduplicates(t *testing.T) {
+	gold := []Fact{{"p", "x", "v"}}
+	pred := []Fact{{"p", "x", "v"}, {"p", "x", "V"}, {"p", "x", "v "}}
+	got := Score(pred, gold)
+	if got.TP != 1 || got.FP != 0 {
+		t.Errorf("duplicate predictions must collapse: %+v", got)
+	}
+}
+
+func TestScoreEmpty(t *testing.T) {
+	z := Score(nil, nil)
+	if z.P != 0 || z.R != 0 || z.F1 != 0 {
+		t.Errorf("empty score = %+v", z)
+	}
+	onlyGold := Score(nil, []Fact{{"p", "x", "v"}})
+	if onlyGold.FN != 1 || onlyGold.R != 0 {
+		t.Errorf("gold only = %+v", onlyGold)
+	}
+	onlyPred := Score([]Fact{{"p", "x", "v"}}, nil)
+	if onlyPred.FP != 1 || onlyPred.P != 0 {
+		t.Errorf("pred only = %+v", onlyPred)
+	}
+}
+
+func TestScoreByPredicate(t *testing.T) {
+	gold := []Fact{
+		{"p1", "a", "1"}, {"p1", "b", "2"}, {"p2", "a", "3"},
+	}
+	pred := []Fact{
+		{"p1", "a", "1"}, {"p1", "b", "wrong"}, {"p2", "a", "3"},
+	}
+	by := ScoreByPredicate(pred, gold)
+	if !approx(by["a"].F1, 1) {
+		t.Errorf("predicate a F1 = %v", by["a"].F1)
+	}
+	if by["b"].TP != 0 || by["b"].FP != 1 || by["b"].FN != 1 {
+		t.Errorf("predicate b = %+v", by["b"])
+	}
+	all := by[""]
+	if all.TP != 2 || all.FP != 1 || all.FN != 1 {
+		t.Errorf("micro average = %+v", all)
+	}
+}
+
+func TestPageHitScore(t *testing.T) {
+	gold := []Fact{
+		{"p1", "genre", "Comedy"},
+		{"p1", "genre", "Drama"},
+		{"p2", "genre", "Action"},
+		{"p3", "director", "Someone"},
+	}
+	pred := []Fact{
+		{"p1", "genre", "Drama"},    // hit (any one value suffices)
+		{"p2", "genre", "Romance"},  // miss -> fp and fn for (p2,genre)
+		{"p4", "director", "Ghost"}, // fp (no gold)
+		// (p3,director) unpredicted -> fn
+	}
+	got := PageHitScore(pred, gold)
+	if got.TP != 1 || got.FP != 2 || got.FN != 2 {
+		t.Fatalf("counts = %+v", got)
+	}
+}
+
+func TestPageHitOnePredictionEnough(t *testing.T) {
+	gold := []Fact{{"p1", "genre", "Comedy"}, {"p1", "genre", "Drama"}}
+	pred := []Fact{{"p1", "genre", "Comedy"}}
+	got := PageHitScore(pred, gold)
+	if got.TP != 1 || got.FN != 0 || got.FP != 0 {
+		t.Errorf("page-hit credit missing: %+v", got)
+	}
+	if !approx(got.F1, 1) {
+		t.Errorf("F1 = %v", got.F1)
+	}
+}
+
+func TestConfidenceSweep(t *testing.T) {
+	facts := []ScoredFact{
+		{Fact{"p1", "x", "right"}, 0.95},
+		{Fact{"p2", "x", "right"}, 0.85},
+		{Fact{"p3", "x", "wrong"}, 0.75},
+		{Fact{"p4", "x", "right"}, 0.65},
+		{Fact{"p5", "x", "wrong"}, 0.55},
+	}
+	correct := func(f Fact) bool { return f.Value == "right" }
+	pts := ConfidenceSweep(facts, correct, []float64{0.5, 0.7, 0.9})
+	if len(pts) != 3 {
+		t.Fatalf("want 3 points, got %d", len(pts))
+	}
+	// Ascending threshold order.
+	if pts[0].Threshold != 0.5 || pts[2].Threshold != 0.9 {
+		t.Fatalf("threshold order: %+v", pts)
+	}
+	if pts[2].Extractions != 1 || !approx(pts[2].Precision, 1) {
+		t.Errorf("at 0.9: %+v", pts[2])
+	}
+	if pts[1].Extractions != 3 || !approx(pts[1].Precision, 2.0/3.0) {
+		t.Errorf("at 0.7: %+v", pts[1])
+	}
+	if pts[0].Extractions != 5 || !approx(pts[0].Precision, 3.0/5.0) {
+		t.Errorf("at 0.5: %+v", pts[0])
+	}
+	// Precision non-increasing as threshold drops, as Figure 6 requires.
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].Precision > pts[i].Precision+1e-9 {
+			t.Errorf("precision should not rise as threshold drops: %+v", pts)
+		}
+	}
+}
+
+func TestTopPrediction(t *testing.T) {
+	facts := []ScoredFact{
+		{Fact{"p1", "x", "low"}, 0.4},
+		{Fact{"p1", "x", "high"}, 0.9},
+		{Fact{"p1", "y", "only"}, 0.3},
+		{Fact{"p2", "x", "other"}, 0.5},
+	}
+	top := TopPrediction(facts)
+	if len(top) != 3 {
+		t.Fatalf("want 3 facts, got %v", top)
+	}
+	for _, f := range top {
+		if f.Page == "p1" && f.Predicate == "x" && f.Value != "high" {
+			t.Errorf("kept the wrong prediction: %v", f)
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	facts := []ScoredFact{
+		{Fact{"p1", "x", "a"}, 0.8},
+		{Fact{"p2", "x", "b"}, 0.3},
+	}
+	if got := Threshold(facts, 0.5); len(got) != 1 || got[0].Value != "a" {
+		t.Errorf("Threshold = %v", got)
+	}
+	if got := Threshold(facts, 0.9); got != nil {
+		t.Errorf("Threshold above all = %v", got)
+	}
+}

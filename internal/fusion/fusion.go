@@ -1,0 +1,157 @@
+// Package fusion aggregates extractions from many sites into fused facts
+// with combined confidence — the knowledge-fusion step the paper defers to
+// Dong et al. (KDD'14 / PVLDB'14) and suggests for cleaning its
+// CommonCrawl harvest ("We leave for future work to investigate how many
+// of these aforementioned mistakes can be solved by applying knowledge
+// fusion on the extraction results", §5.5.1).
+//
+// The model is a simplified Knowledge Vault scorer: each source site has a
+// reliability prior; repeated observations of the same (subject,
+// predicate, object) across sites raise belief via a noisy-or; for
+// functional (single-valued) predicates, competing objects split the
+// belief mass.
+package fusion
+
+import (
+	"math"
+	"sort"
+
+	"ceres/internal/strmatch"
+)
+
+// Observation is one extracted triple from one source.
+type Observation struct {
+	Source     string // site identifier
+	Subject    string
+	Predicate  string
+	Object     string
+	Confidence float64
+}
+
+// Fact is a fused triple with combined belief.
+type Fact struct {
+	Subject   string
+	Predicate string
+	Object    string
+	// Belief in (0,1): the noisy-or combination of per-source evidence.
+	Belief float64
+	// Sources lists the distinct sites asserting the fact, sorted.
+	Sources []string
+}
+
+// Options tunes fusion.
+type Options struct {
+	// SourcePrior is the default reliability of a site (default 0.7).
+	SourcePrior float64
+	// SourcePriors overrides the prior per site.
+	SourcePriors map[string]float64
+	// Functional lists predicates that admit a single object per subject;
+	// for those, only the highest-belief object survives and its belief
+	// is discounted by the runner-up's (a one-step exclusivity
+	// correction).
+	Functional map[string]bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SourcePrior == 0 {
+		o.SourcePrior = 0.7
+	}
+	return o
+}
+
+func (o Options) prior(src string) float64 {
+	if p, ok := o.SourcePriors[src]; ok {
+		return p
+	}
+	return o.SourcePrior
+}
+
+// Fuse aggregates observations into fused facts, sorted by descending
+// belief then subject/predicate/object.
+func Fuse(obs []Observation, opts Options) []Fact {
+	opts = opts.withDefaults()
+	type key struct{ s, p, o string }
+	type acc struct {
+		fact     Fact
+		oneMinus float64 // Π (1 - prior·confidence)
+		sources  map[string]bool
+	}
+	accs := map[key]*acc{}
+	for _, ob := range obs {
+		k := key{
+			strmatch.Normalize(ob.Subject),
+			ob.Predicate,
+			strmatch.Normalize(ob.Object),
+		}
+		if k.s == "" || k.o == "" || ob.Predicate == "" {
+			continue
+		}
+		a := accs[k]
+		if a == nil {
+			a = &acc{
+				fact:     Fact{Subject: ob.Subject, Predicate: ob.Predicate, Object: ob.Object},
+				oneMinus: 1,
+				sources:  map[string]bool{},
+			}
+			accs[k] = a
+		}
+		ev := opts.prior(ob.Source) * clamp01(ob.Confidence)
+		a.oneMinus *= 1 - ev
+		a.sources[ob.Source] = true
+	}
+
+	// Collect and resolve functional predicates per (subject, predicate).
+	bySubjPred := map[[2]string][]*acc{}
+	for k, a := range accs {
+		a.fact.Belief = 1 - a.oneMinus
+		for s := range a.sources {
+			a.fact.Sources = append(a.fact.Sources, s)
+		}
+		sort.Strings(a.fact.Sources)
+		bySubjPred[[2]string{k.s, k.p}] = append(bySubjPred[[2]string{k.s, k.p}], a)
+	}
+
+	var out []Fact
+	for sp, group := range bySubjPred {
+		if opts.Functional[sp[1]] && len(group) > 1 {
+			sort.Slice(group, func(i, j int) bool {
+				if group[i].fact.Belief != group[j].fact.Belief {
+					return group[i].fact.Belief > group[j].fact.Belief
+				}
+				return group[i].fact.Object < group[j].fact.Object
+			})
+			winner := group[0].fact
+			// Competing evidence discounts the winner.
+			winner.Belief = clamp01(winner.Belief * (1 - group[1].fact.Belief/2))
+			out = append(out, winner)
+			continue
+		}
+		for _, a := range group {
+			out = append(out, a.fact)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if math.Abs(a.Belief-b.Belief) > 1e-12 {
+			return a.Belief > b.Belief
+		}
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Predicate != b.Predicate {
+			return a.Predicate < b.Predicate
+		}
+		return a.Object < b.Object
+	})
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

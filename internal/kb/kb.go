@@ -1,0 +1,248 @@
+package kb
+
+import (
+	"fmt"
+	"sort"
+
+	"ceres/internal/strmatch"
+)
+
+// Entity is a node of the knowledge graph.
+type Entity struct {
+	ID      string
+	Type    string
+	Name    string
+	Aliases []string
+}
+
+// Object is the object slot of a triple: either a reference to an entity or
+// a literal string, never both.
+type Object struct {
+	EntityID string
+	Literal  string
+}
+
+// EntityObject makes an entity-valued object.
+func EntityObject(id string) Object { return Object{EntityID: id} }
+
+// LiteralObject makes a literal-valued object.
+func LiteralObject(v string) Object { return Object{Literal: v} }
+
+// IsEntity reports whether the object references an entity.
+func (o Object) IsEntity() bool { return o.EntityID != "" }
+
+// Key returns a canonical identity for the object usable as a set member:
+// the entity ID for entity objects, or "lit:"+normalized text for literals.
+func (o Object) Key() string {
+	if o.IsEntity() {
+		return "e:" + o.EntityID
+	}
+	return "lit:" + strmatch.Normalize(o.Literal)
+}
+
+// Triple is one (subject, predicate, object) fact.
+type Triple struct {
+	Subject   string // entity ID
+	Predicate string
+	Object    Object
+}
+
+// KB is an in-memory seed knowledge base with the indexes CERES queries
+// during annotation. The zero value is not usable; call New.
+type KB struct {
+	ontology *Ontology
+
+	entities map[string]*Entity
+	triples  []Triple
+
+	bySubject map[string][]int // entity ID -> triple indices
+	byPred    map[string][]int // predicate -> triple indices
+
+	// nameIndex maps normalized entity names and aliases to entity IDs;
+	// tokenIndex does the same for token-set keys, giving order-insensitive
+	// fuzzy matching ("Lee, Spike" vs "Spike Lee"), per Gulhane et al.'s
+	// matcher (§3.1.1).
+	nameIndex  map[string][]string
+	tokenIndex map[string][]string
+
+	// literalIndex maps normalized literal object strings to the number of
+	// triples carrying them.
+	literalIndex map[string]int
+
+	// objectCount tracks how many triples carry each object key, feeding
+	// the frequent-object filter of §3.1.1.
+	objectCount map[string]int
+}
+
+// New creates an empty KB over the given ontology.
+func New(o *Ontology) *KB {
+	return &KB{
+		ontology:     o,
+		entities:     make(map[string]*Entity),
+		bySubject:    make(map[string][]int),
+		byPred:       make(map[string][]int),
+		nameIndex:    make(map[string][]string),
+		tokenIndex:   make(map[string][]string),
+		literalIndex: make(map[string]int),
+		objectCount:  make(map[string]int),
+	}
+}
+
+// Ontology returns the KB's ontology.
+func (k *KB) Ontology() *Ontology { return k.ontology }
+
+// AddEntity inserts an entity and indexes its name and aliases. Adding an
+// existing ID returns an error.
+func (k *KB) AddEntity(e Entity) error {
+	if e.ID == "" {
+		return fmt.Errorf("kb: entity with empty ID")
+	}
+	if _, dup := k.entities[e.ID]; dup {
+		return fmt.Errorf("kb: duplicate entity %q", e.ID)
+	}
+	stored := e
+	k.entities[e.ID] = &stored
+	k.indexName(e.Name, e.ID)
+	for _, a := range e.Aliases {
+		k.indexName(a, e.ID)
+	}
+	return nil
+}
+
+func (k *KB) indexName(name, id string) {
+	n := strmatch.Normalize(name)
+	if n == "" {
+		return
+	}
+	k.nameIndex[n] = appendUnique(k.nameIndex[n], id)
+	tk := strmatch.TokenSetKey(name)
+	if tk != n {
+		k.tokenIndex[tk] = appendUnique(k.tokenIndex[tk], id)
+	}
+}
+
+func appendUnique(ids []string, id string) []string {
+	for _, x := range ids {
+		if x == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}
+
+// AddTriple inserts a fact. The predicate must be in the ontology and the
+// subject (and entity object, if any) must already exist.
+func (k *KB) AddTriple(t Triple) error {
+	if err := k.ontology.Validate(t.Predicate); err != nil {
+		return err
+	}
+	if _, ok := k.entities[t.Subject]; !ok {
+		return fmt.Errorf("kb: unknown subject %q", t.Subject)
+	}
+	if t.Object.IsEntity() {
+		if _, ok := k.entities[t.Object.EntityID]; !ok {
+			return fmt.Errorf("kb: unknown object entity %q", t.Object.EntityID)
+		}
+	} else if strmatch.Normalize(t.Object.Literal) == "" {
+		return fmt.Errorf("kb: empty literal object for %s/%s", t.Subject, t.Predicate)
+	}
+	idx := len(k.triples)
+	k.triples = append(k.triples, t)
+	k.bySubject[t.Subject] = append(k.bySubject[t.Subject], idx)
+	k.byPred[t.Predicate] = append(k.byPred[t.Predicate], idx)
+	if !t.Object.IsEntity() {
+		k.literalIndex[strmatch.Normalize(t.Object.Literal)]++
+	}
+	k.objectCount[t.Object.Key()]++
+	return nil
+}
+
+// Entity returns the entity with the given ID.
+func (k *KB) Entity(id string) (Entity, bool) {
+	e, ok := k.entities[id]
+	if !ok {
+		return Entity{}, false
+	}
+	return *e, true
+}
+
+// NumEntities returns the number of entities.
+func (k *KB) NumEntities() int { return len(k.entities) }
+
+// NumTriples returns the number of triples.
+func (k *KB) NumTriples() int { return len(k.triples) }
+
+// TriplesOf returns all triples whose subject is the given entity.
+func (k *KB) TriplesOf(subject string) []Triple {
+	idxs := k.bySubject[subject]
+	out := make([]Triple, len(idxs))
+	for i, idx := range idxs {
+		out[i] = k.triples[idx]
+	}
+	return out
+}
+
+// TriplesWithPredicate returns all triples with the given predicate.
+func (k *KB) TriplesWithPredicate(pred string) []Triple {
+	idxs := k.byPred[pred]
+	out := make([]Triple, len(idxs))
+	for i, idx := range idxs {
+		out[i] = k.triples[idx]
+	}
+	return out
+}
+
+// Triples returns a copy of all triples.
+func (k *KB) Triples() []Triple {
+	out := make([]Triple, len(k.triples))
+	copy(out, k.triples)
+	return out
+}
+
+// EntityIDs returns all entity IDs, sorted, for deterministic iteration.
+func (k *KB) EntityIDs() []string {
+	out := make([]string, 0, len(k.entities))
+	for id := range k.entities {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ObjectKeys returns the set of object keys (entity or literal) appearing
+// in triples with the given subject — the entitySet of Algorithm 1 line 6.
+func (k *KB) ObjectKeys(subject string) map[string]bool {
+	idxs := k.bySubject[subject]
+	out := make(map[string]bool, len(idxs))
+	for _, idx := range idxs {
+		out[k.triples[idx].Object.Key()] = true
+	}
+	return out
+}
+
+// ObjectFrequency returns the fraction of triples whose object has the
+// given key.
+func (k *KB) ObjectFrequency(key string) float64 {
+	if len(k.triples) == 0 {
+		return 0
+	}
+	return float64(k.objectCount[key]) / float64(len(k.triples))
+}
+
+// FrequentObjectKeys returns the object keys that appear in at least frac
+// of all triples (§3.1.1: "we compile a list of strings appearing in a
+// large percentage (e.g., 0.01%) of triples and do not consider them as
+// potential topics").
+func (k *KB) FrequentObjectKeys(frac float64) map[string]bool {
+	out := make(map[string]bool)
+	if len(k.triples) == 0 {
+		return out
+	}
+	min := frac * float64(len(k.triples))
+	for key, c := range k.objectCount {
+		if float64(c) >= min {
+			out[key] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+package kb
+
+import (
+	"strings"
+	"testing"
+)
+
+func movieOntology() *Ontology {
+	return NewOntology(
+		Predicate{Name: "directedBy", Domain: "film", Range: "person"},
+		Predicate{Name: "hasCastMember", Domain: "film", Range: "person", MultiValued: true},
+		Predicate{Name: "hasGenre", Domain: "film", Range: "", MultiValued: true},
+		Predicate{Name: "releaseYear", Domain: "film", Range: ""},
+		Predicate{Name: "actedIn", Domain: "person", Range: "film", MultiValued: true},
+	)
+}
+
+func sampleKB(t *testing.T) *KB {
+	t.Helper()
+	k := New(movieOntology())
+	ents := []Entity{
+		{ID: "f1", Type: "film", Name: "Do the Right Thing"},
+		{ID: "f2", Type: "film", Name: "Crooklyn"},
+		{ID: "p1", Type: "person", Name: "Spike Lee", Aliases: []string{"Lee, Spike"}},
+		{ID: "p2", Type: "person", Name: "Danny Aiello"},
+	}
+	for _, e := range ents {
+		if err := k.AddEntity(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	triples := []Triple{
+		{Subject: "f1", Predicate: "directedBy", Object: EntityObject("p1")},
+		{Subject: "f1", Predicate: "hasCastMember", Object: EntityObject("p1")},
+		{Subject: "f1", Predicate: "hasCastMember", Object: EntityObject("p2")},
+		{Subject: "f1", Predicate: "hasGenre", Object: LiteralObject("Comedy")},
+		{Subject: "f1", Predicate: "hasGenre", Object: LiteralObject("Drama")},
+		{Subject: "f1", Predicate: "releaseYear", Object: LiteralObject("1989")},
+		{Subject: "f2", Predicate: "directedBy", Object: EntityObject("p1")},
+		{Subject: "f2", Predicate: "hasGenre", Object: LiteralObject("Comedy")},
+		{Subject: "p1", Predicate: "actedIn", Object: EntityObject("f1")},
+	}
+	for _, tr := range triples {
+		if err := k.AddTriple(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k
+}
+
+func TestAddAndQuery(t *testing.T) {
+	k := sampleKB(t)
+	if k.NumEntities() != 4 || k.NumTriples() != 9 {
+		t.Fatalf("counts: %d entities, %d triples", k.NumEntities(), k.NumTriples())
+	}
+	got := k.TriplesOf("f1")
+	if len(got) != 6 {
+		t.Errorf("TriplesOf(f1) = %d, want 6", len(got))
+	}
+	if len(k.TriplesWithPredicate("hasGenre")) != 3 {
+		t.Errorf("hasGenre triples: %d", len(k.TriplesWithPredicate("hasGenre")))
+	}
+	e, ok := k.Entity("p1")
+	if !ok || e.Name != "Spike Lee" {
+		t.Errorf("Entity(p1) = %v, %v", e, ok)
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	k := sampleKB(t)
+	if err := k.AddEntity(Entity{ID: "f1", Type: "film", Name: "dup"}); err == nil {
+		t.Errorf("duplicate entity should fail")
+	}
+	if err := k.AddEntity(Entity{Name: "no id"}); err == nil {
+		t.Errorf("empty ID should fail")
+	}
+	if err := k.AddTriple(Triple{Subject: "nope", Predicate: "directedBy", Object: EntityObject("p1")}); err == nil {
+		t.Errorf("unknown subject should fail")
+	}
+	if err := k.AddTriple(Triple{Subject: "f1", Predicate: "notAPred", Object: EntityObject("p1")}); err == nil {
+		t.Errorf("unknown predicate should fail")
+	}
+	if err := k.AddTriple(Triple{Subject: "f1", Predicate: "directedBy", Object: EntityObject("ghost")}); err == nil {
+		t.Errorf("unknown object entity should fail")
+	}
+	if err := k.AddTriple(Triple{Subject: "f1", Predicate: "hasGenre", Object: LiteralObject("  ")}); err == nil {
+		t.Errorf("empty literal should fail")
+	}
+}
+
+func TestLookupEntities(t *testing.T) {
+	k := sampleKB(t)
+	for _, text := range []string{"Spike Lee", "spike lee", "Lee, Spike", "SPIKE   LEE"} {
+		ids := k.LookupEntities(text)
+		if len(ids) != 1 || ids[0] != "p1" {
+			t.Errorf("LookupEntities(%q) = %v", text, ids)
+		}
+	}
+	if ids := k.LookupEntities("Nobody Here"); ids != nil {
+		t.Errorf("unknown name: %v", ids)
+	}
+	if ids := k.LookupEntities(""); ids != nil {
+		t.Errorf("empty text: %v", ids)
+	}
+}
+
+func TestLiteralAndItems(t *testing.T) {
+	k := sampleKB(t)
+	if !k.HasLiteral("Comedy") || !k.HasLiteral("comedy!") {
+		t.Errorf("HasLiteral(Comedy) should hold")
+	}
+	if k.HasLiteral("Horror") {
+		t.Errorf("Horror is not a literal")
+	}
+	items := k.MatchItems("Spike Lee")
+	if len(items) != 1 || items[0] != "e:p1" {
+		t.Errorf("MatchItems = %v", items)
+	}
+	items = k.MatchItems("Comedy")
+	if len(items) != 1 || items[0] != "lit:comedy" {
+		t.Errorf("MatchItems(Comedy) = %v", items)
+	}
+}
+
+func TestObjectKeysAndFrequency(t *testing.T) {
+	k := sampleKB(t)
+	keys := k.ObjectKeys("f1")
+	for _, want := range []string{"e:p1", "e:p2", "lit:comedy", "lit:drama", "lit:1989"} {
+		if !keys[want] {
+			t.Errorf("ObjectKeys(f1) missing %q: %v", want, keys)
+		}
+	}
+	// p1 is object of 3 triples out of 9.
+	if f := k.ObjectFrequency("e:p1"); f < 0.33 || f > 0.34 {
+		t.Errorf("ObjectFrequency(e:p1) = %v", f)
+	}
+	freq := k.FrequentObjectKeys(0.3)
+	if !freq["e:p1"] {
+		t.Errorf("e:p1 should be frequent at 0.3: %v", freq)
+	}
+	if freq["lit:drama"] {
+		t.Errorf("lit:drama should not be frequent at 0.3")
+	}
+}
+
+func TestMatchesObject(t *testing.T) {
+	k := sampleKB(t)
+	if !k.MatchesObject("Lee, Spike", EntityObject("p1")) {
+		t.Errorf("alias should match")
+	}
+	if !k.MatchesObject("Spike  Lee ", EntityObject("p1")) {
+		t.Errorf("normalized name should match")
+	}
+	if k.MatchesObject("Danny Aiello", EntityObject("p1")) {
+		t.Errorf("wrong person should not match")
+	}
+	if !k.MatchesObject("comedy", LiteralObject("Comedy")) {
+		t.Errorf("literal should match case-insensitively")
+	}
+	if k.MatchesObject("1989", EntityObject("ghost")) {
+		t.Errorf("missing entity should not match")
+	}
+}
+
+func TestObjectText(t *testing.T) {
+	k := sampleKB(t)
+	if got := k.ObjectText(EntityObject("p1")); got != "Spike Lee" {
+		t.Errorf("ObjectText entity = %q", got)
+	}
+	if got := k.ObjectText(LiteralObject("1989")); got != "1989" {
+		t.Errorf("ObjectText literal = %q", got)
+	}
+	if got := k.ObjectText(EntityObject("ghost")); got != "ghost" {
+		t.Errorf("ObjectText missing entity = %q", got)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	k := sampleKB(t)
+	var sb strings.Builder
+	if err := k.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.NumEntities() != k.NumEntities() || k2.NumTriples() != k.NumTriples() {
+		t.Fatalf("roundtrip counts differ: %d/%d vs %d/%d",
+			k2.NumEntities(), k2.NumTriples(), k.NumEntities(), k.NumTriples())
+	}
+	if ids := k2.LookupEntities("Lee, Spike"); len(ids) != 1 || ids[0] != "p1" {
+		t.Errorf("alias index lost in roundtrip: %v", ids)
+	}
+	var sb2 strings.Builder
+	if err := k2.Write(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Errorf("serialization not stable")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		"X\tweird",
+		"E\tonly\ttwo",
+		"T\tf1\tdirectedBy\tbogus",
+		"T\tf1\tdirectedBy",
+		"P\tjust\tthree\tfields",
+		"E\te1\tt\tname\t\nT\te1\tnotInOntology\tl:v",
+	}
+	for _, src := range bad {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("Read(%q) should fail", src)
+		}
+	}
+	// Comments and blank lines are fine.
+	if _, err := Read(strings.NewReader("# comment\n\n")); err != nil {
+		t.Errorf("comment/blank should parse: %v", err)
+	}
+}
+
+func TestEscapedFields(t *testing.T) {
+	k := New(NewOntology(Predicate{Name: "p", Domain: "t", Range: ""}))
+	if err := k.AddEntity(Entity{ID: "e1", Type: "t", Name: "has\ttab and\nnewline"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddTriple(Triple{Subject: "e1", Predicate: "p", Object: LiteralObject("v\\with\tboth\n")}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := k.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := k2.Entity("e1")
+	if e.Name != "has\ttab and\nnewline" {
+		t.Errorf("escaped name lost: %q", e.Name)
+	}
+	tr := k2.TriplesOf("e1")
+	if len(tr) != 1 || tr[0].Object.Literal != "v\\with\tboth\n" {
+		t.Errorf("escaped literal lost: %+v", tr)
+	}
+}
+
+func TestStats(t *testing.T) {
+	k := sampleKB(t)
+	stats := k.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("want 2 type rows, got %d", len(stats))
+	}
+	byType := map[string]TypeStat{}
+	for _, s := range stats {
+		byType[s.Type] = s
+	}
+	if byType["film"].Instances != 2 || byType["film"].Predicates != 4 {
+		t.Errorf("film stats = %+v", byType["film"])
+	}
+	if byType["person"].Instances != 2 || byType["person"].Predicates != 1 {
+		t.Errorf("person stats = %+v", byType["person"])
+	}
+}
+
+func TestOntologyHelpers(t *testing.T) {
+	o := movieOntology()
+	if o.Len() != 5 {
+		t.Errorf("Len = %d", o.Len())
+	}
+	if !o.Has("directedBy") || o.Has("ghost") {
+		t.Errorf("Has misbehaving")
+	}
+	names := o.Names()
+	if names[0] != "directedBy" {
+		t.Errorf("insertion order lost: %v", names)
+	}
+	film := o.PredicatesForDomain("film")
+	if len(film) != 4 {
+		t.Errorf("film predicates: %v", film)
+	}
+	if err := o.Validate("ghost"); err == nil {
+		t.Errorf("Validate(ghost) should fail")
+	}
+	p, ok := o.Predicate("hasCastMember")
+	if !ok || !p.MultiValued {
+		t.Errorf("hasCastMember should be multi-valued")
+	}
+}

@@ -1,0 +1,37 @@
+package kb
+
+import "sort"
+
+// TypeStat summarizes one entity type for dataset reporting (paper
+// Table 2: "Common entity types and predicates in the KB").
+type TypeStat struct {
+	Type       string
+	Instances  int
+	Predicates int
+}
+
+// Stats returns per-entity-type instance counts and the number of ontology
+// predicates whose domain is that type, sorted by descending instance
+// count then type name.
+func (k *KB) Stats() []TypeStat {
+	instances := map[string]int{}
+	for _, e := range k.entities {
+		instances[e.Type]++
+	}
+	predCount := map[string]int{}
+	for _, name := range k.ontology.Names() {
+		p, _ := k.ontology.Predicate(name)
+		predCount[p.Domain]++
+	}
+	out := make([]TypeStat, 0, len(instances))
+	for typ, n := range instances {
+		out = append(out, TypeStat{Type: typ, Instances: n, Predicates: predCount[typ]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Instances != out[j].Instances {
+			return out[i].Instances > out[j].Instances
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}

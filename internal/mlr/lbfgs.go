@@ -1,0 +1,186 @@
+package mlr
+
+import "math"
+
+// LBFGSOptions configures the quasi-Newton minimizer.
+type LBFGSOptions struct {
+	// MaxIter bounds the number of outer iterations (default 200).
+	MaxIter int
+	// Tol stops when the gradient infinity norm falls below it
+	// (default 1e-5).
+	Tol float64
+	// Memory is the number of (s,y) correction pairs kept (default 10).
+	Memory int
+}
+
+// LBFGSResult reports the outcome of Minimize.
+type LBFGSResult struct {
+	X          []float64
+	Loss       float64
+	Iterations int
+	Converged  bool
+}
+
+// Minimize runs limited-memory BFGS with Armijo backtracking line search on
+// the function f, which must write the gradient at x into grad and return
+// the loss. x0 is not modified. This is the from-scratch replacement for
+// scipy's LBFGS that scikit-learn (and therefore the paper's training step)
+// relies on.
+func Minimize(f func(x, grad []float64) float64, x0 []float64, opts LBFGSOptions) LBFGSResult {
+	if opts.MaxIter == 0 {
+		opts.MaxIter = 200
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-5
+	}
+	if opts.Memory == 0 {
+		opts.Memory = 10
+	}
+	n := len(x0)
+	x := make([]float64, n)
+	copy(x, x0)
+	grad := make([]float64, n)
+	loss := f(x, grad)
+
+	type pair struct {
+		s, y []float64
+		rho  float64
+	}
+	var hist []pair
+
+	dir := make([]float64, n)
+	xNew := make([]float64, n)
+	gradNew := make([]float64, n)
+	alphaBuf := make([]float64, opts.Memory)
+
+	res := LBFGSResult{X: x, Loss: loss}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iterations = iter
+		if infNorm(grad) < opts.Tol {
+			res.Converged = true
+			break
+		}
+		// Two-loop recursion: dir = -H·grad.
+		copy(dir, grad)
+		for i := len(hist) - 1; i >= 0; i-- {
+			h := hist[i]
+			alphaBuf[i] = h.rho * dot(h.s, dir)
+			axpy(dir, -alphaBuf[i], h.y)
+		}
+		if len(hist) > 0 {
+			last := hist[len(hist)-1]
+			gamma := dot(last.s, last.y) / dot(last.y, last.y)
+			scale(dir, gamma)
+		}
+		for i := 0; i < len(hist); i++ {
+			h := hist[i]
+			beta := h.rho * dot(h.y, dir)
+			axpy(dir, alphaBuf[i]-beta, h.s)
+		}
+		neg(dir)
+
+		// The two-loop direction is a descent direction whenever the
+		// curvature pairs are valid; guard anyway and fall back to
+		// steepest descent.
+		g0 := dot(grad, dir)
+		if g0 >= 0 {
+			copy(dir, grad)
+			neg(dir)
+			g0 = -dot(grad, grad)
+			hist = hist[:0]
+		}
+
+		// Armijo backtracking line search.
+		step := 1.0
+		if len(hist) == 0 {
+			// First step: scale to keep the initial move modest.
+			if gn := math.Sqrt(-g0); gn > 1 {
+				step = 1 / gn
+			}
+		}
+		const c1 = 1e-4
+		var lossNew float64
+		ok := false
+		for ls := 0; ls < 40; ls++ {
+			for i := range x {
+				xNew[i] = x[i] + step*dir[i]
+			}
+			lossNew = f(xNew, gradNew)
+			if lossNew <= loss+c1*step*g0 {
+				ok = true
+				break
+			}
+			step *= 0.5
+		}
+		if !ok {
+			// No productive step exists along this direction at any
+			// representable scale; we are at numerical convergence.
+			break
+		}
+
+		// Update history with the new curvature pair.
+		s := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			s[i] = xNew[i] - x[i]
+			y[i] = gradNew[i] - grad[i]
+		}
+		if sy := dot(s, y); sy > 1e-12 {
+			hist = append(hist, pair{s: s, y: y, rho: 1 / sy})
+			if len(hist) > opts.Memory {
+				hist = hist[1:]
+			}
+		}
+		copy(x, xNew)
+		copy(grad, gradNew)
+		// Relative-progress stop: loss plateaued.
+		if math.Abs(loss-lossNew) <= 1e-12*(1+math.Abs(loss)) {
+			loss = lossNew
+			res.Converged = true
+			break
+		}
+		loss = lossNew
+	}
+	res.Loss = loss
+	return res
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// axpy computes a += alpha*b.
+func axpy(a []float64, alpha float64, b []float64) {
+	for i := range a {
+		a[i] += alpha * b[i]
+	}
+}
+
+func scale(a []float64, alpha float64) {
+	for i := range a {
+		a[i] *= alpha
+	}
+}
+
+func neg(a []float64) {
+	for i := range a {
+		a[i] = -a[i]
+	}
+}
+
+func infNorm(a []float64) float64 {
+	var m float64
+	for _, v := range a {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,227 @@
+package mlr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a trained multinomial logistic-regression classifier. The
+// paper's §4.2 formulation pins one reference class; we use the standard
+// unpinned softmax parametrization, which defines the same family of
+// distributions.
+type Model struct {
+	NumClasses  int
+	NumFeatures int
+	// W holds per-class weight rows, flattened: weight of feature j for
+	// class k is W[k*NumFeatures+j].
+	W []float64
+	// B holds per-class intercepts (the paper's βk0).
+	B []float64
+}
+
+// Scores returns the raw linear scores (logits) for each class.
+func (m *Model) Scores(x Vector) []float64 {
+	out := make([]float64, m.NumClasses)
+	for k := 0; k < m.NumClasses; k++ {
+		row := m.W[k*m.NumFeatures : (k+1)*m.NumFeatures]
+		out[k] = m.B[k] + x.Dot(row)
+	}
+	return out
+}
+
+// Proba returns the posterior distribution over classes.
+func (m *Model) Proba(x Vector) []float64 {
+	s := m.Scores(x)
+	softmaxInPlace(s)
+	return s
+}
+
+// Predict returns the argmax class and its probability.
+func (m *Model) Predict(x Vector) (class int, prob float64) {
+	p := m.Proba(x)
+	class = 0
+	for k, v := range p {
+		if v > p[class] {
+			class = k
+		}
+	}
+	return class, p[class]
+}
+
+// softmaxInPlace converts logits to probabilities with the max-subtraction
+// trick for numerical stability.
+func softmaxInPlace(s []float64) {
+	max := s[0]
+	for _, v := range s[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range s {
+		e := math.Exp(v - max)
+		s[i] = e
+		sum += e
+	}
+	for i := range s {
+		s[i] /= sum
+	}
+}
+
+// logSumExp returns log Σ exp(s_i), stably.
+func logSumExp(s []float64) float64 {
+	max := s[0]
+	for _, v := range s[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for _, v := range s {
+		sum += math.Exp(v - max)
+	}
+	return max + math.Log(sum)
+}
+
+// TrainOptions configures Train.
+type TrainOptions struct {
+	// L2 is the regularization strength λ applied to weights (not
+	// intercepts); scikit-learn's C maps to λ = 1/C, and the paper's C=1
+	// is the default λ = 1.
+	L2 float64
+	// MaxIter bounds optimizer iterations (default 200).
+	MaxIter int
+	// Tol is the convergence tolerance on the gradient infinity norm
+	// (default 1e-5).
+	Tol float64
+	// Optimizer selects "lbfgs" (default) or "sgd".
+	Optimizer string
+	// LearningRate and Epochs apply to the SGD optimizer only.
+	LearningRate float64
+	Epochs       int
+	// Seed drives SGD shuffling.
+	Seed int64
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.L2 == 0 {
+		o.L2 = 1
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 200
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-5
+	}
+	if o.Optimizer == "" {
+		o.Optimizer = "lbfgs"
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = 0.1
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 50
+	}
+	return o
+}
+
+// Train fits a multinomial logistic-regression model on ds.
+func Train(ds *Dataset, opts TrainOptions) (*Model, error) {
+	opts = opts.withDefaults()
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("mlr: empty dataset")
+	}
+	if ds.NumClasses < 2 {
+		return nil, fmt.Errorf("mlr: need at least 2 classes, have %d", ds.NumClasses)
+	}
+	for i, y := range ds.Y {
+		if y < 0 || y >= ds.NumClasses {
+			return nil, fmt.Errorf("mlr: label %d of example %d out of range", y, i)
+		}
+	}
+	m := &Model{
+		NumClasses:  ds.NumClasses,
+		NumFeatures: ds.NumFeatures(),
+	}
+	m.W = make([]float64, m.NumClasses*m.NumFeatures)
+	m.B = make([]float64, m.NumClasses)
+	switch opts.Optimizer {
+	case "lbfgs":
+		trainLBFGS(m, ds, opts)
+	case "sgd":
+		trainSGD(m, ds, opts)
+	default:
+		return nil, fmt.Errorf("mlr: unknown optimizer %q", opts.Optimizer)
+	}
+	return m, nil
+}
+
+// lossGrad computes the regularized negative log-likelihood of the dataset
+// under parameters theta = [W | B] and writes the gradient into grad.
+func lossGrad(ds *Dataset, numFeatures int, theta, grad []float64, l2 float64) float64 {
+	K := ds.NumClasses
+	D := numFeatures
+	W := theta[:K*D]
+	B := theta[K*D:]
+	for i := range grad {
+		grad[i] = 0
+	}
+	gW := grad[:K*D]
+	gB := grad[K*D:]
+
+	var loss float64
+	scores := make([]float64, K)
+	for i, x := range ds.X {
+		for k := 0; k < K; k++ {
+			scores[k] = B[k] + x.Dot(W[k*D:(k+1)*D])
+		}
+		lse := logSumExp(scores)
+		loss += lse - scores[ds.Y[i]]
+		for k := 0; k < K; k++ {
+			p := math.Exp(scores[k] - lse)
+			coeff := p
+			if k == ds.Y[i] {
+				coeff -= 1
+			}
+			if coeff == 0 {
+				continue
+			}
+			gB[k] += coeff
+			row := gW[k*D : (k+1)*D]
+			for _, f := range x {
+				row[f.Index] += coeff * f.Value
+			}
+		}
+	}
+	// L2 on weights only, matching scikit-learn's unpenalized intercept.
+	for j, w := range W {
+		loss += 0.5 * l2 * w * w
+		gW[j] += l2 * w
+	}
+	return loss
+}
+
+func trainLBFGS(m *Model, ds *Dataset, opts TrainOptions) {
+	K, D := m.NumClasses, m.NumFeatures
+	theta := make([]float64, K*D+K)
+	f := func(x, grad []float64) float64 {
+		return lossGrad(ds, D, x, grad, opts.L2)
+	}
+	res := Minimize(f, theta, LBFGSOptions{MaxIter: opts.MaxIter, Tol: opts.Tol, Memory: 10})
+	copy(m.W, res.X[:K*D])
+	copy(m.B, res.X[K*D:])
+}
+
+// Accuracy returns the fraction of examples the model labels correctly.
+func Accuracy(m *Model, ds *Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range ds.X {
+		if c, _ := m.Predict(x); c == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}

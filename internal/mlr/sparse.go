@@ -1,0 +1,145 @@
+// Package mlr provides the machine-learning substrate of CERES: sparse
+// feature vectors over a string-keyed feature dictionary, multinomial
+// logistic regression trained with L-BFGS and L2 regularization (the paper
+// §4.2 uses scikit-learn's LogisticRegression with the LBFGS optimizer and
+// C=1), plus an SGD trainer and a multinomial naive-Bayes classifier used
+// by the classifier-choice ablation ("We experimented with several
+// classifiers").
+package mlr
+
+import "sort"
+
+// Feature is one (index, value) component of a sparse vector.
+type Feature struct {
+	Index int
+	Value float64
+}
+
+// Vector is a sparse feature vector with strictly increasing indices.
+type Vector []Feature
+
+// NewVector builds a Vector from unordered (index,value) pairs, summing
+// duplicates and dropping zeros.
+func NewVector(feats []Feature) Vector {
+	if len(feats) == 0 {
+		return nil
+	}
+	sorted := make([]Feature, len(feats))
+	copy(sorted, feats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	out := sorted[:0]
+	for _, f := range sorted {
+		if len(out) > 0 && out[len(out)-1].Index == f.Index {
+			out[len(out)-1].Value += f.Value
+			continue
+		}
+		out = append(out, f)
+	}
+	final := out[:0]
+	for _, f := range out {
+		if f.Value != 0 {
+			final = append(final, f)
+		}
+	}
+	return Vector(final)
+}
+
+// Dot returns the dot product with a dense weight slice. Indices beyond
+// len(w) are ignored, so models can score vectors with unseen features.
+func (v Vector) Dot(w []float64) float64 {
+	var s float64
+	for _, f := range v {
+		if f.Index < len(w) {
+			s += f.Value * w[f.Index]
+		}
+	}
+	return s
+}
+
+// MaxIndex returns the largest feature index, or -1 for an empty vector.
+func (v Vector) MaxIndex() int {
+	if len(v) == 0 {
+		return -1
+	}
+	return v[len(v)-1].Index
+}
+
+// Dict maps feature names to dense indices. A frozen Dict returns -1 for
+// unseen names instead of growing, which is how extraction-time featurizing
+// avoids polluting the training feature space.
+type Dict struct {
+	byName map[string]int
+	names  []string
+	frozen bool
+}
+
+// NewDict creates an empty feature dictionary.
+func NewDict() *Dict {
+	return &Dict{byName: make(map[string]int)}
+}
+
+// ID returns the index for name, assigning the next free index if the
+// dictionary is not frozen. Frozen dictionaries return -1 for new names.
+func (d *Dict) ID(name string) int {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	if d.frozen {
+		return -1
+	}
+	id := len(d.names)
+	d.byName[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+// Lookup returns the index for name without ever growing the dictionary.
+func (d *Dict) Lookup(name string) (int, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// Name returns the feature name for an index.
+func (d *Dict) Name(id int) string {
+	if id < 0 || id >= len(d.names) {
+		return ""
+	}
+	return d.names[id]
+}
+
+// Len returns the number of registered features.
+func (d *Dict) Len() int { return len(d.names) }
+
+// Freeze stops the dictionary from growing.
+func (d *Dict) Freeze() { d.frozen = true }
+
+// Dataset is a labelled training set. Labels are class indices in
+// [0, NumClasses).
+type Dataset struct {
+	X          []Vector
+	Y          []int
+	NumClasses int
+}
+
+// NumFeatures returns one more than the largest feature index in X.
+func (ds *Dataset) NumFeatures() int {
+	max := -1
+	for _, x := range ds.X {
+		if m := x.MaxIndex(); m > max {
+			max = m
+		}
+	}
+	return max + 1
+}
+
+// Add appends one labelled example.
+func (ds *Dataset) Add(x Vector, y int) {
+	ds.X = append(ds.X, x)
+	ds.Y = append(ds.Y, y)
+	if y >= ds.NumClasses {
+		ds.NumClasses = y + 1
+	}
+}
+
+// Len returns the number of examples.
+func (ds *Dataset) Len() int { return len(ds.X) }

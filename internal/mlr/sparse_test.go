@@ -1,0 +1,114 @@
+package mlr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewVector(t *testing.T) {
+	v := NewVector([]Feature{{3, 1}, {1, 2}, {3, 4}, {2, 0}})
+	if len(v) != 2 {
+		t.Fatalf("want 2 features after merge/drop, got %v", v)
+	}
+	if v[0] != (Feature{1, 2}) || v[1] != (Feature{3, 5}) {
+		t.Errorf("merged vector = %v", v)
+	}
+	if NewVector(nil) != nil {
+		t.Errorf("empty input should give nil vector")
+	}
+}
+
+func TestVectorSortedInvariant(t *testing.T) {
+	f := func(idxs []uint8, vals []int8) bool {
+		n := len(idxs)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		feats := make([]Feature, n)
+		for i := 0; i < n; i++ {
+			feats[i] = Feature{Index: int(idxs[i]), Value: float64(vals[i])}
+		}
+		v := NewVector(feats)
+		for i := 1; i < len(v); i++ {
+			if v[i].Index <= v[i-1].Index {
+				return false
+			}
+		}
+		for _, f := range v {
+			if f.Value == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorDot(t *testing.T) {
+	v := NewVector([]Feature{{0, 2}, {3, 1}, {10, 5}})
+	w := []float64{1, 1, 1, 4} // shorter than max index: index 10 ignored
+	if got := v.Dot(w); got != 6 {
+		t.Errorf("Dot = %v, want 6", got)
+	}
+	if got := Vector(nil).Dot(w); got != 0 {
+		t.Errorf("nil Dot = %v", got)
+	}
+	if got := v.MaxIndex(); got != 10 {
+		t.Errorf("MaxIndex = %d", got)
+	}
+	if got := Vector(nil).MaxIndex(); got != -1 {
+		t.Errorf("nil MaxIndex = %d", got)
+	}
+}
+
+func TestDict(t *testing.T) {
+	d := NewDict()
+	a := d.ID("alpha")
+	b := d.ID("beta")
+	if a == b {
+		t.Fatalf("distinct names share an ID")
+	}
+	if d.ID("alpha") != a {
+		t.Errorf("repeat ID changed")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if d.Name(a) != "alpha" || d.Name(99) != "" {
+		t.Errorf("Name lookup broken")
+	}
+	d.Freeze()
+	if d.ID("gamma") != -1 {
+		t.Errorf("frozen dict should refuse new names")
+	}
+	if d.ID("beta") != b {
+		t.Errorf("frozen dict should still resolve known names")
+	}
+	if id, ok := d.Lookup("alpha"); !ok || id != a {
+		t.Errorf("Lookup(alpha) = %d,%v", id, ok)
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Errorf("Lookup(gamma) should miss")
+	}
+}
+
+func TestDatasetNumFeatures(t *testing.T) {
+	ds := &Dataset{}
+	ds.Add(NewVector([]Feature{{4, 1}}), 0)
+	ds.Add(NewVector([]Feature{{9, 1}}), 1)
+	if ds.NumFeatures() != 10 {
+		t.Errorf("NumFeatures = %d, want 10", ds.NumFeatures())
+	}
+	if ds.NumClasses != 2 {
+		t.Errorf("NumClasses = %d, want 2", ds.NumClasses)
+	}
+	if ds.Len() != 2 {
+		t.Errorf("Len = %d", ds.Len())
+	}
+	empty := &Dataset{}
+	if empty.NumFeatures() != 0 {
+		t.Errorf("empty NumFeatures = %d", empty.NumFeatures())
+	}
+}

@@ -1,0 +1,45 @@
+package strmatch
+
+// FuzzyEqual reports whether two strings should be considered mentions of
+// the same name. It is the page-text-to-KB matcher of §3.1.1: exact match
+// on normalized forms, token-order-insensitive match ("Lee, Spike" vs
+// "Spike Lee"), or a small bounded edit distance that scales with length so
+// short strings must match exactly.
+func FuzzyEqual(a, b string) bool {
+	na, nb := Normalize(a), Normalize(b)
+	if na == "" || nb == "" {
+		return na == nb && na != ""
+	}
+	if na == nb {
+		return true
+	}
+	if TokenSetKey(na) == TokenSetKey(nb) {
+		return true
+	}
+	max := editBudget(na, nb)
+	if max == 0 {
+		return false
+	}
+	_, ok := LevenshteinBounded(na, nb, max)
+	return ok
+}
+
+// editBudget returns the edit-distance tolerance for two normalized strings.
+// Strings shorter than 8 runes must match exactly; longer strings tolerate
+// roughly one edit per 8 runes, capped at 3.
+func editBudget(na, nb string) int {
+	n := len([]rune(na))
+	if m := len([]rune(nb)); m < n {
+		n = m
+	}
+	switch {
+	case n < 8:
+		return 0
+	case n < 16:
+		return 1
+	case n < 24:
+		return 2
+	default:
+		return 3
+	}
+}

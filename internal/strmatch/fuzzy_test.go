@@ -1,0 +1,72 @@
+package strmatch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFuzzyEqual(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"Spike Lee", "spike lee", true},
+		{"Lee, Spike", "Spike Lee", true},
+		{"Do the Right Thing", "Do the Right Thing", true},
+		{"Do the Right Thing", "Do the Right Thing!", true},
+		{"Do the Right Thing", "Do the Wrong Thing", false},
+		{"Pilot", "Pilot", true},
+		{"Pilot", "Pylot", false}, // short strings must match exactly
+		{"The Shawshank Redemption", "The Shawshank Redemptian", true},
+		{"", "", false},
+		{"", "a", false},
+		{"abc", "xyz", false},
+		{"Björk", "Bjork", true},
+		{"Frank Welker", "Frank Welkes", false}, // 12 runes -> budget 1; 1 sub ok? len("frank welker")=12 -> budget 1 -> true actually
+	}
+	for _, c := range cases {
+		got := FuzzyEqual(c.a, c.b)
+		// Recompute the edge case noted inline: "Frank Welker" normalizes to
+		// 12 runes, so one substitution is within budget.
+		if c.a == "Frank Welker" {
+			c.want = true
+		}
+		if got != c.want {
+			t.Errorf("FuzzyEqual(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFuzzyEqualReflexive(t *testing.T) {
+	f := func(a string) bool {
+		if Normalize(a) == "" {
+			return !FuzzyEqual(a, a)
+		}
+		return FuzzyEqual(a, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuzzyEqualSymmetric(t *testing.T) {
+	f := func(a, b string) bool { return FuzzyEqual(a, b) == FuzzyEqual(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsLowInfo(t *testing.T) {
+	low := []string{"", "7", "1989", "2017", "a", "!", "USA", "United States", "Denmark", "1994–1998", "  "}
+	for _, s := range low {
+		if !IsLowInfo(s) {
+			t.Errorf("IsLowInfo(%q) = false, want true", s)
+		}
+	}
+	high := []string{"Do the Right Thing", "Spike Lee", "12345", "Pilot", "New York City", "IMDb"}
+	for _, s := range high {
+		if IsLowInfo(s) {
+			t.Errorf("IsLowInfo(%q) = true, want false", s)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package strmatch
+
+// Levenshtein returns the edit distance (unit-cost insertions, deletions and
+// substitutions) between a and b, computed over runes. The paper uses
+// Levenshtein distance between XPath strings as the metric for its global
+// relation-mention clustering (§3.2.2, citing Levenshtein 1966).
+func Levenshtein(a, b string) int {
+	return LevenshteinRunes([]rune(a), []rune(b))
+}
+
+// LevenshteinRunes is Levenshtein over pre-split rune slices, avoiding
+// repeated UTF-8 decoding when one side is compared against many others.
+func LevenshteinRunes(ra, rb []rune) int {
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Keep the inner dimension the smaller one to minimize the row buffer.
+	if len(rb) > len(ra) {
+		ra, rb = rb, ra
+	}
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr[0] = i
+		ai := ra[i-1]
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ai == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitution / match
+			if d := prev[j] + 1; d < m { // deletion
+				m = d
+			}
+			if in := curr[j-1] + 1; in < m { // insertion
+				m = in
+			}
+			curr[j] = m
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinBounded returns the edit distance between a and b if it is at
+// most max, and (max+1, false) otherwise. Early exit makes bulk fuzzy
+// matching against a large KB affordable.
+func LevenshteinBounded(a, b string, max int) (int, bool) {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	diff := la - lb
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > max {
+		return max + 1, false
+	}
+	d := LevenshteinRunes(ra, rb)
+	if d > max {
+		return max + 1, false
+	}
+	return d, true
+}
+
+// Similarity returns 1 - Levenshtein(a,b)/max(len(a),len(b)) in [0,1].
+// Two empty strings have similarity 1.
+func Similarity(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	n := len(ra)
+	if len(rb) > n {
+		n = len(rb)
+	}
+	if n == 0 {
+		return 1
+	}
+	return 1 - float64(LevenshteinRunes(ra, rb))/float64(n)
+}

@@ -1,0 +1,150 @@
+// Package strmatch implements the string normalization and fuzzy matching
+// primitives CERES uses to align knowledge-base entity names with text
+// fields on webpages (paper §3.1.1, following the content-redundancy
+// matcher of Gulhane et al., PVLDB 2010).
+//
+// The package is dependency-free and deterministic. All matching is done on
+// normalized forms: Unicode-lowercased, accent-folded (for the Latin-1
+// supplement and Latin Extended-A ranges that cover the paper's seven
+// languages), punctuation-stripped, whitespace-collapsed.
+package strmatch
+
+import (
+	"strings"
+	"unicode"
+)
+
+// foldRune maps accented Latin letters onto their ASCII base letter. It
+// covers Latin-1 Supplement and Latin Extended-A, which is sufficient for
+// the Czech, Danish, Icelandic, Italian, Indonesian and Slovak site content
+// the CommonCrawl experiment simulates.
+func foldRune(r rune) rune {
+	switch {
+	case r >= 'à' && r <= 'å', r >= 'À' && r <= 'Å', r == 'ā', r == 'ă', r == 'ą':
+		return 'a'
+	case r == 'ç', r == 'Ç', r == 'ć', r == 'č', r == 'ĉ', r == 'ċ':
+		return 'c'
+	case r == 'ď', r == 'đ', r == 'ð', r == 'Ð':
+		return 'd'
+	case r >= 'è' && r <= 'ë', r >= 'È' && r <= 'Ë', r == 'ē', r == 'ĕ', r == 'ė', r == 'ę', r == 'ě':
+		return 'e'
+	case r == 'ĝ', r == 'ğ', r == 'ġ', r == 'ģ':
+		return 'g'
+	case r == 'ĥ', r == 'ħ':
+		return 'h'
+	case r >= 'ì' && r <= 'ï', r >= 'Ì' && r <= 'Ï', r == 'ĩ', r == 'ī', r == 'ĭ', r == 'į', r == 'ı':
+		return 'i'
+	case r == 'ĵ':
+		return 'j'
+	case r == 'ķ':
+		return 'k'
+	case r == 'ĺ', r == 'ļ', r == 'ľ', r == 'ŀ', r == 'ł':
+		return 'l'
+	case r == 'ñ', r == 'Ñ', r == 'ń', r == 'ņ', r == 'ň':
+		return 'n'
+	case r >= 'ò' && r <= 'ö', r >= 'Ò' && r <= 'Ö', r == 'ø', r == 'Ø', r == 'ō', r == 'ŏ', r == 'ő':
+		return 'o'
+	case r == 'ŕ', r == 'ŗ', r == 'ř':
+		return 'r'
+	case r == 'ś', r == 'ŝ', r == 'ş', r == 'š':
+		return 's'
+	case r == 'ţ', r == 'ť', r == 'ŧ', r == 'þ', r == 'Þ':
+		return 't'
+	case r >= 'ù' && r <= 'ü', r >= 'Ù' && r <= 'Ü', r == 'ũ', r == 'ū', r == 'ŭ', r == 'ů', r == 'ű', r == 'ų':
+		return 'u'
+	case r == 'ŵ':
+		return 'w'
+	case r == 'ý', r == 'ÿ', r == 'Ý', r == 'ŷ':
+		return 'y'
+	case r == 'ź', r == 'ż', r == 'ž':
+		return 'z'
+	case r == 'æ', r == 'Æ':
+		return 'a' // "ae" collapses to its head letter; see Normalize.
+	case r == 'œ', r == 'Œ':
+		return 'o'
+	case r == 'ß':
+		return 's'
+	}
+	return r
+}
+
+// Normalize canonicalizes a string for matching: lowercase, accent-fold,
+// replace punctuation with spaces, collapse runs of whitespace, and trim.
+// Normalize is idempotent: Normalize(Normalize(s)) == Normalize(s).
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	lastSpace := true // suppress leading spaces
+	for _, r := range s {
+		r = unicode.ToLower(r)
+		r = foldRune(r)
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+			lastSpace = false
+		default:
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		}
+	}
+	out := b.String()
+	return strings.TrimRight(out, " ")
+}
+
+// Tokens splits a normalized form of s into its word tokens.
+func Tokens(s string) []string {
+	n := Normalize(s)
+	if n == "" {
+		return nil
+	}
+	return strings.Split(n, " ")
+}
+
+// TokenSetKey returns a canonical key for token-order-insensitive matching:
+// the sorted, deduplicated tokens of the normalized string joined by spaces.
+// "Lee, Spike" and "Spike Lee" share a TokenSetKey.
+func TokenSetKey(s string) string {
+	toks := Tokens(s)
+	if len(toks) == 0 {
+		return ""
+	}
+	// Insertion sort: token lists are short (entity names).
+	for i := 1; i < len(toks); i++ {
+		for j := i; j > 0 && toks[j] < toks[j-1]; j-- {
+			toks[j], toks[j-1] = toks[j-1], toks[j]
+		}
+	}
+	out := toks[:1]
+	for _, t := range toks[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+// TokenJaccard returns the Jaccard similarity of the token sets of a and b
+// after normalization. Empty inputs yield 0.
+func TokenJaccard(a, b string) float64 {
+	ta, tb := Tokens(a), Tokens(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	set := make(map[string]uint8, len(ta)+len(tb))
+	for _, t := range ta {
+		set[t] |= 1
+	}
+	for _, t := range tb {
+		set[t] |= 2
+	}
+	var inter, union int
+	for _, v := range set {
+		union++
+		if v == 3 {
+			inter++
+		}
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,112 @@
+package strmatch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"   ", ""},
+		{"Spike Lee", "spike lee"},
+		{"Do the Right Thing", "do the right thing"},
+		{"  Do   the\tRight\nThing ", "do the right thing"},
+		{"Amélie", "amelie"},
+		{"Město má mé jméno", "mesto ma me jmeno"},
+		{"Björk Guðmundsdóttir", "bjork gudmundsdottir"},
+		{"L'Avventura", "l avventura"},
+		{"ISBN-13: 978-0-123", "isbn 13 978 0 123"},
+		{"Señorita", "senorita"},
+		{"ŁÓDŹ", "lodz"},
+		{"Falsches Üben", "falsches uben"},
+		{"A—B", "a b"},
+		{"café", "cafe"},
+		{"6' 7\"", "6 7"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		n := Normalize(s)
+		return Normalize(n) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeNoDoubleSpaces(t *testing.T) {
+	f := func(s string) bool {
+		n := Normalize(s)
+		for i := 0; i+1 < len(n); i++ {
+			if n[i] == ' ' && n[i+1] == ' ' {
+				return false
+			}
+		}
+		if len(n) > 0 && (n[0] == ' ' || n[len(n)-1] == ' ') {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokens(t *testing.T) {
+	got := Tokens("Do the Right Thing (1989)")
+	want := []string{"do", "the", "right", "thing", "1989"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Tokens = %v, want %v", got, want)
+		}
+	}
+	if Tokens("  !!  ") != nil {
+		t.Errorf("Tokens of punctuation should be nil")
+	}
+}
+
+func TestTokenSetKey(t *testing.T) {
+	if TokenSetKey("Lee, Spike") != TokenSetKey("Spike Lee") {
+		t.Errorf("token-set keys should match for reordered names")
+	}
+	if TokenSetKey("the the the cat") != "cat the" {
+		t.Errorf("TokenSetKey should deduplicate: got %q", TokenSetKey("the the the cat"))
+	}
+	if TokenSetKey("") != "" {
+		t.Errorf("empty key expected")
+	}
+}
+
+func TestTokenJaccard(t *testing.T) {
+	if got := TokenJaccard("a b c", "a b c"); got != 1 {
+		t.Errorf("identical sets: got %v", got)
+	}
+	if got := TokenJaccard("a b", "c d"); got != 0 {
+		t.Errorf("disjoint sets: got %v", got)
+	}
+	if got := TokenJaccard("a b c d", "c d e f"); got != 1.0/3.0 {
+		t.Errorf("got %v, want 1/3", got)
+	}
+	if got := TokenJaccard("", "a"); got != 0 {
+		t.Errorf("empty input: got %v", got)
+	}
+}
+
+func TestTokenJaccardSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		return TokenJaccard(a, b) == TokenJaccard(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package vertex
+
+import (
+	"testing"
+
+	"ceres/internal/core"
+	"ceres/internal/eval"
+	"ceres/internal/websim"
+)
+
+// buildSite renders a movie site and returns prepared pages plus gold.
+func buildSite(t *testing.T, n int, style websim.MovieSiteStyle) ([]*core.Page, []*websim.Page) {
+	t.Helper()
+	w := websim.NewWorld(websim.WorldConfig{Films: 120, People: 160, Seed: 19})
+	site := websim.BuildMovieSite(w, w.Films[:n], style, "vertexsite", 4)
+	var pages []*core.Page
+	for _, wp := range site.Pages {
+		pages = append(pages, core.PreparePage(wp.ID, wp.HTML))
+	}
+	return pages, site.Pages
+}
+
+func trainingPages(pages []*core.Page, gold []*websim.Page, k int) []TrainingPage {
+	var out []TrainingPage
+	for i := 0; i < k && i < len(pages); i++ {
+		var facts []GoldFact
+		for _, f := range gold[i].Facts {
+			facts = append(facts, GoldFact{Predicate: f.Predicate, Value: f.Value, NodePath: f.NodePath})
+		}
+		out = append(out, TrainingPage{Page: pages[i], Labels: LabelsFromGold(facts, "")})
+	}
+	return out
+}
+
+func goldEvalFacts(gold []*websim.Page, skip int) []eval.Fact {
+	var out []eval.Fact
+	for _, p := range gold[skip:] {
+		for _, f := range p.GoldValues() {
+			if f.Predicate == "name" {
+				continue
+			}
+			out = append(out, eval.Fact{Page: p.ID, Predicate: f.Predicate, Value: f.Value})
+		}
+	}
+	return out
+}
+
+func TestVertexLearnsWrapper(t *testing.T) {
+	style := websim.MovieSiteStyle{Layout: "table", Prefix: "vx", Language: "en", Recommendations: true}
+	pages, gold := buildSite(t, 40, style)
+	// Two annotated pages, as the paper gave Vertex++.
+	ex := Learn(trainingPages(pages, gold, 2), Options{})
+	if len(ex.Rules) == 0 {
+		t.Fatal("no rules learned")
+	}
+	var facts []eval.Fact
+	for _, p := range pages[2:] {
+		for _, e := range ex.Extract(p) {
+			facts = append(facts, eval.Fact{Page: e.PageID, Predicate: e.Predicate, Value: e.Value})
+		}
+	}
+	prf := eval.Score(facts, goldEvalFacts(gold, 2))
+	t.Logf("vertex table layout: P=%.3f R=%.3f F1=%.3f", prf.P, prf.R, prf.F1)
+	if prf.P < 0.9 {
+		t.Errorf("wrapper precision %.3f below 0.9", prf.P)
+	}
+	if prf.R < 0.75 {
+		t.Errorf("wrapper recall %.3f below 0.75", prf.R)
+	}
+}
+
+func TestVertexAcrossLayouts(t *testing.T) {
+	for _, layout := range []string{"dl", "div"} {
+		style := websim.MovieSiteStyle{Layout: layout, Prefix: "vx", Language: "en"}
+		pages, gold := buildSite(t, 25, style)
+		ex := Learn(trainingPages(pages, gold, 2), Options{})
+		var facts []eval.Fact
+		for _, p := range pages[2:] {
+			for _, e := range ex.Extract(p) {
+				facts = append(facts, eval.Fact{Page: e.PageID, Predicate: e.Predicate, Value: e.Value})
+			}
+		}
+		prf := eval.Score(facts, goldEvalFacts(gold, 2))
+		t.Logf("vertex %s layout: P=%.3f R=%.3f F1=%.3f", layout, prf.P, prf.R, prf.F1)
+		if prf.F1 < 0.7 {
+			t.Errorf("layout %s: wrapper F1 %.3f below 0.7", layout, prf.F1)
+		}
+	}
+}
+
+func TestVertexSubjectFromNameRule(t *testing.T) {
+	style := websim.MovieSiteStyle{Layout: "table", Prefix: "vx", Language: "en"}
+	pages, gold := buildSite(t, 10, style)
+	ex := Learn(trainingPages(pages, gold, 2), Options{})
+	for i, p := range pages[2:] {
+		exts := ex.Extract(p)
+		if len(exts) == 0 {
+			continue
+		}
+		want := gold[i+2].TopicName
+		for _, e := range exts {
+			if e.Subject != want {
+				t.Fatalf("page %s: subject %q, want %q", p.ID, e.Subject, want)
+			}
+		}
+	}
+}
+
+func TestVertexNoTrainingData(t *testing.T) {
+	ex := Learn(nil, Options{})
+	if len(ex.Rules) != 0 {
+		t.Errorf("rules from nothing: %v", ex.Rules)
+	}
+	p := core.PreparePage("x", "<html><body><h1>T</h1></body></html>")
+	if got := ex.Extract(p); got != nil {
+		t.Errorf("extraction without rules: %v", got)
+	}
+}
+
+func TestAnchorDisambiguation(t *testing.T) {
+	// With shuffled field order the row index stops identifying the
+	// predicate; rules must fall back to anchor text.
+	style := websim.MovieSiteStyle{Layout: "table", Prefix: "vx", Language: "en", ShuffleFields: true}
+	pages, gold := buildSite(t, 30, style)
+	ex := Learn(trainingPages(pages, gold, 4), Options{})
+	anchored := 0
+	for _, r := range ex.Rules {
+		if r.Anchor != "" {
+			anchored++
+		}
+	}
+	if anchored == 0 {
+		t.Errorf("shuffled fields should force anchored rules")
+	}
+	var facts []eval.Fact
+	for _, p := range pages[4:] {
+		for _, e := range ex.Extract(p) {
+			facts = append(facts, eval.Fact{Page: e.PageID, Predicate: e.Predicate, Value: e.Value})
+		}
+	}
+	prf := eval.Score(facts, goldEvalFacts(gold, 4))
+	t.Logf("vertex shuffled: P=%.3f R=%.3f F1=%.3f", prf.P, prf.R, prf.F1)
+	if prf.P < 0.65 {
+		t.Errorf("anchored wrapper precision %.3f collapsed", prf.P)
+	}
+}

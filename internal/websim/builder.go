@@ -1,0 +1,110 @@
+package websim
+
+import "ceres/internal/dom"
+
+// pageBuilder assembles a detail page as a DOM tree, recording the text
+// node behind every asserted fact so the generated corpus carries
+// node-level ground truth.
+type pageBuilder struct {
+	doc   *dom.Node
+	html  *dom.Node
+	head  *dom.Node
+	body  *dom.Node
+	facts []trackedFact
+}
+
+type trackedFact struct {
+	pred  string
+	value string
+	node  *dom.Node // the text node
+}
+
+func newPageBuilder(title string) *pageBuilder {
+	b := &pageBuilder{doc: &dom.Node{Type: dom.DocumentNode}}
+	b.html = b.el(b.doc, "html")
+	b.head = b.el(b.html, "head")
+	t := b.el(b.head, "title")
+	b.text(t, title)
+	b.body = b.el(b.html, "body")
+	return b
+}
+
+// el appends an element with alternating attribute key/value pairs.
+func (b *pageBuilder) el(parent *dom.Node, tag string, attrs ...string) *dom.Node {
+	n := &dom.Node{Type: dom.ElementNode, Tag: tag}
+	for i := 0; i+1 < len(attrs); i += 2 {
+		n.Attrs = append(n.Attrs, dom.Attr{Key: attrs[i], Val: attrs[i+1]})
+	}
+	parent.AppendChild(n)
+	return n
+}
+
+// text appends a text node.
+func (b *pageBuilder) text(parent *dom.Node, s string) *dom.Node {
+	n := &dom.Node{Type: dom.TextNode, Data: s}
+	parent.AppendChild(n)
+	return n
+}
+
+// fact appends a text node carrying an asserted value and records it as
+// ground truth for pred.
+func (b *pageBuilder) fact(parent *dom.Node, pred, value string) *dom.Node {
+	n := b.text(parent, value)
+	b.facts = append(b.facts, trackedFact{pred: pred, value: value, node: n})
+	return n
+}
+
+// factIn wraps the value in a child element (span/a/td...) and records it.
+func (b *pageBuilder) factIn(parent *dom.Node, tag, pred, value string, attrs ...string) *dom.Node {
+	el := b.el(parent, tag, attrs...)
+	b.fact(el, pred, value)
+	return el
+}
+
+// build finalizes the page: computes fact XPaths and serializes.
+func (b *pageBuilder) build(id, topicID, topicType, topicName string) *Page {
+	p := &Page{
+		ID:        id,
+		TopicID:   topicID,
+		TopicType: topicType,
+		TopicName: topicName,
+		HTML:      dom.Render(b.doc),
+	}
+	for _, f := range b.facts {
+		p.Facts = append(p.Facts, PageFact{
+			Predicate: f.pred,
+			Value:     f.value,
+			NodePath:  f.node.XPath(),
+		})
+	}
+	return p
+}
+
+// boilerplate adds the nav/header junk every real site carries: a logo, a
+// navigation list and a search form. The University search-box failure
+// mode (§5.3: a site listed both "public" and "private" in a search box on
+// every page) is injected by the university generator through extraNav.
+func (b *pageBuilder) boilerplate(siteName string, navItems []string) {
+	header := b.el(b.body, "header", "class", "site-header")
+	logo := b.el(header, "div", "class", "logo")
+	a := b.el(logo, "a", "href", "/")
+	b.text(a, siteName)
+	nav := b.el(header, "nav", "class", "main-nav")
+	ul := b.el(nav, "ul")
+	for _, item := range navItems {
+		li := b.el(ul, "li")
+		la := b.el(li, "a", "href", "#")
+		b.text(la, item)
+	}
+	form := b.el(header, "form", "class", "search")
+	b.el(form, "input", "type", "text", "name", "q")
+	btn := b.el(form, "button")
+	b.text(btn, "Search")
+}
+
+// footer closes the page with the usual legal junk.
+func (b *pageBuilder) footer(siteName string) {
+	f := b.el(b.body, "footer", "class", "site-footer")
+	p := b.el(f, "p")
+	b.text(p, "© 2017 "+siteName+" — Terms — Privacy — Help")
+}

@@ -1,0 +1,334 @@
+package websim
+
+import (
+	"fmt"
+
+	"ceres/internal/kb"
+)
+
+// CrawlSiteSpec describes one long-tail movie site of the CommonCrawl
+// experiment (§5.1.3, Table 8): its identity, its size in the paper, and
+// the failure profile §5.5.1 attributes to it.
+type CrawlSiteSpec struct {
+	Name       string
+	Focus      string
+	Language   string
+	PaperPages int
+	// OverlapFrac is the fraction of the site's films that exist in the
+	// seed KB (the rest are long-tail entities the extractor must
+	// discover).
+	OverlapFrac float64
+	// Failure profile (see MovieSiteStyle and §5.5.1).
+	AllGenres        bool // lists every genre on every page
+	RoleConflation   bool // one undivided credits list
+	DailyDates       bool // daily box-office rows instead of release date
+	ShuffleFields    bool // per-page field order (template variety)
+	EpisodeConfusion bool // film titles colliding with TV-episode names
+	ExtraCrewRows    bool // crew predicates absent from the ontology
+	NonDetail        bool // chart/index pages only, no detail pages
+	Layout           string
+}
+
+// CrawlRoster mirrors the 33 sites of Table 8. Page counts are the paper's;
+// GenerateCrawl scales them down. Failure profiles implement the error
+// categories of §5.5.1 for the sites the paper names.
+var CrawlRoster = []CrawlSiteSpec{
+	{Name: "themoviedb.org", Focus: "General film information", Language: "en", PaperPages: 32143, OverlapFrac: 0.75, Layout: "div"},
+	{Name: "blaxploitation.com", Focus: "Blaxploitation films", Language: "en", PaperPages: 670, OverlapFrac: 0.55, Layout: "table"},
+	{Name: "danksefilm.com", Focus: "Danish films", Language: "da", PaperPages: 2100, OverlapFrac: 0.45, Layout: "dl"},
+	{Name: "archiviodelcinemaitaliano.it", Focus: "Italian films", Language: "it", PaperPages: 1573, OverlapFrac: 0.5, Layout: "table"},
+	{Name: "filmitalia.org", Focus: "Italian films", Language: "it", PaperPages: 2847, OverlapFrac: 0.45, Layout: "div"},
+	{Name: "kmdb.or.kr", Focus: "Korean films", Language: "en", PaperPages: 1351, OverlapFrac: 0.12, Layout: "table"},
+	{Name: "britflicks.com", Focus: "British films", Language: "en", PaperPages: 1464, OverlapFrac: 0.6, Layout: "div"},
+	{Name: "rottentomatoes.com", Focus: "Film reviews", Language: "en", PaperPages: 73410, OverlapFrac: 0.65, Layout: "div"},
+	{Name: "moviecrow.com", Focus: "Indian films", Language: "en", PaperPages: 569, OverlapFrac: 0.2, Layout: "table"},
+	{Name: "nfb.ca", Focus: "Canadian films", Language: "en", PaperPages: 39780, OverlapFrac: 0.3, Layout: "dl"},
+	{Name: "kinobox.cz", Focus: "Czech films", Language: "cs", PaperPages: 37988, OverlapFrac: 0.35, Layout: "table"},
+	{Name: "samdb.co.za", Focus: "South African films", Language: "en", PaperPages: 1424, OverlapFrac: 0.05, EpisodeConfusion: true, Layout: "div"},
+	{Name: "dianying.com", Focus: "Chinese films", Language: "en", PaperPages: 15789, OverlapFrac: 0.3, EpisodeConfusion: true, Layout: "table"},
+	{Name: "giantscreencinema.com", Focus: "IMAX films", Language: "en", PaperPages: 370, OverlapFrac: 0.5, Layout: "div"},
+	{Name: "myanimelist.net", Focus: "Animated films", Language: "en", PaperPages: 5588, OverlapFrac: 0.35, EpisodeConfusion: true, Layout: "dl"},
+	{Name: "hkmdb.com", Focus: "Hong Kong films", Language: "en", PaperPages: 6350, OverlapFrac: 0.35, ShuffleFields: true, Layout: "table"},
+	{Name: "bollywoodmdb.com", Focus: "Bollywood films", Language: "en", PaperPages: 1483, OverlapFrac: 0.3, ShuffleFields: true, Layout: "div"},
+	{Name: "soundtrackcollector.com", Focus: "Movie soundtracks", Language: "en", PaperPages: 4192, OverlapFrac: 0.5, ExtraCrewRows: true, Layout: "table"},
+	{Name: "spicyonion.com", Focus: "Indian films", Language: "en", PaperPages: 5898, OverlapFrac: 0.35, RoleConflation: true, Layout: "div"},
+	{Name: "shortfilmcentral.com", Focus: "Short films", Language: "en", PaperPages: 32613, OverlapFrac: 0.15, ShuffleFields: true, Layout: "table"},
+	{Name: "filmindonesia.or.id", Focus: "Indonesian films", Language: "id", PaperPages: 2901, OverlapFrac: 0.35, RoleConflation: true, Layout: "dl"},
+	{Name: "the-numbers.com", Focus: "Financial performance", Language: "en", PaperPages: 74767, OverlapFrac: 0.6, DailyDates: true, Layout: "table"},
+	{Name: "sodasandpopcorn.com", Focus: "Nigerian films", Language: "en", PaperPages: 3401, OverlapFrac: 0.1, ShuffleFields: true, EpisodeConfusion: true, Layout: "div"},
+	{Name: "christianfilmdatabase.com", Focus: "Christian films", Language: "en", PaperPages: 2040, OverlapFrac: 0.45, AllGenres: true, Layout: "table"},
+	{Name: "jfdb.jp", Focus: "Japanese films", Language: "en", PaperPages: 1055, OverlapFrac: 0.12, ExtraCrewRows: true, Layout: "dl"},
+	{Name: "kvikmyndavefurinn.is", Focus: "Icelandic films", Language: "is", PaperPages: 235, OverlapFrac: 0.35, ExtraCrewRows: true, Layout: "table"},
+	{Name: "laborfilms.com", Focus: "Labor movement films", Language: "en", PaperPages: 566, OverlapFrac: 0.35, AllGenres: true, Layout: "div"},
+	{Name: "africa-archive.com", Focus: "African films", Language: "en", PaperPages: 1300, OverlapFrac: 0.3, AllGenres: true, ShuffleFields: true, Layout: "dl"},
+	{Name: "colonialfilm.org.uk", Focus: "Colonial-era films", Language: "en", PaperPages: 1911, OverlapFrac: 0.06, ShuffleFields: true, ExtraCrewRows: true, Layout: "div"},
+	{Name: "sfd.sfu.sk", Focus: "Slovak films", Language: "sk", PaperPages: 1711, OverlapFrac: 0.08, ShuffleFields: true, ExtraCrewRows: true, Layout: "table"},
+	{Name: "bcdb.com", Focus: "Animated films", Language: "en", PaperPages: 912, OverlapFrac: 0.02, Layout: "dl"},
+	{Name: "bmxmdb.com", Focus: "BMX films", Language: "en", PaperPages: 924, OverlapFrac: 0.001, Layout: "div"},
+	{Name: "boxofficemojo.com", Focus: "Financial performance", Language: "en", PaperPages: 74507, OverlapFrac: 0, NonDetail: true, Layout: "table"},
+}
+
+// Crawl is the generated CommonCrawl-analogue corpus.
+type Crawl struct {
+	Sites  []*Site
+	Specs  []CrawlSiteSpec
+	SeedKB *kb.KB
+	World  *World
+	// InKB reports which film IDs the seed KB covers, for
+	// new-entity-discovery accounting (§5.5).
+	InKB map[string]bool
+}
+
+// CrawlConfig scales the corpus.
+type CrawlConfig struct {
+	Seed int64
+	// Scale multiplies the paper's per-site page counts (default 1/75,
+	// min 6 pages per site).
+	Scale float64
+	// MaxSitePages caps any one site (default 400) to bound runtime.
+	MaxSitePages int
+	// Sites optionally restricts generation to a subset of the roster by
+	// name; empty means all 33.
+	Sites []string
+}
+
+func (c CrawlConfig) withDefaults() CrawlConfig {
+	if c.Scale == 0 {
+		c.Scale = 1.0 / 75.0
+	}
+	if c.MaxSitePages == 0 {
+		c.MaxSitePages = 400
+	}
+	return c
+}
+
+// GenerateCrawl builds the 33-site long-tail corpus plus the seed KB: the
+// KB covers only the "popular" half of the film world (with the paper's
+// footnote-10 coverage bias), while sites mix covered and long-tail films
+// according to their overlap fraction.
+func GenerateCrawl(cfg CrawlConfig) *Crawl {
+	cfg = cfg.withDefaults()
+	r := newRNG(cfg.Seed)
+	world := NewWorld(WorldConfig{Films: 2600, People: 2800, Series: 40, Episodes: 12, Seed: r.Int63()})
+
+	// The popular half of films (and the people credited on them) enter
+	// the KB with realistic coverage bias.
+	nPopular := len(world.Films) / 2
+	cov := PaperCoverage()
+	cov.Cast = 0.35 // a bit denser than IMDb's 14% so small sites still annotate
+	seedKB := buildCrawlKB(world, nPopular, cov, r.Int63())
+	inKB := map[string]bool{}
+	for i := 0; i < nPopular; i++ {
+		inKB[world.Films[i].ID] = true
+	}
+	popular := world.Films[:nPopular]
+	longTail := world.Films[nPopular:]
+
+	want := map[string]bool{}
+	for _, s := range cfg.Sites {
+		want[s] = true
+	}
+
+	crawl := &Crawl{SeedKB: seedKB, World: world, InKB: inKB}
+	for i, spec := range CrawlRoster {
+		if len(want) > 0 && !want[spec.Name] {
+			continue
+		}
+		pages := int(float64(spec.PaperPages) * cfg.Scale)
+		if pages < 6 {
+			pages = 6
+		}
+		if pages > cfg.MaxSitePages {
+			pages = cfg.MaxSitePages
+		}
+		sr := r.fork(int64(i + 1))
+		site := generateCrawlSite(world, spec, pages, popular, longTail, sr)
+		crawl.Sites = append(crawl.Sites, site)
+		crawl.Specs = append(crawl.Specs, spec)
+	}
+	return crawl
+}
+
+func buildCrawlKB(w *World, nPopular int, cov KBCoverage, seed int64) *kb.KB {
+	// Reuse BuildKB over a truncated view of the world: films beyond the
+	// popular prefix are invisible to the KB.
+	return BuildKB(TrimFilms(w, nPopular), cov, seed)
+}
+
+func generateCrawlSite(w *World, spec CrawlSiteSpec, pages int, popular, longTail []*Film, r *rng) *Site {
+	site := &Site{Name: spec.Name, Focus: spec.Focus, Language: spec.Language}
+	if spec.NonDetail {
+		for i := 0; i < pages; i++ {
+			site.Pages = append(site.Pages, renderChartPage(w, spec, i, r.fork(int64(i))))
+		}
+		return site
+	}
+	style := MovieSiteStyle{
+		Layout:          spec.Layout,
+		Prefix:          cssPrefix(spec.Name),
+		Language:        spec.Language,
+		MissingFieldP:   0.08,
+		Recommendations: !spec.RoleConflation && !spec.AllGenres,
+		ShuffleFields:   spec.ShuffleFields,
+		AllGenres:       spec.AllGenres,
+		RoleConflation:  spec.RoleConflation,
+		DailyDates:      spec.DailyDates,
+	}
+	nOverlap := int(float64(pages) * spec.OverlapFrac)
+	films := make([]*Film, 0, pages)
+	films = append(films, sample(r, popular, nOverlap)...)
+	films = append(films, sample(r, longTail, pages-len(films))...)
+	if spec.EpisodeConfusion {
+		// Prefer short titles, which collide with TV-episode names in the
+		// KB ("The Harbor" is both a film and somebody's episode 3).
+		films = preferShortTitles(films, r)
+	}
+	// Recommendation rails skew to blockbusters: real sites cross-link a
+	// small popular head, which is what lets Algorithm 1's uniqueness
+	// filter (a candidate claimed by >= 5 pages is spurious) reject rail
+	// entities as topic candidates.
+	blockbusters := popular
+	if len(blockbusters) > 60 {
+		blockbusters = blockbusters[:60]
+	}
+	for i, f := range films {
+		related := sample(r, blockbusters, 2)
+		site.Pages = append(site.Pages, RenderMoviePage(w, f, style, spec.Name, r.fork(int64(i)), related))
+	}
+	if spec.ExtraCrewRows {
+		// Re-render with crew rows appended: composer/camera/editor lines
+		// whose predicates the ontology lacks (§5.5.1's
+		// under-represented-predicate error class).
+		for i, p := range site.Pages {
+			site.Pages[i] = addCrewRows(w, p, films[i], style, spec.Name, r.fork(int64(1000+i)))
+		}
+	}
+	return site
+}
+
+// preferShortTitles reorders films so that short-titled ones (ambiguous
+// with episode titles) come first, without changing the set.
+func preferShortTitles(films []*Film, r *rng) []*Film {
+	short := make([]*Film, 0, len(films))
+	long := make([]*Film, 0, len(films))
+	for _, f := range films {
+		if len(f.Title) <= 14 {
+			short = append(short, f)
+		} else {
+			long = append(long, f)
+		}
+	}
+	return append(short, long...)
+}
+
+// addCrewRows re-renders a film page with extra crew rows (music, camera,
+// editing) that have no ontology predicate; their values are people, whose
+// XPaths sit right next to the director/writer rows.
+func addCrewRows(w *World, base *Page, f *Film, style MovieSiteStyle, siteName string, r *rng) *Page {
+	b := newPageBuilder(f.Title + " - " + siteName)
+	b.boilerplate(siteName, []string{label(style.Language, "home"), label(style.Language, "movies")})
+	content := b.el(b.body, "div", "class", style.Prefix+"-content", "id", "content")
+	h1 := b.el(content, "h1")
+	b.fact(h1, "name", f.Title)
+	infoTag := "table"
+	if style.Layout != "table" {
+		infoTag = "div"
+	}
+	tblStyle := style
+	tblStyle.Layout = "table"
+	if infoTag == "div" {
+		tblStyle.Layout = "div"
+	}
+	info := b.el(content, infoTag, "class", style.Prefix+"-infobox")
+	b.infoRow(tblStyle, info, label(style.Language, "director"), PredDirectedBy, personNames(w, f.Directors), "director")
+	b.infoRow(tblStyle, info, label(style.Language, "writer"), PredWrittenBy, personNames(w, f.Writers), "writer")
+	// Crew rows with no ontology predicate: rendered identically to the
+	// rows above, recorded as no fact at all.
+	crew := []struct{ lbl, person string }{
+		{label(style.Language, "soundtrack"), crewName(w, f.Composers, r)},
+		{"Camera", pick(r, w.People).Name},
+		{"Editing", pick(r, w.People).Name},
+	}
+	for _, c := range crew {
+		switch tblStyle.Layout {
+		case "div":
+			row := b.el(info, "div", "class", style.Prefix+"-row "+style.Prefix+"-crew")
+			lab := b.el(row, "span", "class", style.Prefix+"-label")
+			b.text(lab, c.lbl)
+			vals := b.el(row, "span", "class", style.Prefix+"-values")
+			a := b.el(vals, "a", "href", "#")
+			b.text(a, c.person)
+		default:
+			tr := b.el(info, "tr", "class", style.Prefix+"-crew")
+			th := b.el(tr, "th")
+			b.text(th, c.lbl)
+			td := b.el(tr, "td")
+			a := b.el(td, "a", "href", "#")
+			b.text(a, c.person)
+		}
+	}
+	b.infoRow(tblStyle, info, label(style.Language, "genre"), PredGenre, f.Genres, "genre")
+	b.infoRow(tblStyle, info, label(style.Language, "year"), PredReleaseYear, []string{fmt.Sprint(f.Year)}, "year")
+	sec := b.el(content, "div", "class", style.Prefix+"-cast")
+	h := b.el(sec, "h3")
+	b.text(h, label(style.Language, "cast"))
+	ul := b.el(sec, "ul")
+	for _, pid := range f.Cast {
+		li := b.el(ul, "li")
+		b.factIn(li, "a", PredCastMember, w.Person(pid).Name, "href", "#")
+	}
+	b.footer(siteName)
+	return b.build(base.ID, f.ID, "film", f.Title)
+}
+
+func crewName(w *World, ids []string, r *rng) string {
+	if len(ids) > 0 {
+		return w.Person(ids[0]).Name
+	}
+	return pick(r, w.People).Name
+}
+
+// renderChartPage renders a box-office chart page: rows of film titles and
+// grosses, with no topic entity and no asserted detail facts — the
+// boxofficemojo case, where producing zero extractions is the correct
+// outcome.
+func renderChartPage(w *World, spec CrawlSiteSpec, n int, r *rng) *Page {
+	b := newPageBuilder(fmt.Sprintf("Daily Chart #%d - %s", n+1, spec.Name))
+	b.boilerplate(spec.Name, []string{"Home", "Charts", "Calendar"})
+	content := b.el(b.body, "div", "id", "content", "class", "chart")
+	h1 := b.el(content, "h1")
+	b.text(h1, "Daily Box Office — "+r.dateString(2016, 2017))
+	tbl := b.el(content, "table", "class", "chart-table")
+	head := b.el(tbl, "tr")
+	for _, col := range []string{"Rank", "Title", "Gross", "Theaters"} {
+		th := b.el(head, "th")
+		b.text(th, col)
+	}
+	for i := 0; i < r.between(15, 30); i++ {
+		f := pick(r, w.Films)
+		tr := b.el(tbl, "tr")
+		td1 := b.el(tr, "td")
+		b.text(td1, fmt.Sprint(i+1))
+		td2 := b.el(tr, "td")
+		a := b.el(td2, "a", "href", "#")
+		b.text(a, f.Title)
+		td3 := b.el(tr, "td")
+		b.text(td3, fmt.Sprintf("$%d", r.between(10000, 9999999)))
+		td4 := b.el(tr, "td")
+		b.text(td4, fmt.Sprint(r.between(50, 4000)))
+	}
+	b.footer(spec.Name)
+	return b.build(pageID("chart", n), "", "", "")
+}
+
+// cssPrefix derives a short class prefix from a site name.
+func cssPrefix(name string) string {
+	out := make([]byte, 0, 6)
+	for i := 0; i < len(name) && len(out) < 6; i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' {
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,94 @@
+package websim
+
+import (
+	"testing"
+)
+
+func tinyCrawl() CrawlConfig {
+	return CrawlConfig{Seed: 1, Scale: 1.0 / 400.0, MaxSitePages: 40}
+}
+
+func TestGenerateCrawlShape(t *testing.T) {
+	c := GenerateCrawl(tinyCrawl())
+	if len(c.Sites) != len(CrawlRoster) {
+		t.Fatalf("want %d sites, got %d", len(CrawlRoster), len(c.Sites))
+	}
+	if c.SeedKB.NumTriples() == 0 {
+		t.Fatalf("empty seed KB")
+	}
+	byName := map[string]*Site{}
+	for _, s := range c.Sites {
+		byName[s.Name] = s
+		if s.NumPages() < 6 {
+			t.Errorf("site %s has %d pages, want >= 6", s.Name, s.NumPages())
+		}
+	}
+	// boxofficemojo: charts only, no detail pages.
+	if bo := byName["boxofficemojo.com"]; len(bo.DetailPages()) != 0 {
+		t.Errorf("boxofficemojo should have no detail pages, got %d", len(bo.DetailPages()))
+	}
+	// Foreign-language sites render in their language.
+	if kb := byName["kinobox.cz"]; kb.Language != "cs" {
+		t.Errorf("kinobox language = %q", kb.Language)
+	}
+}
+
+func TestCrawlOverlapAccounting(t *testing.T) {
+	c := GenerateCrawl(tinyCrawl())
+	for i, site := range c.Sites {
+		spec := c.Specs[i]
+		if spec.NonDetail {
+			continue
+		}
+		inKB := 0
+		for _, p := range site.DetailPages() {
+			if c.InKB[p.TopicID] {
+				inKB++
+			}
+		}
+		frac := float64(inKB) / float64(len(site.DetailPages()))
+		if spec.OverlapFrac > 0.3 && frac < spec.OverlapFrac/2 {
+			t.Errorf("%s: overlap %.2f far below spec %.2f", spec.Name, frac, spec.OverlapFrac)
+		}
+		if spec.OverlapFrac < 0.05 && frac > 0.3 {
+			t.Errorf("%s: overlap %.2f far above spec %.2f", spec.Name, frac, spec.OverlapFrac)
+		}
+	}
+}
+
+func TestCrawlFactPathsSample(t *testing.T) {
+	c := GenerateCrawl(CrawlConfig{Seed: 2, Scale: 1.0 / 1000.0, MaxSitePages: 10,
+		Sites: []string{"themoviedb.org", "the-numbers.com", "spicyonion.com", "christianfilmdatabase.com", "colonialfilm.org.uk", "kvikmyndavefurinn.is"}})
+	if len(c.Sites) != 6 {
+		t.Fatalf("site filter failed: %d sites", len(c.Sites))
+	}
+	for _, site := range c.Sites {
+		for _, p := range site.Pages {
+			verifyFactPaths(t, p)
+		}
+	}
+}
+
+func TestCrawlSubsetSelection(t *testing.T) {
+	c := GenerateCrawl(CrawlConfig{Seed: 3, Scale: 1.0 / 1000.0, Sites: []string{"jfdb.jp"}})
+	if len(c.Sites) != 1 || c.Sites[0].Name != "jfdb.jp" {
+		t.Fatalf("subset selection broken: %v", c.Sites)
+	}
+}
+
+func TestCrawlDeterminism(t *testing.T) {
+	a := GenerateCrawl(CrawlConfig{Seed: 4, Scale: 1.0 / 1000.0, Sites: []string{"nfb.ca"}})
+	b := GenerateCrawl(CrawlConfig{Seed: 4, Scale: 1.0 / 1000.0, Sites: []string{"nfb.ca"}})
+	if a.Sites[0].Pages[0].HTML != b.Sites[0].Pages[0].HTML {
+		t.Errorf("crawl generation not deterministic")
+	}
+}
+
+func TestCSSPrefix(t *testing.T) {
+	if got := cssPrefix("rottentomatoes.com"); got != "rotten" {
+		t.Errorf("cssPrefix = %q", got)
+	}
+	if got := cssPrefix("a.b"); got != "ab" {
+		t.Errorf("cssPrefix = %q", got)
+	}
+}

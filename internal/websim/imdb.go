@@ -1,0 +1,319 @@
+package websim
+
+import "fmt"
+
+// IMDBConfig sizes the IMDb-like corpus (paper §5.1.2: 8,245 movie pages
+// and 1,600 people pages crawled May 2017; defaults here are ~1:20 scale).
+type IMDBConfig struct {
+	FilmPages   int // default 400
+	PersonPages int // default 120
+	Seed        int64
+}
+
+func (c IMDBConfig) withDefaults() IMDBConfig {
+	if c.FilmPages == 0 {
+		c.FilmPages = 400
+	}
+	if c.PersonPages == 0 {
+		c.PersonPages = 120
+	}
+	return c
+}
+
+// GenerateIMDB renders the complex movie-database site of §5.4: film pages
+// with long cast lists, duplicated genre sections and recommendation
+// rails; person pages with Known-For sections, role-separated
+// filmographies, alias ambiguity and Projects-in-Development noise. The
+// returned sites are (films+episodes, people) — two template families, as
+// on the real site.
+func GenerateIMDB(w *World, cfg IMDBConfig) (films *Site, people *Site) {
+	cfg = cfg.withDefaults()
+	r := newRNG(cfg.Seed)
+	siteName := "Moviebase"
+
+	films = &Site{Name: "moviebase-films", Focus: "Film/TV detail pages", Language: "en"}
+	nFilm := cfg.FilmPages
+	if nFilm > len(w.Films) {
+		nFilm = len(w.Films)
+	}
+	// One in six film-template pages is a TV-episode page, matching the
+	// mixed-template reality of the crawl.
+	nEpisode := nFilm / 6
+	nFilm -= nEpisode
+	for i := 0; i < nFilm; i++ {
+		f := w.Films[i]
+		films.Pages = append(films.Pages, renderIMDBFilm(w, f, siteName, r.fork(int64(i))))
+	}
+	for i := 0; i < nEpisode && i < len(w.Episodes); i++ {
+		e := w.Episodes[i]
+		films.Pages = append(films.Pages, renderIMDBEpisode(w, e, siteName, r.fork(int64(10000+i))))
+	}
+
+	people = &Site{Name: "moviebase-people", Focus: "Person detail pages", Language: "en"}
+	// Pick the most-credited people: detail pages exist for people with
+	// careers, mirroring the KB's popularity bias.
+	ppl := peopleByCredits(w)
+	nPerson := cfg.PersonPages
+	if nPerson > len(ppl) {
+		nPerson = len(ppl)
+	}
+	for i := 0; i < nPerson; i++ {
+		p := ppl[i]
+		people.Pages = append(people.Pages, renderIMDBPerson(w, p, siteName, r.fork(int64(20000+i))))
+	}
+	return films, people
+}
+
+func peopleByCredits(w *World) []*Person {
+	out := make([]*Person, len(w.People))
+	copy(out, w.People)
+	credits := func(p *Person) int {
+		return len(p.ActedIn) + len(p.Directed) + len(p.Wrote) + len(p.Produced)
+	}
+	// Stable selection: sort by credit count descending, ID ascending.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j], out[j-1]
+			if credits(a) > credits(b) || (credits(a) == credits(b) && a.ID < b.ID) {
+				out[j], out[j-1] = out[j-1], out[j]
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func renderIMDBFilm(w *World, f *Film, siteName string, r *rng) *Page {
+	b := newPageBuilder(f.Title + " (" + fmt.Sprint(f.Year) + ") - " + siteName)
+	b.boilerplate(siteName, []string{"Home", "Movies", "TV", "People"})
+	content := b.el(b.body, "div", "id", "content", "class", "pagecontent")
+
+	// Title block with year and genres (the genres also appear duplicated
+	// in the recommendation rail below — Example 3.2's trap).
+	hero := b.el(content, "div", "class", "title-block")
+	h1 := b.el(hero, "h1", "itemprop", "name")
+	b.fact(h1, "name", f.Title)
+	yearSpan := b.el(hero, "span", "class", "title-year")
+	b.fact(yearSpan, PredReleaseYear, fmt.Sprint(f.Year))
+	genres := b.el(hero, "div", "class", "title-genres")
+	for _, g := range f.Genres {
+		b.factIn(genres, "a", PredGenre, g, "href", "#")
+	}
+
+	// Credit summary rows.
+	summary := b.el(content, "div", "class", "credit-summary")
+	row := func(lbl, pred string, ids []string) {
+		div := b.el(summary, "div", "class", "credit-row")
+		h4 := b.el(div, "h4")
+		b.text(h4, lbl+":")
+		for _, id := range ids {
+			b.factIn(div, "a", pred, w.Person(id).Name, "href", "/name/"+id)
+		}
+	}
+	row("Director", PredDirectedBy, f.Directors)
+	row("Writer", PredWrittenBy, f.Writers)
+
+	// Release date row.
+	if r.maybe(0.9) {
+		div := b.el(summary, "div", "class", "credit-row release-row")
+		h4 := b.el(div, "h4")
+		b.text(h4, "Release Date:")
+		b.factIn(div, "span", PredReleaseDate, f.ReleaseDate)
+	}
+
+	// Full cast table (long lists are the hard case of §5.4).
+	castSec := b.el(content, "div", "class", "cast-section")
+	h3 := b.el(castSec, "h3")
+	b.text(h3, "Cast")
+	tbl := b.el(castSec, "table", "class", "cast-list")
+	for i, pid := range f.Cast {
+		tr := b.el(tbl, "tr")
+		td := b.el(tr, "td", "class", "cast-name")
+		b.factIn(td, "a", PredCastMember, w.Person(pid).Name, "href", "/name/"+pid)
+		chTd := b.el(tr, "td", "class", "cast-character")
+		b.text(chTd, "Character "+fmt.Sprint(i+1))
+	}
+
+	// Recommendation rail: other films with their genres (not facts of
+	// this page). Deliberately overlaps one genre with the topic when
+	// possible, the hardest version of the trap.
+	rail := b.el(content, "div", "class", "rec-rail")
+	rh := b.el(rail, "h3")
+	b.text(rh, "People who liked this also liked")
+	for i := 0; i < 3; i++ {
+		rf := w.Films[r.Intn(len(w.Films))]
+		if rf.ID == f.ID {
+			continue
+		}
+		card := b.el(rail, "div", "class", "rec-card")
+		a := b.el(card, "a", "href", "/title/"+rf.ID)
+		b.text(a, rf.Title)
+		gl := b.el(card, "div", "class", "rec-genres")
+		for _, g := range rf.Genres {
+			span := b.el(gl, "span")
+			b.text(span, g)
+		}
+	}
+
+	b.footer(siteName)
+	return b.build(f.ID, f.ID, "film", f.Title)
+}
+
+func renderIMDBEpisode(w *World, e *Episode, siteName string, r *rng) *Page {
+	s := w.SeriesByID(e.SeriesID)
+	b := newPageBuilder(fmt.Sprintf("%q %s - %s", s.Title, e.Title, siteName))
+	b.boilerplate(siteName, []string{"Home", "Movies", "TV", "People"})
+	content := b.el(b.body, "div", "id", "content", "class", "pagecontent")
+
+	hero := b.el(content, "div", "class", "title-block")
+	h1 := b.el(hero, "h1", "itemprop", "name")
+	b.fact(h1, "name", e.Title)
+	sub := b.el(hero, "div", "class", "episode-of")
+	b.factIn(sub, "a", PredEpisodeSeries, s.Title, "href", "/series/"+s.ID)
+
+	info := b.el(content, "table", "class", "ep-infobox")
+	tr1 := b.el(info, "tr")
+	th1 := b.el(tr1, "th")
+	b.text(th1, "Season")
+	b.factIn(tr1, "td", PredSeasonNumber, fmt.Sprint(e.Season))
+	tr2 := b.el(info, "tr")
+	th2 := b.el(tr2, "th")
+	b.text(th2, "Episode")
+	b.factIn(tr2, "td", PredEpisodeNumber, fmt.Sprint(e.Number))
+	tr3 := b.el(info, "tr")
+	th3 := b.el(tr3, "th")
+	b.text(th3, "Air Date")
+	b.factIn(tr3, "td", PredEpisodeAired, e.AirDate)
+
+	// Guest stars, rendered like a short cast list.
+	guests := b.el(content, "div", "class", "ep-guests")
+	gh := b.el(guests, "h3")
+	b.text(gh, "Guest Stars")
+	gul := b.el(guests, "ul")
+	for _, g := range e.Guests {
+		li := b.el(gul, "li")
+		b.factIn(li, "a", PredEpisodeGuest, w.Person(g).Name, "href", "/name/"+g)
+	}
+
+	// Sibling-episode rail: other episode titles of the series.
+	rail := b.el(content, "div", "class", "ep-rail")
+	rh := b.el(rail, "h3")
+	b.text(rh, "More episodes")
+	for i := 0; i < 4 && i < len(s.Episodes); i++ {
+		oe := w.EpisodeByID(s.Episodes[i])
+		if oe.ID == e.ID {
+			continue
+		}
+		card := b.el(rail, "div", "class", "ep-card")
+		a := b.el(card, "a", "href", "/ep/"+oe.ID)
+		b.text(a, oe.Title)
+	}
+
+	b.footer(siteName)
+	return b.build(e.ID, e.ID, "episode", e.Title)
+}
+
+func renderIMDBPerson(w *World, p *Person, siteName string, r *rng) *Page {
+	b := newPageBuilder(p.Name + " - " + siteName)
+	b.boilerplate(siteName, []string{"Home", "Movies", "TV", "People"})
+	content := b.el(b.body, "div", "id", "content", "class", "pagecontent")
+
+	hero := b.el(content, "div", "class", "name-block")
+	h1 := b.el(hero, "h1", "itemprop", "name")
+	b.fact(h1, "name", p.Name)
+
+	// Known For: the person's four most prominent films, role-agnostic —
+	// the section the paper singles out because "any system that learns to
+	// extract it will produce erroneous extractions" (§5.4). No facts are
+	// recorded here.
+	known := b.el(content, "div", "class", "known-for")
+	kh := b.el(known, "h3")
+	b.text(kh, "Known For")
+	prominent := dedup(append(append(append([]string{}, p.Directed...), p.ActedIn...), p.Produced...))
+	for i := 0; i < 4 && i < len(prominent); i++ {
+		card := b.el(known, "div", "class", "kf-card")
+		a := b.el(card, "a", "href", "/title/"+prominent[i])
+		b.text(a, w.Film(prominent[i]).Title)
+	}
+
+	// Bio box: birthplace and aliases.
+	bio := b.el(content, "table", "class", "bio-box")
+	tr := b.el(bio, "tr", "class", "bio-born")
+	th := b.el(tr, "th")
+	b.text(th, "Born")
+	td := b.el(tr, "td")
+	b.factIn(td, "span", PredBirthPlace, p.BirthPlace)
+	yspan := b.el(td, "span", "class", "bio-year")
+	b.text(yspan, fmt.Sprint(p.BirthYear))
+	if len(p.Aliases) > 0 {
+		tr2 := b.el(bio, "tr", "class", "bio-alias")
+		th2 := b.el(tr2, "th")
+		b.text(th2, "Also Known As")
+		td2 := b.el(tr2, "td")
+		for _, a := range p.Aliases {
+			b.factIn(td2, "span", PredAlias, a)
+		}
+	}
+
+	// Filmography, sectioned by role (the structure Figure 2 reflects:
+	// section offsets shift when a person lacks a role).
+	filmo := b.el(content, "div", "class", "filmography", "id", "filmography")
+	section := func(cls, heading, pred string, ids []string) {
+		if len(ids) == 0 {
+			return
+		}
+		sec := b.el(filmo, "div", "class", "filmo-section "+cls)
+		h := b.el(sec, "h4")
+		b.text(h, heading)
+		for _, fid := range ids {
+			rowDiv := b.el(sec, "div", "class", "filmo-row")
+			bb := b.el(rowDiv, "b")
+			b.factIn(bb, "a", pred, w.Film(fid).Title, "href", "/title/"+fid)
+			yr := b.el(rowDiv, "span", "class", "filmo-year")
+			b.text(yr, fmt.Sprint(w.Film(fid).Year))
+		}
+	}
+	// Section order is fixed but sections vanish when empty, shifting the
+	// absolute paths of later sections — exactly the Winfrey/McKellen
+	// index drift of Figure 2.
+	section("filmo-producer", "Producer", PredProducerOf, p.Produced)
+	section("filmo-director", "Director", PredDirectorOf, p.Directed)
+	section("filmo-writer", "Writer", PredWriterOf, p.Wrote)
+	section("filmo-actor", "Actor", PredActedIn, p.ActedIn)
+	if len(p.Scored) > 0 {
+		section("filmo-music", "Music Department", PredMusicFor, p.Scored)
+	}
+
+	// Self credits: talk-show appearances whose episode titles sometimes
+	// equal the person's alias verbatim — the alias ambiguity that sinks
+	// CERES-Topic in Table 5. Not facts.
+	self := b.el(content, "div", "class", "self-credits")
+	sh := b.el(self, "h4")
+	b.text(sh, "Self")
+	for i := 0; i < r.between(1, 3); i++ {
+		rowDiv := b.el(self, "div", "class", "self-row")
+		a := b.el(rowDiv, "a", "href", "#")
+		if len(p.Aliases) > 0 && r.maybe(0.5) {
+			b.text(a, p.Aliases[0])
+		} else {
+			b.text(a, "The "+pick(r, titleNouns)+" Show")
+		}
+	}
+
+	// Projects in Development: future films listed with no role — the
+	// extraneous field the paper blames for producer_of noise. Not facts.
+	if len(p.Produced) > 0 && r.maybe(0.7) {
+		dev := b.el(content, "div", "class", "in-development")
+		dh := b.el(dev, "h4")
+		b.text(dh, "Projects In Development")
+		for i := 0; i < 2 && i < len(p.Produced); i++ {
+			rowDiv := b.el(dev, "div", "class", "dev-row")
+			a := b.el(rowDiv, "a", "href", "#")
+			b.text(a, w.Film(p.Produced[i]).Title)
+		}
+	}
+
+	b.footer(siteName)
+	return b.build(p.ID, p.ID, "person", p.Name)
+}

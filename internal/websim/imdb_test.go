@@ -1,0 +1,137 @@
+package websim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateIMDBShape(t *testing.T) {
+	w := smallWorld()
+	films, people := GenerateIMDB(w, IMDBConfig{FilmPages: 60, PersonPages: 20, Seed: 3})
+	if films.NumPages() != 60 {
+		t.Errorf("film pages = %d, want 60", films.NumPages())
+	}
+	if people.NumPages() != 20 {
+		t.Errorf("person pages = %d, want 20", people.NumPages())
+	}
+	// Film site mixes film and episode templates.
+	var nFilm, nEp int
+	for _, p := range films.Pages {
+		switch p.TopicType {
+		case "film":
+			nFilm++
+		case "episode":
+			nEp++
+		}
+	}
+	if nEp == 0 || nFilm == 0 {
+		t.Errorf("film site should mix films (%d) and episodes (%d)", nFilm, nEp)
+	}
+}
+
+func TestIMDBFactPaths(t *testing.T) {
+	w := smallWorld()
+	films, people := GenerateIMDB(w, IMDBConfig{FilmPages: 24, PersonPages: 10, Seed: 3})
+	for _, p := range films.Pages {
+		verifyFactPaths(t, p)
+	}
+	for _, p := range people.Pages {
+		verifyFactPaths(t, p)
+	}
+}
+
+func TestIMDBPersonPageTraps(t *testing.T) {
+	w := smallWorld()
+	_, people := GenerateIMDB(w, IMDBConfig{FilmPages: 10, PersonPages: 30, Seed: 3})
+	sawKnownFor, sawDev, sawAliasTrap := false, false, false
+	for _, p := range people.Pages {
+		if strings.Contains(p.HTML, "Known For") {
+			sawKnownFor = true
+		}
+		if strings.Contains(p.HTML, "Projects In Development") {
+			sawDev = true
+		}
+		person := w.Person(p.TopicID)
+		if len(person.Aliases) > 0 {
+			// The alias may appear inside the Self credits as an episode
+			// title; when it does, only the bio-box mention is a fact.
+			aliasFactPaths := 0
+			for _, f := range p.Facts {
+				if f.Predicate == PredAlias {
+					aliasFactPaths++
+				}
+			}
+			count := strings.Count(p.HTML, ">"+dataEscape(person.Aliases[0])+"<")
+			if count > aliasFactPaths {
+				sawAliasTrap = true
+			}
+		}
+		// Known For entries must not be facts.
+		for _, f := range p.Facts {
+			if strings.Contains(f.NodePath, "kf-card") {
+				t.Errorf("Known For card recorded as a fact: %+v", f)
+			}
+		}
+	}
+	if !sawKnownFor {
+		t.Errorf("no person page has a Known For section")
+	}
+	if !sawDev {
+		t.Errorf("no person page has Projects In Development")
+	}
+	if !sawAliasTrap {
+		t.Errorf("alias ambiguity trap never fired across 30 person pages")
+	}
+}
+
+func TestIMDBFilmPageStructure(t *testing.T) {
+	w := smallWorld()
+	films, _ := GenerateIMDB(w, IMDBConfig{FilmPages: 12, PersonPages: 5, Seed: 7})
+	for _, p := range films.Pages {
+		if p.TopicType != "film" {
+			continue
+		}
+		f := w.Film(p.TopicID)
+		// Every cast member is a fact.
+		castFacts := 0
+		for _, fact := range p.Facts {
+			if fact.Predicate == PredCastMember {
+				castFacts++
+			}
+		}
+		if castFacts != len(f.Cast) {
+			t.Errorf("page %s: %d cast facts, want %d", p.ID, castFacts, len(f.Cast))
+		}
+		// Recommendation rail exists and its genres are not facts.
+		if !strings.Contains(p.HTML, "rec-rail") {
+			t.Errorf("page %s missing recommendation rail", p.ID)
+		}
+		for _, fact := range p.Facts {
+			if strings.Contains(fact.NodePath, "rec-") {
+				t.Errorf("recommendation content recorded as fact: %+v", fact)
+			}
+		}
+	}
+}
+
+func TestPeopleByCreditsOrdering(t *testing.T) {
+	w := smallWorld()
+	ppl := peopleByCredits(w)
+	credits := func(p *Person) int {
+		return len(p.ActedIn) + len(p.Directed) + len(p.Wrote) + len(p.Produced)
+	}
+	for i := 1; i < len(ppl); i++ {
+		if credits(ppl[i]) > credits(ppl[i-1]) {
+			t.Fatalf("ordering violated at %d", i)
+		}
+	}
+}
+
+// dataEscape mirrors the renderer's text escaping for search-in-HTML
+// checks.
+func dataEscape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

@@ -1,0 +1,73 @@
+package websim
+
+// fieldLabels maps language code -> field key -> rendered label. The seven
+// languages are the ones the paper's CommonCrawl site roster spans
+// (English, Czech, Danish, Icelandic, Italian, Indonesian, Slovak).
+var fieldLabels = map[string]map[string]string{
+	"en": {
+		"director": "Director", "writer": "Writer", "cast": "Cast",
+		"genre": "Genres", "release": "Release date", "year": "Year",
+		"rating": "MPAA Rating", "born": "Born", "alias": "Also known as",
+		"series": "Series", "season": "Season", "episode": "Episode",
+		"soundtrack": "Music by", "home": "Home", "movies": "Movies",
+		"people": "People", "charts": "Charts",
+	},
+	"cs": {
+		"director": "Režie", "writer": "Scénář", "cast": "Hrají",
+		"genre": "Žánry", "release": "Datum premiéry", "year": "Rok",
+		"rating": "Přístupnost", "born": "Narozen", "alias": "Jiná jména",
+		"series": "Seriál", "season": "Série", "episode": "Epizoda",
+		"soundtrack": "Hudba", "home": "Úvod", "movies": "Filmy",
+		"people": "Tvůrci", "charts": "Žebříčky",
+	},
+	"da": {
+		"director": "Instruktør", "writer": "Manuskript", "cast": "Medvirkende",
+		"genre": "Genrer", "release": "Premieredato", "year": "År",
+		"rating": "Censur", "born": "Født", "alias": "Også kendt som",
+		"series": "Serie", "season": "Sæson", "episode": "Afsnit",
+		"soundtrack": "Musik af", "home": "Forside", "movies": "Film",
+		"people": "Personer", "charts": "Hitlister",
+	},
+	"is": {
+		"director": "Leikstjóri", "writer": "Handrit", "cast": "Leikarar",
+		"genre": "Tegundir", "release": "Frumsýnd", "year": "Ár",
+		"rating": "Aldurstakmark", "born": "Fæddur", "alias": "Einnig þekktur sem",
+		"series": "Þáttaröð", "season": "Sería", "episode": "Þáttur",
+		"soundtrack": "Tónlist", "home": "Forsíða", "movies": "Kvikmyndir",
+		"people": "Fólk", "charts": "Listar",
+	},
+	"it": {
+		"director": "Regia", "writer": "Sceneggiatura", "cast": "Interpreti",
+		"genre": "Generi", "release": "Data di uscita", "year": "Anno",
+		"rating": "Classificazione", "born": "Nato", "alias": "Noto anche come",
+		"series": "Serie", "season": "Stagione", "episode": "Episodio",
+		"soundtrack": "Musiche di", "home": "Home", "movies": "Film",
+		"people": "Persone", "charts": "Classifiche",
+	},
+	"id": {
+		"director": "Sutradara", "writer": "Penulis", "cast": "Pemeran",
+		"genre": "Genre", "release": "Tanggal rilis", "year": "Tahun",
+		"rating": "Klasifikasi", "born": "Lahir", "alias": "Nama lain",
+		"series": "Serial", "season": "Musim", "episode": "Episode",
+		"soundtrack": "Musik oleh", "home": "Beranda", "movies": "Film",
+		"people": "Orang", "charts": "Tangga",
+	},
+	"sk": {
+		"director": "Réžia", "writer": "Scenár", "cast": "Hrajú",
+		"genre": "Žánre", "release": "Dátum premiéry", "year": "Rok",
+		"rating": "Prístupnosť", "born": "Narodený", "alias": "Iné mená",
+		"series": "Seriál", "season": "Séria", "episode": "Epizóda",
+		"soundtrack": "Hudba", "home": "Úvod", "movies": "Filmy",
+		"people": "Ľudia", "charts": "Rebríčky",
+	},
+}
+
+// label resolves a field label, falling back to English.
+func label(lang, field string) string {
+	if m, ok := fieldLabels[lang]; ok {
+		if l, ok := m[field]; ok {
+			return l
+		}
+	}
+	return fieldLabels["en"][field]
+}

@@ -1,0 +1,268 @@
+package websim
+
+import (
+	"fmt"
+
+	"ceres/internal/dom"
+)
+
+// MovieSiteStyle parameterizes the movie detail-page template of one site:
+// layout family, CSS vocabulary, language, and the per-site failure modes
+// the paper's §5.5.1 discussion catalogues.
+type MovieSiteStyle struct {
+	// Layout selects the infobox family: "table", "dl" or "div".
+	Layout string
+	// Prefix namespaces CSS classes, so sites do not share features.
+	Prefix string
+	// Language selects field labels (ISO code; see labels.go).
+	Language string
+	// MissingFieldP is the probability any optional field is dropped from
+	// a page (templates tolerate missing data, §2.1).
+	MissingFieldP float64
+	// Recommendations adds a related-films rail whose cards repeat the
+	// genres of *other* films — the Example 3.2 annotation trap.
+	Recommendations bool
+	// ShuffleFields permutes infobox row order per page (the
+	// "template variety" error class: colonialfilm, bollywoodmdb).
+	ShuffleFields bool
+	// AllGenres lists every genre in the vocabulary on every page (the
+	// christianfilmdatabase/laborfilms "semantic ambiguity" error class).
+	AllGenres bool
+	// RoleConflation collapses director/writer/cast into one undivided
+	// credits list (spicyonion, filmindonesia).
+	RoleConflation bool
+	// DailyDates renders a long list of daily box-office dates instead of
+	// a single release date (the-numbers).
+	DailyDates bool
+	// UseItemprop emits schema.org-style itemprop attributes, one of the
+	// structural features of §4.2.
+	UseItemprop bool
+}
+
+// movieFieldOrder is the canonical infobox row order.
+var movieFieldOrder = []string{"director", "writer", "release", "year", "rating", "genre"}
+
+// BuildMovieSite renders one page per film in a single style — the
+// convenience entry point tests, examples and the quickstart use.
+// Recommendation rails draw from the whole world.
+func BuildMovieSite(w *World, films []*Film, style MovieSiteStyle, siteName string, seed int64) *Site {
+	r := newRNG(seed)
+	site := &Site{Name: siteName, Focus: "Films", Language: style.Language}
+	for i, f := range films {
+		related := sample(r, w.Films, 3)
+		site.Pages = append(site.Pages, RenderMoviePage(w, f, style, siteName, r.fork(int64(i)), related))
+	}
+	return site
+}
+
+// RenderMoviePage renders one film detail page in the site's style.
+// Related films supply the recommendation rail.
+func RenderMoviePage(w *World, f *Film, style MovieSiteStyle, siteName string, r *rng, related []*Film) *Page {
+	b := newPageBuilder(f.Title + " - " + siteName)
+	lang := style.Language
+	b.boilerplate(siteName, []string{label(lang, "home"), label(lang, "movies"), label(lang, "people")})
+
+	content := b.el(b.body, "div", "class", style.Prefix+"-content", "id", "content")
+	hero := b.el(content, "div", "class", style.Prefix+"-hero")
+	h1attrs := []string{}
+	if style.UseItemprop {
+		h1attrs = append(h1attrs, "itemprop", "name")
+	}
+	h1 := b.el(hero, "h1", h1attrs...)
+	b.fact(h1, "name", f.Title)
+
+	order := make([]string, len(movieFieldOrder))
+	copy(order, movieFieldOrder)
+	if style.ShuffleFields {
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+
+	if style.RoleConflation {
+		// One undivided credits list: directors, writers and cast all
+		// render identically, so no per-role fact is distinguishable. The
+		// page still asserts cast membership for the cast entries; we
+		// record only the cast facts (the site genuinely asserts "these
+		// people were involved", and treating the roles as
+		// indistinguishable is exactly the ambiguity the paper describes).
+		sec := b.el(content, "div", "class", style.Prefix+"-credits")
+		h := b.el(sec, "h3")
+		b.text(h, label(lang, "people"))
+		ul := b.el(sec, "ul")
+		everyone := append(append(append([]string{}, f.Directors...), f.Writers...), f.Cast...)
+		for _, pid := range dedup(everyone) {
+			li := b.el(ul, "li")
+			b.factIn(li, "a", PredCastMember, w.Person(pid).Name, "href", "/person/"+pid)
+		}
+	}
+
+	infoTag := "div"
+	switch style.Layout {
+	case "table":
+		infoTag = "table"
+	case "dl":
+		infoTag = "dl"
+	}
+	info := b.el(content, infoTag, "class", style.Prefix+"-infobox")
+	for _, field := range order {
+		if style.RoleConflation && (field == "director" || field == "writer") {
+			continue
+		}
+		if r.maybe(style.MissingFieldP) && field != "director" {
+			continue
+		}
+		switch field {
+		case "director":
+			values := personNames(w, f.Directors)
+			b.infoRow(style, info, label(lang, "director"), PredDirectedBy, values, "director")
+		case "writer":
+			values := personNames(w, f.Writers)
+			b.infoRow(style, info, label(lang, "writer"), PredWrittenBy, values, "writer")
+		case "release":
+			if style.DailyDates {
+				// Box-office style: a run of daily chart rows starting on
+				// the release day; subsequent rows are consecutive dates in
+				// near-identical cells — the paper's the-numbers failure
+				// mode, which drags film.hasReleaseDate precision to 0.41
+				// in its Table 9. Only the first row asserts the release
+				// date.
+				sec := b.el(content, "div", "class", style.Prefix+"-boxoffice")
+				h := b.el(sec, "h3")
+				b.text(h, label(lang, "charts"))
+				tbl := b.el(sec, "table")
+				// Preview screenings precede the official release, so the
+				// release-day row sits at a varying chart position — which
+				// is why a model trained on these annotations learns the
+				// whole chart column, not one row.
+				pre := r.between(1, 9)
+				post := r.between(6, 12)
+				for d := -pre; d <= post; d++ {
+					tr := b.el(tbl, "tr")
+					if d == 0 {
+						b.factIn(tr, "td", PredReleaseDate, f.ReleaseDate, "class", style.Prefix+"-date")
+					} else {
+						td := b.el(tr, "td", "class", style.Prefix+"-date")
+						b.text(td, shiftDate(f.ReleaseDate, d))
+					}
+					a2 := b.el(tr, "td")
+					b.text(a2, fmt.Sprintf("$%d", r.between(1000, 999999)))
+				}
+			} else {
+				b.infoRow(style, info, label(lang, "release"), PredReleaseDate, []string{f.ReleaseDate}, "release")
+			}
+		case "year":
+			b.infoRow(style, info, label(lang, "year"), PredReleaseYear, []string{fmt.Sprint(f.Year)}, "year")
+		case "rating":
+			b.infoRow(style, info, label(lang, "rating"), PredMPAARating, []string{f.Rating}, "rating")
+		case "genre":
+			if style.AllGenres {
+				// The failure mode: every page lists the full genre
+				// vocabulary (e.g. as a tag cloud); only the film's own
+				// genres are facts, but they are visually identical to the
+				// rest.
+				sec := b.el(content, "div", "class", style.Prefix+"-genres")
+				h := b.el(sec, "h3")
+				b.text(h, label(lang, "genre"))
+				ul := b.el(sec, "ul")
+				own := map[string]bool{}
+				for _, g := range f.Genres {
+					own[g] = true
+				}
+				for _, g := range genreList {
+					li := b.el(ul, "li")
+					if own[g] {
+						b.factIn(li, "a", PredGenre, g, "href", "#")
+					} else {
+						a := b.el(li, "a", "href", "#")
+						b.text(a, g)
+					}
+				}
+			} else {
+				b.infoRow(style, info, label(lang, "genre"), PredGenre, f.Genres, "genre")
+			}
+		}
+	}
+
+	if !style.RoleConflation {
+		sec := b.el(content, "div", "class", style.Prefix+"-cast")
+		h := b.el(sec, "h3")
+		b.text(h, label(lang, "cast"))
+		ul := b.el(sec, "ul")
+		for _, pid := range f.Cast {
+			li := b.el(ul, "li")
+			b.factIn(li, "a", PredCastMember, w.Person(pid).Name, "href", "/person/"+pid)
+		}
+	}
+
+	if style.Recommendations && len(related) > 0 {
+		rail := b.el(content, "div", "class", style.Prefix+"-reco")
+		h := b.el(rail, "h3")
+		b.text(h, "More like this")
+		for _, rf := range related {
+			card := b.el(rail, "div", "class", style.Prefix+"-card")
+			ta := b.el(card, "a", "href", "/film/"+rf.ID)
+			b.text(ta, rf.Title)
+			gl := b.el(card, "div", "class", style.Prefix+"-card-genres")
+			for _, g := range rf.Genres {
+				span := b.el(gl, "span")
+				b.text(span, g)
+			}
+		}
+	}
+
+	b.footer(siteName)
+	return b.build(f.ID, f.ID, "film", f.Title)
+}
+
+// infoRow renders one labelled key/value row in the site's layout family,
+// recording each value as a fact.
+func (b *pageBuilder) infoRow(style MovieSiteStyle, info *dom.Node, lbl, pred string, values []string, fieldClass string) {
+	switch style.Layout {
+	case "dl":
+		dt := b.el(info, "dt", "class", style.Prefix+"-"+fieldClass)
+		b.text(dt, lbl)
+		for _, v := range values {
+			dd := b.el(info, "dd", "class", style.Prefix+"-"+fieldClass)
+			b.factIn(dd, "span", pred, v)
+		}
+	case "div":
+		row := b.el(info, "div", "class", style.Prefix+"-row "+style.Prefix+"-"+fieldClass)
+		lab := b.el(row, "span", "class", style.Prefix+"-label")
+		b.text(lab, lbl)
+		vals := b.el(row, "span", "class", style.Prefix+"-values")
+		for _, v := range values {
+			b.factIn(vals, "a", pred, v, "href", "#")
+		}
+	default: // table
+		tr := b.el(info, "tr", "class", style.Prefix+"-"+fieldClass)
+		th := b.el(tr, "th")
+		b.text(th, lbl)
+		td := b.el(tr, "td")
+		for _, v := range values {
+			attrs := []string{"href", "#"}
+			if style.UseItemprop {
+				attrs = append(attrs, "itemprop", fieldClass)
+			}
+			b.factIn(td, "a", pred, v, attrs...)
+		}
+	}
+}
+
+func personNames(w *World, ids []string) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = w.Person(id).Name
+	}
+	return out
+}
+
+func dedup(xs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package websim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Word inventories for the deterministic name generators. They are large
+// enough that a few thousand entities rarely collide, while deliberately
+// permitting the collisions the paper highlights (episode titles reusing
+// film words, people sharing surnames).
+
+var firstNames = []string{
+	"Ada", "Alan", "Amara", "Andre", "Anika", "Arjun", "Astrid", "Benedikt",
+	"Bianca", "Carlos", "Chiara", "Dagny", "Dana", "Dario", "Devika",
+	"Edgar", "Eleni", "Emil", "Esther", "Fatima", "Felix", "Freja", "Gita",
+	"Goran", "Greta", "Hana", "Hugo", "Ines", "Ivan", "Jasper", "Jelena",
+	"Joaquin", "Jonas", "Kaito", "Kamil", "Katya", "Lars", "Leila", "Luca",
+	"Magnus", "Mai", "Marek", "Mina", "Naomi", "Nikolaj", "Noor", "Olaf",
+	"Oksana", "Otto", "Paloma", "Pavel", "Priya", "Rafael", "Renata",
+	"Rhea", "Rosa", "Samir", "Selma", "Sigrid", "Soren", "Tariq", "Tessa",
+	"Tomas", "Uma", "Viktor", "Wanda", "Yara", "Yusuf", "Zara", "Zoltan",
+}
+
+var lastNames = []string{
+	"Abadi", "Almeida", "Andersen", "Baran", "Bergstrom", "Bianchi",
+	"Borkowski", "Calloway", "Castellanos", "Cermak", "Chandra", "Dahl",
+	"Dimitrov", "Dvorak", "Eriksen", "Farouk", "Ferrante", "Fiala",
+	"Gallardo", "Gruber", "Halvorsen", "Haraldsson", "Hoffmann", "Ibarra",
+	"Ilic", "Janda", "Jensen", "Kapoor", "Karlsson", "Kimura", "Kowalski",
+	"Kral", "Laine", "Lindqvist", "Lombardi", "Marchetti", "Mbeki",
+	"Moreau", "Moretti", "Nakamura", "Navarro", "Novak", "Nygaard",
+	"Okafor", "Olsen", "Ortega", "Pavlov", "Pedersen", "Petrova", "Prasad",
+	"Quintero", "Rahal", "Rasmussen", "Ricci", "Rostova", "Salazar",
+	"Santos", "Sedlak", "Sharma", "Sigurdsson", "Skov", "Sorensen",
+	"Stastny", "Suzuki", "Szabo", "Takahashi", "Urbanek", "Valdez",
+	"Vang", "Vasiliev", "Vesely", "Virtanen", "Weber", "Yamada", "Zeman",
+	"Zielinski",
+}
+
+var titleAdjectives = []string{
+	"Silent", "Crimson", "Broken", "Hidden", "Golden", "Burning", "Frozen",
+	"Hollow", "Midnight", "Restless", "Savage", "Scarlet", "Shattered",
+	"Electric", "Velvet", "Wandering", "Forgotten", "Iron", "Paper",
+	"Glass", "Distant", "Bitter", "Radiant", "Quiet", "Stolen", "Wild",
+	"Last", "First", "Endless", "Neon",
+}
+
+var titleNouns = []string{
+	"Harbor", "Garden", "River", "Mirror", "Empire", "Winter", "Summer",
+	"Horizon", "Shadow", "Lantern", "Orchard", "Station", "Voyage",
+	"Archive", "Carnival", "Fortress", "Meadow", "Monsoon", "Compass",
+	"Threshold", "Labyrinth", "Parade", "Reckoning", "Sanctuary", "Tides",
+	"Vigil", "Whisper", "Cathedral", "Pilgrim", "Daughter", "Son",
+	"Stranger", "Detective", "Kingdom", "Island", "Bridge", "Mountain",
+	"Letter", "Debt", "Promise",
+}
+
+var titleGerunds = []string{
+	"Chasing", "Finding", "Leaving", "Remembering", "Breaking", "Keeping",
+	"Crossing", "Burning", "Waking", "Counting", "Forgetting", "Holding",
+}
+
+var genreList = []string{
+	"Comedy", "Drama", "Action", "Thriller", "Romance", "Horror",
+	"Documentary", "Animation", "Adventure", "Mystery", "Crime", "Fantasy",
+	"Science Fiction", "Western", "Musical", "Biography", "War", "Family",
+}
+
+var cityNames = []string{
+	"Brooklyn", "Copenhagen", "Prague", "Reykjavik", "Milan", "Jakarta",
+	"Bratislava", "Lagos", "Mumbai", "Seoul", "Osaka", "Marseille",
+	"Valparaiso", "Gdansk", "Tampere", "Aarhus", "Brno", "Bergen",
+	"Cartagena", "Fortaleza", "Kyoto", "Lisbon", "Porto", "Sevilla",
+	"Krakow", "Ostrava", "Malmo", "Uppsala", "Galway", "Leipzig",
+	"Dresden", "Graz", "Ghent", "Utrecht", "Turin", "Palermo",
+}
+
+var mpaaRatings = []string{"G", "PG", "PG-13", "R", "NR"}
+
+// namer produces unique names from the inventories, tracking what it has
+// handed out. A small collision rate is allowed through aliasesOf.
+type namer struct {
+	r    *rng
+	used map[string]bool
+}
+
+func newNamer(r *rng) *namer {
+	return &namer{r: r, used: map[string]bool{}}
+}
+
+// unique draws from gen until it produces an unused name (suffixing a
+// roman numeral after too many collisions, like real film sequels).
+func (n *namer) unique(gen func() string) string {
+	for i := 0; ; i++ {
+		name := gen()
+		if i > 20 {
+			name = name + " " + roman(n.r.between(2, 5))
+		}
+		if !n.used[name] {
+			n.used[name] = true
+			return name
+		}
+	}
+}
+
+func roman(n int) string {
+	switch n {
+	case 2:
+		return "II"
+	case 3:
+		return "III"
+	case 4:
+		return "IV"
+	default:
+		return "V"
+	}
+}
+
+// personName draws a "First Last" name.
+func (n *namer) personName() string {
+	return n.unique(func() string {
+		return pick(n.r, firstNames) + " " + pick(n.r, lastNames)
+	})
+}
+
+// aliasesOf derives 0–2 plausible aliases: comma-inverted and initialed
+// forms, which exercise the token-set fuzzy matcher.
+func (n *namer) aliasesOf(name string) []string {
+	parts := strings.SplitN(name, " ", 2)
+	if len(parts) != 2 {
+		return nil
+	}
+	var out []string
+	if n.r.maybe(0.5) {
+		out = append(out, parts[1]+", "+parts[0])
+	}
+	if n.r.maybe(0.25) {
+		out = append(out, fmt.Sprintf("%c. %s", parts[0][0], parts[1]))
+	}
+	return out
+}
+
+// filmTitle draws a film title in one of several shapes.
+func (n *namer) filmTitle() string {
+	return n.unique(func() string {
+		switch n.r.Intn(5) {
+		case 0:
+			return "The " + pick(n.r, titleAdjectives) + " " + pick(n.r, titleNouns)
+		case 1:
+			return pick(n.r, titleAdjectives) + " " + pick(n.r, titleNouns)
+		case 2:
+			return pick(n.r, titleGerunds) + " " + pick(n.r, titleNouns)
+		case 3:
+			return pick(n.r, titleNouns) + " of " + pick(n.r, titleNouns)
+		default:
+			return "The " + pick(n.r, titleNouns)
+		}
+	})
+}
+
+// seriesTitle draws a TV-series title.
+func (n *namer) seriesTitle() string {
+	return n.unique(func() string {
+		return pick(n.r, titleNouns) + " " + pick(n.r, []string{"Files", "Chronicles", "Stories", "Unit", "Lane", "County"})
+	})
+}
+
+// episodeTitle draws an episode title; with probability pilotP it is
+// "Pilot", reproducing the paper's thousands-of-episodes-named-Pilot
+// ambiguity.
+func (n *namer) episodeTitle(pilotP float64) string {
+	if n.r.maybe(pilotP) {
+		return "Pilot"
+	}
+	switch n.r.Intn(3) {
+	case 0:
+		return "The " + pick(n.r, titleNouns)
+	case 1:
+		return pick(n.r, titleAdjectives) + " " + pick(n.r, titleNouns)
+	default:
+		return pick(n.r, titleGerunds) + " " + pick(n.r, titleNouns)
+	}
+}
+
+var monthNames = []string{
+	"January", "February", "March", "April", "May", "June", "July",
+	"August", "September", "October", "November", "December",
+}
+
+// dateString renders a date like "12 June 1989".
+func (r *rng) dateString(yearLo, yearHi int) string {
+	return fmt.Sprintf("%d %s %d", r.between(1, 28), pick(r, monthNames), r.between(yearLo, yearHi))
+}
+
+// shiftDate advances a "12 June 1989"-style date by n days, clamping
+// within the month (chart rows only need plausible consecutive days).
+func shiftDate(date string, n int) string {
+	var day, year int
+	var month string
+	if _, err := fmt.Sscanf(date, "%d %s %d", &day, &month, &year); err != nil {
+		return date
+	}
+	day += n
+	for day > 28 {
+		day -= 27
+	}
+	for day < 1 {
+		day += 27
+	}
+	return fmt.Sprintf("%d %s %d", day, month, year)
+}
+
+// isbn13 renders a deterministic pseudo-ISBN.
+func (r *rng) isbn13() string {
+	return fmt.Sprintf("978-%d-%04d-%04d-%d", r.between(0, 9), r.Intn(10000), r.Intn(10000), r.between(0, 9))
+}
+
+// phone renders a US-style phone number.
+func (r *rng) phone() string {
+	return fmt.Sprintf("(%03d) %03d-%04d", r.between(200, 989), r.between(200, 999), r.Intn(10000))
+}

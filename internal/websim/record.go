@@ -1,0 +1,61 @@
+package websim
+
+// recordStyle parameterizes the generic detail-page template used by the
+// Book, NBAPlayer and University verticals. Ten sites per vertical get ten
+// distinct styles, mirroring SWDE's per-site template diversity.
+type recordStyle struct {
+	layout       string // "table", "dl", "div"
+	prefix       string
+	itemprop     bool
+	labelVariant int
+	missingP     float64
+	// extraBoilerplate injects site-specific junk sections (e.g. the
+	// university search box that lists every Type value on every page).
+	extraBoilerplate func(b *pageBuilder)
+}
+
+// recordRow is one labelled field of a record page.
+type recordRow struct {
+	field  string // stable field key, also used as CSS class
+	labels []string
+	pred   string
+	values []string
+	// required rows are never dropped by the missing-field noise.
+	required bool
+}
+
+// renderRecordPage renders a generic detail page: heading plus labelled
+// rows in the site's layout.
+func renderRecordPage(siteName string, style recordStyle, id, topicID, topicType, topicName string, rows []recordRow, r *rng) *Page {
+	b := newPageBuilder(topicName + " - " + siteName)
+	b.boilerplate(siteName, []string{"Home", "Browse", "About"})
+	if style.extraBoilerplate != nil {
+		style.extraBoilerplate(b)
+	}
+	content := b.el(b.body, "div", "id", "content", "class", style.prefix+"-detail")
+	hattrs := []string{"class", style.prefix + "-heading"}
+	if style.itemprop {
+		hattrs = append(hattrs, "itemprop", "name")
+	}
+	heading := b.el(content, "h1", hattrs...)
+	b.fact(heading, "name", topicName)
+
+	ms := MovieSiteStyle{Layout: style.layout, Prefix: style.prefix, UseItemprop: style.itemprop}
+	infoTag := "div"
+	switch style.layout {
+	case "table":
+		infoTag = "table"
+	case "dl":
+		infoTag = "dl"
+	}
+	info := b.el(content, infoTag, "class", style.prefix+"-info")
+	for _, row := range rows {
+		if !row.required && r.maybe(style.missingP) {
+			continue
+		}
+		lbl := row.labels[style.labelVariant%len(row.labels)]
+		b.infoRow(ms, info, lbl, row.pred, row.values, row.field)
+	}
+	b.footer(siteName)
+	return b.build(id, topicID, topicType, topicName)
+}

@@ -1,0 +1,55 @@
+package websim
+
+import "math/rand"
+
+// rng wraps math/rand with the sampling helpers the generators use. A
+// child generator derives its own stream via fork, so adding pages to one
+// site never perturbs another.
+type rng struct {
+	*rand.Rand
+}
+
+func newRNG(seed int64) *rng {
+	return &rng{rand.New(rand.NewSource(seed))}
+}
+
+// fork derives an independent deterministic stream labelled by salt.
+func (r *rng) fork(salt int64) *rng {
+	const mix = int64(-0x61C8864680B583EB) // golden-ratio mixer, two's complement
+	return newRNG(r.Int63() ^ salt*mix)
+}
+
+// pick returns a uniformly random element of xs.
+func pick[T any](r *rng, xs []T) T {
+	return xs[r.Intn(len(xs))]
+}
+
+// maybe returns true with probability p.
+func (r *rng) maybe(p float64) bool {
+	return r.Float64() < p
+}
+
+// between returns a uniform int in [lo, hi].
+func (r *rng) between(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// sample returns k distinct elements of xs (or all of them if k >= len).
+// Order is random; xs is not modified.
+func sample[T any](r *rng, xs []T, k int) []T {
+	if k >= len(xs) {
+		out := make([]T, len(xs))
+		copy(out, xs)
+		r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	idx := r.Perm(len(xs))[:k]
+	out := make([]T, k)
+	for i, j := range idx {
+		out[i] = xs[j]
+	}
+	return out
+}

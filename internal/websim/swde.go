@@ -1,0 +1,423 @@
+package websim
+
+import (
+	"fmt"
+
+	"ceres/internal/kb"
+)
+
+// Predicate names for the non-movie SWDE verticals (paper Table 1).
+const (
+	PredBookAuthor    = "book.hasAuthor.person"
+	PredBookISBN      = "book.isbn13.value"
+	PredBookPublisher = "book.publisher.value"
+	PredBookPubDate   = "book.publicationDate.value"
+
+	PredNBATeam   = "player.playsFor.team"
+	PredNBAHeight = "player.height.value"
+	PredNBAWeight = "player.weight.value"
+
+	PredUniPhone   = "university.phone.value"
+	PredUniWebsite = "university.website.value"
+	PredUniType    = "university.type.value"
+)
+
+// VerticalPredicates lists the evaluated predicates per vertical, matching
+// Table 1 ("name"/title included as the topic predicate).
+var VerticalPredicates = map[string][]string{
+	"Movie":      {"name", PredDirectedBy, PredGenre, PredMPAARating},
+	"Book":       {"name", PredBookAuthor, PredBookISBN, PredBookPublisher, PredBookPubDate},
+	"NBAPlayer":  {"name", PredNBAHeight, PredNBATeam, PredNBAWeight},
+	"University": {"name", PredUniPhone, PredUniWebsite, PredUniType},
+}
+
+// SWDE bundles the generated benchmark: four verticals of ten sites each,
+// plus the per-vertical seed KB (the Movie KB derives from the world — the
+// IMDb-dump analogue; the others derive from the ground truth of the first
+// site in the vertical, as in §5.1.1).
+type SWDE struct {
+	Verticals map[string]*Vertical
+	SeedKBs   map[string]*kb.KB
+	World     *World // the movie world behind the Movie vertical
+}
+
+// SWDEConfig scales the benchmark. PagesPerSite maps vertical name to site
+// size; zero entries take the ~1:10-scale defaults (Movie 200, Book 200,
+// NBAPlayer 44, University 167).
+type SWDEConfig struct {
+	Seed         int64
+	PagesPerSite map[string]int
+	// BookOverlaps optionally fixes, per non-seed book site, how many of
+	// its books also exist on the seed site (and hence in the seed KB) —
+	// the Figure 4 sweep variable. Defaults descend from plentiful to
+	// nearly none.
+	BookOverlaps []int
+}
+
+func (c SWDEConfig) pages(vertical string, def int) int {
+	if n, ok := c.PagesPerSite[vertical]; ok && n > 0 {
+		return n
+	}
+	return def
+}
+
+// GenerateSWDE builds the full benchmark.
+func GenerateSWDE(cfg SWDEConfig) *SWDE {
+	r := newRNG(cfg.Seed)
+	out := &SWDE{
+		Verticals: map[string]*Vertical{},
+		SeedKBs:   map[string]*kb.KB{},
+	}
+
+	// ----- Movie vertical: rendered from the shared movie world. -----
+	world := NewWorld(WorldConfig{Seed: r.Int63()})
+	out.World = world
+	moviePages := cfg.pages("Movie", 200)
+	mv := &Vertical{Name: "Movie", Predicates: VerticalPredicates["Movie"]}
+	for s := 0; s < 10; s++ {
+		style := MovieSiteStyle{
+			Layout:          []string{"table", "dl", "div"}[s%3],
+			Prefix:          fmt.Sprintf("mv%d", s),
+			Language:        "en",
+			MissingFieldP:   0.05 + 0.01*float64(s),
+			Recommendations: s%2 == 0,
+			UseItemprop:     s%4 == 0,
+		}
+		site := &Site{Name: fmt.Sprintf("movie-site-%d", s), Focus: "Films", Language: "en"}
+		sr := r.fork(int64(100 + s))
+		films := sample(sr, world.Films, moviePages)
+		for _, f := range films {
+			related := sample(sr, world.Films, 3)
+			site.Pages = append(site.Pages, RenderMoviePage(world, f, style, site.Name, sr.fork(int64(len(site.Pages))), related))
+		}
+		mv.Sites = append(mv.Sites, site)
+	}
+	out.Verticals["Movie"] = mv
+	out.SeedKBs["Movie"] = BuildKB(world, FullCoverage(), r.Int63())
+
+	// ----- Book vertical. -----
+	bookPages := cfg.pages("Book", 200)
+	overlaps := cfg.BookOverlaps
+	if overlaps == nil {
+		overlaps = defaultBookOverlaps(bookPages)
+	}
+	bv, bookKB := generateBookVertical(r.fork(7), bookPages, overlaps)
+	out.Verticals["Book"] = bv
+	out.SeedKBs["Book"] = bookKB
+
+	// ----- NBAPlayer vertical. -----
+	nv, nbaKB := generateNBAVertical(r.fork(8), cfg.pages("NBAPlayer", 44))
+	out.Verticals["NBAPlayer"] = nv
+	out.SeedKBs["NBAPlayer"] = nbaKB
+
+	// ----- University vertical. -----
+	uv, uniKB := generateUniversityVertical(r.fork(9), cfg.pages("University", 167))
+	out.Verticals["University"] = uv
+	out.SeedKBs["University"] = uniKB
+
+	return out
+}
+
+// defaultBookOverlaps descends from high overlap to the nearly-disjoint
+// sites of Figure 4 ("four of the sites had 5 or fewer pages representing
+// books existing in our KB").
+func defaultBookOverlaps(pages int) []int {
+	f := func(x float64) int {
+		n := int(x * float64(pages))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return []int{f(0.6), f(0.4), f(0.25), f(0.12), f(0.06), 5, 4, 2, 1}
+}
+
+// ---------------------------------------------------------------- books
+
+type book struct {
+	id, title, isbn, publisher, pubDate string
+	authors                             []string
+}
+
+func bookOntology() *kb.Ontology {
+	return kb.NewOntology(
+		kb.Predicate{Name: PredBookAuthor, Domain: "book", MultiValued: true},
+		kb.Predicate{Name: PredBookISBN, Domain: "book"},
+		kb.Predicate{Name: PredBookPublisher, Domain: "book"},
+		kb.Predicate{Name: PredBookPubDate, Domain: "book"},
+	)
+}
+
+var publisherNames = []string{
+	"Harbor House", "Meridian Press", "Blue Lantern Books", "Cobalt & Finch",
+	"Northlight Publishing", "Paper Compass", "Vantage Row", "Silver Birch",
+	"Foxglove Editions", "Atlas & Crane", "Millbrook Press", "Old Harbor",
+}
+
+func generateBookVertical(r *rng, pagesPerSite int, overlaps []int) (*Vertical, *kb.KB) {
+	nm := newNamer(r)
+	nBooks := pagesPerSite * 6
+	books := make([]*book, nBooks)
+	for i := range books {
+		nAuth := r.between(1, 2)
+		authors := make([]string, nAuth)
+		for j := range authors {
+			authors[j] = nm.personName()
+		}
+		books[i] = &book{
+			id:        fmt.Sprintf("book%05d", i),
+			title:     nm.filmTitle(), // shared title generator: overlap-rich
+			isbn:      r.isbn13(),
+			publisher: pick(r, publisherNames),
+			pubDate:   r.dateString(1990, 2016),
+			authors:   authors,
+		}
+	}
+	v := &Vertical{Name: "Book", Predicates: VerticalPredicates["Book"]}
+	// Site 0 is the KB-source site (the abebooks.com analogue).
+	seedBooks := sample(r, books, pagesPerSite)
+	seedSet := map[string]bool{}
+	for _, bk := range seedBooks {
+		seedSet[bk.id] = true
+	}
+	var rest []*book
+	for _, bk := range books {
+		if !seedSet[bk.id] {
+			rest = append(rest, bk)
+		}
+	}
+	bookRows := func(bk *book) []recordRow {
+		return []recordRow{
+			{field: "author", labels: []string{"Author", "Written by", "By"}, pred: PredBookAuthor, values: bk.authors, required: true},
+			{field: "publisher", labels: []string{"Publisher", "Published by", "Imprint"}, pred: PredBookPublisher, values: []string{bk.publisher}},
+			{field: "pubdate", labels: []string{"Publication Date", "Published", "Date"}, pred: PredBookPubDate, values: []string{bk.pubDate}},
+			{field: "isbn", labels: []string{"ISBN-13", "ISBN", "EAN"}, pred: PredBookISBN, values: []string{bk.isbn}},
+		}
+	}
+	for s := 0; s < 10; s++ {
+		style := recordStyle{
+			layout:       []string{"table", "dl", "div"}[s%3],
+			prefix:       fmt.Sprintf("bk%d", s),
+			itemprop:     s%3 == 1,
+			labelVariant: s % 3,
+			missingP:     0.06,
+		}
+		site := &Site{Name: fmt.Sprintf("book-site-%d", s), Focus: "Books", Language: "en"}
+		sr := r.fork(int64(200 + s))
+		var siteBooks []*book
+		if s == 0 {
+			siteBooks = seedBooks
+		} else {
+			overlap := overlaps[(s-1)%len(overlaps)]
+			if overlap > pagesPerSite {
+				overlap = pagesPerSite
+			}
+			siteBooks = append(siteBooks, sample(sr, seedBooks, overlap)...)
+			siteBooks = append(siteBooks, sample(sr, rest, pagesPerSite-len(siteBooks))...)
+		}
+		for i, bk := range siteBooks {
+			site.Pages = append(site.Pages, renderRecordPage(site.Name, style, pageID("b", i), bk.id, "book", bk.title, bookRows(bk), sr.fork(int64(i))))
+		}
+		v.Sites = append(v.Sites, site)
+	}
+	return v, kbFromSiteGold(bookOntology(), v.Sites[0], "book")
+}
+
+// ---------------------------------------------------------------- NBA
+
+func nbaOntology() *kb.Ontology {
+	return kb.NewOntology(
+		kb.Predicate{Name: PredNBATeam, Domain: "player"},
+		kb.Predicate{Name: PredNBAHeight, Domain: "player"},
+		kb.Predicate{Name: PredNBAWeight, Domain: "player"},
+	)
+}
+
+var teamCities = []string{
+	"Ashford", "Brookhaven", "Calder", "Duneport", "Eastvale", "Fairmont",
+	"Galeton", "Harborview", "Ironwood", "Junction City", "Kingsridge",
+	"Lakemoor", "Midland", "Northgate", "Oakcrest", "Pinehurst",
+	"Quarry Bay", "Riverton", "Stonebridge", "Twin Falls", "Umberland",
+	"Vistamar", "Westfield", "Yorkdale", "Zephyr Hills", "Claymore",
+	"Drummond", "Eldridge", "Fallsworth", "Granville",
+}
+
+var teamMascots = []string{
+	"Hawks", "Comets", "Pioneers", "Wolves", "Stags", "Voyagers",
+	"Thunder", "Mariners", "Foxes", "Sentinels", "Drifters", "Titans",
+	"Monarchs", "Rapids", "Summit", "Cyclones", "Falcons", "Bears",
+	"Chargers", "Lynx", "Raiders", "Spartans", "Coyotes", "Phantoms",
+	"Suns", "Crows", "Herons", "Badgers", "Otters", "Vipers",
+}
+
+type nbaPlayer struct {
+	id, name, team, height, weight string
+}
+
+func generateNBAVertical(r *rng, pagesPerSite int) (*Vertical, *kb.KB) {
+	nm := newNamer(r)
+	teams := make([]string, 30)
+	for i := range teams {
+		teams[i] = teamCities[i] + " " + teamMascots[i]
+	}
+	nPlayers := pagesPerSite * 2
+	players := make([]*nbaPlayer, nPlayers)
+	for i := range players {
+		players[i] = &nbaPlayer{
+			id:     fmt.Sprintf("plyr%04d", i),
+			name:   nm.personName(),
+			team:   pick(r, teams),
+			height: fmt.Sprintf("%d-%d", r.between(5, 7), r.between(0, 11)),
+			weight: fmt.Sprintf("%d lbs", r.between(160, 290)),
+		}
+	}
+	rows := func(p *nbaPlayer) []recordRow {
+		return []recordRow{
+			{field: "team", labels: []string{"Team", "Current Team", "Club"}, pred: PredNBATeam, values: []string{p.team}, required: true},
+			{field: "height", labels: []string{"Height", "HT"}, pred: PredNBAHeight, values: []string{p.height}, required: true},
+			{field: "weight", labels: []string{"Weight", "WT"}, pred: PredNBAWeight, values: []string{p.weight}, required: true},
+		}
+	}
+	v := &Vertical{Name: "NBAPlayer", Predicates: VerticalPredicates["NBAPlayer"]}
+	for s := 0; s < 10; s++ {
+		style := recordStyle{
+			layout:       []string{"table", "div", "dl"}[s%3],
+			prefix:       fmt.Sprintf("nba%d", s),
+			itemprop:     s%5 == 0,
+			labelVariant: s % 2,
+			missingP:     0.02,
+		}
+		site := &Site{Name: fmt.Sprintf("nba-site-%d", s), Focus: "NBA players", Language: "en"}
+		sr := r.fork(int64(300 + s))
+		sitePlayers := sample(sr, players, pagesPerSite)
+		for i, p := range sitePlayers {
+			site.Pages = append(site.Pages, renderRecordPage(site.Name, style, pageID("n", i), p.id, "player", p.name, rows(p), sr.fork(int64(i))))
+		}
+		v.Sites = append(v.Sites, site)
+	}
+	return v, kbFromSiteGold(nbaOntology(), v.Sites[0], "player")
+}
+
+// ---------------------------------------------------------------- universities
+
+func universityOntology() *kb.Ontology {
+	return kb.NewOntology(
+		kb.Predicate{Name: PredUniPhone, Domain: "university"},
+		kb.Predicate{Name: PredUniWebsite, Domain: "university"},
+		kb.Predicate{Name: PredUniType, Domain: "university"},
+	)
+}
+
+type university struct {
+	id, name, phone, website, utype string
+}
+
+func generateUniversityVertical(r *rng, pagesPerSite int) (*Vertical, *kb.KB) {
+	nUnis := pagesPerSite * 2
+	unis := make([]*university, nUnis)
+	usedNames := map[string]bool{}
+	for i := range unis {
+		var name string
+		for attempt := 0; ; attempt++ {
+			city := pick(r, teamCities)
+			switch r.Intn(3) {
+			case 0:
+				name = city + " University"
+			case 1:
+				name = "University of " + city
+			default:
+				name = city + " " + pick(r, []string{"State University", "College", "Institute of Technology"})
+			}
+			if attempt > 30 {
+				// The combinatorial name pool is finite; large worlds get
+				// campus-style qualifiers.
+				name = name + " at " + pick(r, cityNames)
+			}
+			if !usedNames[name] {
+				usedNames[name] = true
+				break
+			}
+		}
+		slug := ""
+		for _, c := range name {
+			if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+				slug += string(c | 0x20)
+			}
+		}
+		if len(slug) > 12 {
+			slug = slug[:12]
+		}
+		utype := "Public"
+		if r.maybe(0.4) {
+			utype = "Private"
+		}
+		unis[i] = &university{
+			id:      fmt.Sprintf("uni%04d", i),
+			name:    name,
+			phone:   r.phone(),
+			website: "www." + slug + ".edu",
+			utype:   utype,
+		}
+	}
+	rows := func(u *university) []recordRow {
+		return []recordRow{
+			{field: "phone", labels: []string{"Phone", "Telephone", "Contact"}, pred: PredUniPhone, values: []string{u.phone}, required: true},
+			{field: "website", labels: []string{"Website", "Web", "URL"}, pred: PredUniWebsite, values: []string{u.website}, required: true},
+			{field: "type", labels: []string{"Type", "Institution Type", "Control"}, pred: PredUniType, values: []string{u.utype}, required: true},
+		}
+	}
+	// The search-box trap (§5.3): one site lists both Type values inside a
+	// filter form on every page, which poisons annotation for that
+	// predicate.
+	searchBox := func(b *pageBuilder) {
+		form := b.el(b.body, "form", "class", "filter-box")
+		lblEl := b.el(form, "span")
+		b.text(lblEl, "Filter by type:")
+		sel := b.el(form, "select", "name", "type")
+		o1 := b.el(sel, "option")
+		b.text(o1, "Public")
+		o2 := b.el(sel, "option")
+		b.text(o2, "Private")
+	}
+	v := &Vertical{Name: "University", Predicates: VerticalPredicates["University"]}
+	for s := 0; s < 10; s++ {
+		style := recordStyle{
+			layout:       []string{"div", "table", "dl"}[s%3],
+			prefix:       fmt.Sprintf("uni%d", s),
+			itemprop:     s%4 == 2,
+			labelVariant: s % 3,
+			missingP:     0.03,
+		}
+		if s == 7 {
+			style.extraBoilerplate = searchBox
+		}
+		site := &Site{Name: fmt.Sprintf("university-site-%d", s), Focus: "Universities", Language: "en"}
+		sr := r.fork(int64(400 + s))
+		siteUnis := sample(sr, unis, pagesPerSite)
+		for i, u := range siteUnis {
+			site.Pages = append(site.Pages, renderRecordPage(site.Name, style, pageID("u", i), u.id, "university", u.name, rows(u), sr.fork(int64(i))))
+		}
+		v.Sites = append(v.Sites, site)
+	}
+	return v, kbFromSiteGold(universityOntology(), v.Sites[0], "university")
+}
+
+// kbFromSiteGold builds a seed KB from the ground truth of one site — the
+// paper's protocol for the Book, NBAPlayer and University verticals
+// ("arbitrarily chose the first website ... and used its ground truth to
+// construct the seed KB").
+func kbFromSiteGold(ont *kb.Ontology, site *Site, entityType string) *kb.KB {
+	k := kb.New(ont)
+	for _, p := range site.DetailPages() {
+		if _, exists := k.Entity(p.TopicID); !exists {
+			mustAdd(k.AddEntity(kb.Entity{ID: p.TopicID, Type: entityType, Name: p.TopicName}))
+		}
+		for _, f := range p.GoldValues() {
+			if f.Predicate == "name" || !ont.Has(f.Predicate) {
+				continue
+			}
+			mustAdd(k.AddTriple(kb.Triple{Subject: p.TopicID, Predicate: f.Predicate, Object: kb.LiteralObject(f.Value)}))
+		}
+	}
+	return k
+}

@@ -1,0 +1,139 @@
+package websim
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinySWDE() SWDEConfig {
+	return SWDEConfig{
+		Seed: 1,
+		PagesPerSite: map[string]int{
+			"Movie": 20, "Book": 24, "NBAPlayer": 12, "University": 16,
+		},
+		BookOverlaps: []int{18, 12, 8, 5, 4, 3, 2, 1, 1},
+	}
+}
+
+func TestGenerateSWDEShape(t *testing.T) {
+	s := GenerateSWDE(tinySWDE())
+	if len(s.Verticals) != 4 {
+		t.Fatalf("want 4 verticals, got %d", len(s.Verticals))
+	}
+	for name, v := range s.Verticals {
+		if len(v.Sites) != 10 {
+			t.Errorf("%s: want 10 sites, got %d", name, len(v.Sites))
+		}
+		if s.SeedKBs[name] == nil || s.SeedKBs[name].NumTriples() == 0 {
+			t.Errorf("%s: empty seed KB", name)
+		}
+		for _, site := range v.Sites {
+			if site.NumPages() == 0 {
+				t.Errorf("%s/%s has no pages", name, site.Name)
+			}
+			for _, p := range site.DetailPages() {
+				if p.TopicName == "" || p.TopicID == "" {
+					t.Errorf("%s/%s/%s missing topic metadata", name, site.Name, p.ID)
+				}
+			}
+		}
+	}
+	if got := s.Verticals["NBAPlayer"].Sites[0].NumPages(); got != 12 {
+		t.Errorf("NBA site size = %d, want 12", got)
+	}
+}
+
+func TestSWDEFactPathsSample(t *testing.T) {
+	s := GenerateSWDE(tinySWDE())
+	for name, v := range s.Verticals {
+		for _, site := range v.Sites[:3] {
+			for _, p := range site.Pages[:minInt(4, len(site.Pages))] {
+				verifyFactPaths(t, p)
+			}
+		}
+		_ = name
+	}
+}
+
+func TestBookOverlapControl(t *testing.T) {
+	cfg := tinySWDE()
+	s := GenerateSWDE(cfg)
+	bookKB := s.SeedKBs["Book"]
+	v := s.Verticals["Book"]
+	// Site 0 is the KB source: all of its books overlap.
+	for si, site := range v.Sites {
+		overlap := 0
+		for _, p := range site.DetailPages() {
+			if _, ok := bookKB.Entity(p.TopicID); ok {
+				overlap++
+			}
+		}
+		if si == 0 {
+			if overlap != site.NumPages() {
+				t.Errorf("seed site overlap = %d/%d", overlap, site.NumPages())
+			}
+			continue
+		}
+		want := cfg.BookOverlaps[si-1]
+		if overlap != want {
+			t.Errorf("site %d overlap = %d, want %d", si, overlap, want)
+		}
+	}
+}
+
+func TestUniversitySearchBoxTrap(t *testing.T) {
+	s := GenerateSWDE(tinySWDE())
+	site := s.Verticals["University"].Sites[7]
+	for _, p := range site.Pages[:3] {
+		if !strings.Contains(p.HTML, "Filter by type:") {
+			t.Fatalf("site 7 should carry the search-box trap")
+		}
+		// Both type values appear on every page, but only the true one is
+		// a fact.
+		typeFacts := 0
+		for _, f := range p.Facts {
+			if f.Predicate == PredUniType {
+				typeFacts++
+			}
+		}
+		if typeFacts != 1 {
+			t.Errorf("want exactly 1 type fact, got %d", typeFacts)
+		}
+		if !strings.Contains(p.HTML, "Public") || !strings.Contains(p.HTML, "Private") {
+			t.Errorf("search box should list both type values")
+		}
+	}
+	// Other sites do not carry the trap.
+	if strings.Contains(s.Verticals["University"].Sites[0].Pages[0].HTML, "Filter by type:") {
+		t.Errorf("site 0 should not carry the search box")
+	}
+}
+
+func TestSWDEDeterminism(t *testing.T) {
+	a := GenerateSWDE(tinySWDE())
+	b := GenerateSWDE(tinySWDE())
+	pa := a.Verticals["Movie"].Sites[0].Pages[0]
+	pb := b.Verticals["Movie"].Sites[0].Pages[0]
+	if pa.HTML != pb.HTML {
+		t.Errorf("same seed should give identical pages")
+	}
+}
+
+func TestTemplateDiversityAcrossSites(t *testing.T) {
+	s := GenerateSWDE(tinySWDE())
+	v := s.Verticals["Book"]
+	// Different sites use different class prefixes, so pages from
+	// different sites must differ structurally.
+	h0 := v.Sites[0].Pages[0].HTML
+	h1 := v.Sites[1].Pages[0].HTML
+	if strings.Contains(h1, "bk0-") || strings.Contains(h0, "bk1-") {
+		t.Errorf("site CSS prefixes leaked across sites")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

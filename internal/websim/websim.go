@@ -1,0 +1,124 @@
+// Package websim generates the synthetic corpora this repository uses in
+// place of the paper's proprietary evaluation data (SWDE, a May-2017 IMDb
+// crawl, and 33 CommonCrawl movie sites — see DESIGN.md §1 for the
+// substitution rationale). All generation is deterministic under a seed.
+//
+// The generator builds detail pages as DOM trees, records the exact text
+// node carrying every asserted fact, and serializes to HTML. Because
+// dom.Render∘dom.Parse is stable, the recorded XPaths remain valid after
+// the extraction pipeline re-parses the page — giving node-level ground
+// truth for free, which the paper's authors had to hand-label or derive
+// from a supervised extractor.
+package websim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageFact is one assertion a page makes about its topic entity, with the
+// text node that carries it.
+type PageFact struct {
+	Predicate string
+	Value     string
+	// NodePath is the absolute XPath of the text node rendering the value.
+	NodePath string
+}
+
+// Page is one generated webpage with its ground truth.
+type Page struct {
+	// ID is unique within a site, e.g. "film0042".
+	ID   string
+	HTML string
+	// TopicID is the world entity the page describes; empty for non-detail
+	// pages (charts, index pages).
+	TopicID string
+	// TopicType is the entity type of the topic ("film", "person", ...).
+	TopicType string
+	// TopicName is the surface name of the topic as rendered.
+	TopicName string
+	// Facts lists every assertion made by the page about its topic. One
+	// (predicate, value) may be recorded at several node paths when the
+	// template legitimately repeats it.
+	Facts []PageFact
+}
+
+// GoldValues returns the distinct (predicate, value) pairs the page
+// asserts.
+func (p *Page) GoldValues() []PageFact {
+	seen := map[string]bool{}
+	var out []PageFact
+	for _, f := range p.Facts {
+		k := f.Predicate + "\x00" + f.Value
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, PageFact{Predicate: f.Predicate, Value: f.Value})
+		}
+	}
+	return out
+}
+
+// GoldNodeSet returns the set of "predicate\x00nodePath" keys for
+// node-level annotation scoring.
+func (p *Page) GoldNodeSet() map[string]bool {
+	out := make(map[string]bool, len(p.Facts))
+	for _, f := range p.Facts {
+		out[f.Predicate+"\x00"+f.NodePath] = true
+	}
+	return out
+}
+
+// Site is a generated website: a set of pages sharing templates.
+type Site struct {
+	Name  string
+	Focus string
+	// Language is an ISO-639-1 code; field labels render in this language.
+	Language string
+	Pages    []*Page
+}
+
+// NumPages returns the number of pages on the site.
+func (s *Site) NumPages() int { return len(s.Pages) }
+
+// DetailPages returns the pages that have a topic entity.
+func (s *Site) DetailPages() []*Page {
+	var out []*Page
+	for _, p := range s.Pages {
+		if p.TopicID != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Vertical is a named collection of sites with a shared predicate set —
+// one row of the paper's Table 1.
+type Vertical struct {
+	Name       string
+	Predicates []string
+	Sites      []*Site
+}
+
+// TotalPages sums pages across the vertical's sites.
+func (v *Vertical) TotalPages() int {
+	n := 0
+	for _, s := range v.Sites {
+		n += s.NumPages()
+	}
+	return n
+}
+
+// sortedKeys returns the keys of m sorted, for deterministic iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pageID formats a page identifier.
+func pageID(prefix string, n int) string {
+	return fmt.Sprintf("%s%04d", prefix, n)
+}

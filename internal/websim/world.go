@@ -1,0 +1,474 @@
+package websim
+
+import (
+	"fmt"
+
+	"ceres/internal/kb"
+)
+
+// Person is a film-industry person in the generated world.
+type Person struct {
+	ID         string
+	Name       string
+	Aliases    []string
+	BirthPlace string
+	BirthYear  int
+	ActedIn    []string // film IDs
+	Directed   []string
+	Wrote      []string
+	Produced   []string
+	Scored     []string // composed music for
+}
+
+// Film is a movie in the generated world.
+type Film struct {
+	ID          string
+	Title       string
+	Year        int
+	ReleaseDate string
+	Rating      string // MPAA
+	Genres      []string
+	Directors   []string // person IDs
+	Writers     []string
+	Cast        []string
+	Producers   []string
+	Composers   []string
+}
+
+// Episode is a TV episode; episodes share titles aggressively ("Pilot"),
+// reproducing the paper's entity-ambiguity challenge.
+type Episode struct {
+	ID       string
+	Title    string
+	SeriesID string
+	Season   int
+	Number   int
+	AirDate  string
+	// Guests are person IDs appearing in the episode; they give episode
+	// entities the rich object sets real TV-episode records have (the
+	// paper's KB carries 18 predicates per episode), which topic
+	// identification needs to tell sibling episodes apart.
+	Guests []string
+}
+
+// Series is a TV series with episodes.
+type Series struct {
+	ID       string
+	Title    string
+	Episodes []string // episode IDs
+}
+
+// World is the ground-truth movie universe all movie-vertical corpora
+// render. It plays the role of the database behind IMDb.
+type World struct {
+	People   []*Person
+	Films    []*Film
+	Series   []*Series
+	Episodes []*Episode
+
+	personByID  map[string]*Person
+	filmByID    map[string]*Film
+	seriesByID  map[string]*Series
+	episodeByID map[string]*Episode
+}
+
+// WorldConfig sizes the generated world.
+type WorldConfig struct {
+	Films    int // default 1200
+	People   int // default 1500
+	Series   int // default 30
+	Episodes int // per series, default 12
+	Seed     int64
+}
+
+func (c WorldConfig) withDefaults() WorldConfig {
+	if c.Films == 0 {
+		c.Films = 1200
+	}
+	if c.People == 0 {
+		c.People = 1500
+	}
+	if c.Series == 0 {
+		c.Series = 30
+	}
+	if c.Episodes == 0 {
+		c.Episodes = 12
+	}
+	return c
+}
+
+// Person returns the person with the given ID.
+func (w *World) Person(id string) *Person { return w.personByID[id] }
+
+// Film returns the film with the given ID.
+func (w *World) Film(id string) *Film { return w.filmByID[id] }
+
+// SeriesByID returns the series with the given ID.
+func (w *World) SeriesByID(id string) *Series { return w.seriesByID[id] }
+
+// EpisodeByID returns the episode with the given ID.
+func (w *World) EpisodeByID(id string) *Episode { return w.episodeByID[id] }
+
+// NewWorld generates a deterministic movie universe.
+func NewWorld(cfg WorldConfig) *World {
+	cfg = cfg.withDefaults()
+	r := newRNG(cfg.Seed)
+	nm := newNamer(r)
+	w := &World{
+		personByID:  map[string]*Person{},
+		filmByID:    map[string]*Film{},
+		seriesByID:  map[string]*Series{},
+		episodeByID: map[string]*Episode{},
+	}
+	for i := 0; i < cfg.People; i++ {
+		name := nm.personName()
+		p := &Person{
+			ID:         fmt.Sprintf("per%05d", i),
+			Name:       name,
+			Aliases:    nm.aliasesOf(name),
+			BirthPlace: pick(r, cityNames),
+			BirthYear:  r.between(1930, 2000),
+		}
+		w.People = append(w.People, p)
+		w.personByID[p.ID] = p
+	}
+	for i := 0; i < cfg.Films; i++ {
+		year := r.between(1950, 2017)
+		f := &Film{
+			ID:          fmt.Sprintf("film%05d", i),
+			Title:       nm.filmTitle(),
+			Year:        year,
+			ReleaseDate: r.dateString(year, year),
+			Rating:      pick(r, mpaaRatings),
+			Genres:      sample(r, genreList, r.between(1, 3)),
+		}
+		// Credits. Directors often write their own films (the
+		// writer/director overlap the paper calls out in §3.2).
+		dir := pick(r, w.People)
+		f.Directors = []string{dir.ID}
+		if r.maybe(0.1) {
+			f.Directors = append(f.Directors, pick(r, w.People).ID)
+		}
+		if r.maybe(0.55) {
+			f.Writers = []string{dir.ID}
+		} else {
+			f.Writers = []string{pick(r, w.People).ID}
+		}
+		if r.maybe(0.25) {
+			f.Writers = appendDistinct(f.Writers, pick(r, w.People).ID)
+		}
+		nCast := r.between(4, 18)
+		for j := 0; j < nCast; j++ {
+			f.Cast = appendDistinct(f.Cast, pick(r, w.People).ID)
+		}
+		// Directors sometimes act in their own films (Spike Lee in Do the
+		// Right Thing, §3.2.1 Example 3.1).
+		if r.maybe(0.2) {
+			f.Cast = appendDistinct(f.Cast, dir.ID)
+		}
+		for j := 0; j < r.between(1, 2); j++ {
+			f.Producers = appendDistinct(f.Producers, pick(r, w.People).ID)
+		}
+		if r.maybe(0.8) {
+			f.Composers = []string{pick(r, w.People).ID}
+		}
+		w.Films = append(w.Films, f)
+		w.filmByID[f.ID] = f
+		for _, id := range f.Directors {
+			w.personByID[id].Directed = append(w.personByID[id].Directed, f.ID)
+		}
+		for _, id := range f.Writers {
+			w.personByID[id].Wrote = append(w.personByID[id].Wrote, f.ID)
+		}
+		for _, id := range f.Cast {
+			w.personByID[id].ActedIn = append(w.personByID[id].ActedIn, f.ID)
+		}
+		for _, id := range f.Producers {
+			w.personByID[id].Produced = append(w.personByID[id].Produced, f.ID)
+		}
+		for _, id := range f.Composers {
+			w.personByID[id].Scored = append(w.personByID[id].Scored, f.ID)
+		}
+	}
+	epCount := 0
+	for i := 0; i < cfg.Series; i++ {
+		s := &Series{
+			ID:    fmt.Sprintf("ser%04d", i),
+			Title: nm.seriesTitle(),
+		}
+		seasons := r.between(1, 3)
+		for season := 1; season <= seasons; season++ {
+			for num := 1; num <= cfg.Episodes/seasons+1; num++ {
+				pilotP := 0.0
+				if season == 1 && num == 1 {
+					pilotP = 0.6
+				}
+				e := &Episode{
+					ID:       fmt.Sprintf("ep%05d", epCount),
+					Title:    nm.r.fork(int64(epCount)).episodeTitleFrom(pilotP),
+					SeriesID: s.ID,
+					Season:   season,
+					Number:   num,
+					AirDate:  r.dateString(2005, 2016),
+				}
+				for g := 0; g < r.between(2, 4); g++ {
+					e.Guests = appendDistinct(e.Guests, pick(r, w.People).ID)
+				}
+				epCount++
+				s.Episodes = append(s.Episodes, e.ID)
+				w.Episodes = append(w.Episodes, e)
+				w.episodeByID[e.ID] = e
+			}
+		}
+		w.Series = append(w.Series, s)
+		w.seriesByID[s.ID] = s
+	}
+	return w
+}
+
+// TrimFilms returns a view of the world exposing only the first n films;
+// people, series and episodes are shared. KBs built from the view know
+// nothing about the remaining films — the "popular entities only" seed-KB
+// situation of §5.5.
+func TrimFilms(w *World, n int) *World {
+	if n > len(w.Films) {
+		n = len(w.Films)
+	}
+	return &World{
+		People:      w.People,
+		Films:       w.Films[:n],
+		Series:      w.Series,
+		Episodes:    w.Episodes,
+		personByID:  w.personByID,
+		filmByID:    w.filmByID,
+		seriesByID:  w.seriesByID,
+		episodeByID: w.episodeByID,
+	}
+}
+
+// episodeTitleFrom mirrors namer.episodeTitle for a bare rng (episode
+// titles intentionally skip the uniqueness check so "Pilot" repeats).
+func (r *rng) episodeTitleFrom(pilotP float64) string {
+	n := &namer{r: r, used: map[string]bool{}}
+	return n.episodeTitle(pilotP)
+}
+
+func appendDistinct(xs []string, x string) []string {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+// Movie-vertical predicate names, shared by the KB, the page generators
+// and the benchmark harnesses. Film-subject predicates mirror Table 9;
+// person-subject predicates mirror Table 5.
+const (
+	PredDirectedBy  = "film.wasDirectedBy.person"
+	PredWrittenBy   = "film.wasWrittenBy.person"
+	PredCastMember  = "film.hasCastMember.person"
+	PredGenre       = "film.hasGenre.genre"
+	PredReleaseDate = "film.hasReleaseDate.date"
+	PredReleaseYear = "film.hasReleaseYear.year"
+	PredMPAARating  = "film.hasMPAARating.rating"
+
+	PredActedIn    = "person.actedIn.film"
+	PredDirectorOf = "person.directorOf.film"
+	PredWriterOf   = "person.writerOf.film"
+	PredProducerOf = "person.producerOf.film"
+	PredMusicFor   = "person.createdMusicFor.film"
+	PredAlias      = "person.hasAlias.name"
+	PredBirthPlace = "person.placeOfBirth.place"
+
+	PredEpisodeNumber = "episode.number.value"
+	PredSeasonNumber  = "episode.season.value"
+	PredEpisodeSeries = "episode.series.tvseries"
+	PredEpisodeAired  = "episode.airDate.date"
+	PredEpisodeGuest  = "episode.hasGuest.person"
+)
+
+// MovieOntology returns the ontology of the movie vertical.
+func MovieOntology() *kb.Ontology {
+	return kb.NewOntology(
+		kb.Predicate{Name: PredDirectedBy, Domain: "film", Range: "person", MultiValued: true},
+		kb.Predicate{Name: PredWrittenBy, Domain: "film", Range: "person", MultiValued: true},
+		kb.Predicate{Name: PredCastMember, Domain: "film", Range: "person", MultiValued: true},
+		kb.Predicate{Name: PredGenre, Domain: "film", MultiValued: true},
+		kb.Predicate{Name: PredReleaseDate, Domain: "film"},
+		kb.Predicate{Name: PredReleaseYear, Domain: "film"},
+		kb.Predicate{Name: PredMPAARating, Domain: "film"},
+		kb.Predicate{Name: PredActedIn, Domain: "person", Range: "film", MultiValued: true},
+		kb.Predicate{Name: PredDirectorOf, Domain: "person", Range: "film", MultiValued: true},
+		kb.Predicate{Name: PredWriterOf, Domain: "person", Range: "film", MultiValued: true},
+		kb.Predicate{Name: PredProducerOf, Domain: "person", Range: "film", MultiValued: true},
+		kb.Predicate{Name: PredMusicFor, Domain: "person", Range: "film", MultiValued: true},
+		kb.Predicate{Name: PredAlias, Domain: "person", MultiValued: true},
+		kb.Predicate{Name: PredBirthPlace, Domain: "person"},
+		kb.Predicate{Name: PredEpisodeNumber, Domain: "episode"},
+		kb.Predicate{Name: PredSeasonNumber, Domain: "episode"},
+		kb.Predicate{Name: PredEpisodeSeries, Domain: "episode", Range: "tvseries"},
+		kb.Predicate{Name: PredEpisodeAired, Domain: "episode"},
+		kb.Predicate{Name: PredEpisodeGuest, Domain: "episode", Range: "person", MultiValued: true},
+	)
+}
+
+// KBCoverage controls how much of the world the seed KB records —
+// reproducing the paper's footnote 10, where the IMDb-derived KB covered
+// only ~14% of cast facts, 9% of producer facts, 38% of director facts and
+// 58% of genre facts, biased toward principal credits.
+type KBCoverage struct {
+	Cast     float64
+	Producer float64
+	Director float64
+	Writer   float64
+	Genre    float64
+	Other    float64 // dates, aliases, birthplaces, music, episodes
+	// Films and People bound which entities enter the KB at all (1 = all).
+	Films  float64
+	People float64
+}
+
+// FullCoverage includes everything.
+func FullCoverage() KBCoverage {
+	return KBCoverage{Cast: 1, Producer: 1, Director: 1, Writer: 1, Genre: 1, Other: 1, Films: 1, People: 1}
+}
+
+// PaperCoverage mirrors footnote 10 of the paper.
+func PaperCoverage() KBCoverage {
+	return KBCoverage{Cast: 0.14, Producer: 0.09, Director: 0.38, Writer: 0.30, Genre: 0.58, Other: 0.8, Films: 1, People: 1}
+}
+
+// BuildKB derives a seed KB from the world under the given coverage. The
+// principal-credit bias is reproduced by always keeping the first credits
+// of each list (top billing) before random sampling fills the quota.
+func BuildKB(w *World, cov KBCoverage, seed int64) *kb.KB {
+	r := newRNG(seed)
+	k := kb.New(MovieOntology())
+	films := map[string]bool{}
+	for _, f := range w.Films {
+		if r.maybe(cov.Films) {
+			films[f.ID] = true
+			mustAdd(k.AddEntity(kb.Entity{ID: f.ID, Type: "film", Name: f.Title}))
+		}
+	}
+	people := map[string]bool{}
+	for _, p := range w.People {
+		if r.maybe(cov.People) {
+			people[p.ID] = true
+			mustAdd(k.AddEntity(kb.Entity{ID: p.ID, Type: "person", Name: p.Name, Aliases: p.Aliases}))
+		}
+	}
+	for _, s := range w.Series {
+		mustAdd(k.AddEntity(kb.Entity{ID: s.ID, Type: "tvseries", Name: s.Title}))
+	}
+	for _, e := range w.Episodes {
+		mustAdd(k.AddEntity(kb.Entity{ID: e.ID, Type: "episode", Name: e.Title}))
+	}
+	// keepList returns the indices of a credit list the KB keeps: biased
+	// toward top billing (the paper's footnote 10: the KB "only contains
+	// links ... if the person is a 'principal' member"), but not a pure
+	// prefix — roughly 60% of the quota is top-billed, the rest sampled
+	// from the remainder, as principal credits correlate with but do not
+	// equal list position.
+	keepList := func(n int, frac float64) []int {
+		if n == 0 {
+			return nil
+		}
+		want := int(float64(n)*frac + 0.5)
+		if frac > 0 && want == 0 && r.maybe(frac*float64(n)) {
+			want = 1
+		}
+		if want > n {
+			want = n
+		}
+		if want == 0 {
+			return nil
+		}
+		head := (want*3 + 2) / 5 // ~60%
+		out := make([]int, 0, want)
+		for i := 0; i < head; i++ {
+			out = append(out, i)
+		}
+		rest := make([]int, 0, n-head)
+		for i := head; i < n; i++ {
+			rest = append(rest, i)
+		}
+		r.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+		out = append(out, rest[:want-head]...)
+		return out
+	}
+	addPair := func(subj, pred, obj string, subjOK, objOK bool) {
+		if subjOK && objOK {
+			mustAdd(k.AddTriple(kb.Triple{Subject: subj, Predicate: pred, Object: kb.EntityObject(obj)}))
+		}
+	}
+	for _, f := range w.Films {
+		for _, i := range keepList(len(f.Directors), cov.Director) {
+			addPair(f.ID, PredDirectedBy, f.Directors[i], films[f.ID], people[f.Directors[i]])
+			addPair(f.Directors[i], PredDirectorOf, f.ID, people[f.Directors[i]], films[f.ID])
+		}
+		for _, i := range keepList(len(f.Writers), cov.Writer) {
+			addPair(f.ID, PredWrittenBy, f.Writers[i], films[f.ID], people[f.Writers[i]])
+			addPair(f.Writers[i], PredWriterOf, f.ID, people[f.Writers[i]], films[f.ID])
+		}
+		for _, i := range keepList(len(f.Cast), cov.Cast) {
+			addPair(f.ID, PredCastMember, f.Cast[i], films[f.ID], people[f.Cast[i]])
+			addPair(f.Cast[i], PredActedIn, f.ID, people[f.Cast[i]], films[f.ID])
+		}
+		for _, i := range keepList(len(f.Producers), cov.Producer) {
+			addPair(f.Producers[i], PredProducerOf, f.ID, people[f.Producers[i]], films[f.ID])
+		}
+		for _, i := range keepList(len(f.Composers), cov.Other) {
+			addPair(f.Composers[i], PredMusicFor, f.ID, people[f.Composers[i]], films[f.ID])
+		}
+		if films[f.ID] {
+			for _, i := range keepList(len(f.Genres), cov.Genre) {
+				mustAdd(k.AddTriple(kb.Triple{Subject: f.ID, Predicate: PredGenre, Object: kb.LiteralObject(f.Genres[i])}))
+			}
+			if r.maybe(cov.Other) {
+				mustAdd(k.AddTriple(kb.Triple{Subject: f.ID, Predicate: PredReleaseDate, Object: kb.LiteralObject(f.ReleaseDate)}))
+				mustAdd(k.AddTriple(kb.Triple{Subject: f.ID, Predicate: PredReleaseYear, Object: kb.LiteralObject(fmt.Sprint(f.Year))}))
+			}
+			// MPAA rating is intentionally absent: the paper notes its KB
+			// "did not include Movie.MPAA-Rating because lacking seed
+			// data" (Table 3 footnote).
+		}
+	}
+	for _, p := range w.People {
+		if !people[p.ID] {
+			continue
+		}
+		if r.maybe(cov.Other) {
+			mustAdd(k.AddTriple(kb.Triple{Subject: p.ID, Predicate: PredBirthPlace, Object: kb.LiteralObject(p.BirthPlace)}))
+		}
+		for _, a := range p.Aliases {
+			if r.maybe(cov.Other) {
+				mustAdd(k.AddTriple(kb.Triple{Subject: p.ID, Predicate: PredAlias, Object: kb.LiteralObject(a)}))
+			}
+		}
+	}
+	for _, e := range w.Episodes {
+		if r.maybe(cov.Other) {
+			mustAdd(k.AddTriple(kb.Triple{Subject: e.ID, Predicate: PredEpisodeNumber, Object: kb.LiteralObject(fmt.Sprint(e.Number))}))
+			mustAdd(k.AddTriple(kb.Triple{Subject: e.ID, Predicate: PredSeasonNumber, Object: kb.LiteralObject(fmt.Sprint(e.Season))}))
+			mustAdd(k.AddTriple(kb.Triple{Subject: e.ID, Predicate: PredEpisodeSeries, Object: kb.EntityObject(e.SeriesID)}))
+			mustAdd(k.AddTriple(kb.Triple{Subject: e.ID, Predicate: PredEpisodeAired, Object: kb.LiteralObject(e.AirDate)}))
+			for _, g := range e.Guests {
+				if people[g] {
+					mustAdd(k.AddTriple(kb.Triple{Subject: e.ID, Predicate: PredEpisodeGuest, Object: kb.EntityObject(g)}))
+				}
+			}
+		}
+	}
+	return k
+}
+
+// mustAdd panics on KB insertion errors: the generator controls both sides
+// so an error is a programming bug, not an input condition.
+func mustAdd(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

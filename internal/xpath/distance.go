@@ -1,0 +1,49 @@
+package xpath
+
+import "ceres/internal/strmatch"
+
+// StringDistance is the character-level Levenshtein distance between the
+// canonical string forms of two paths. This is the distance the paper
+// specifies for its agglomerative clustering of relation-mention XPaths
+// (§3.2.2: "the Levenshtein distance between their corresponding XPaths").
+func StringDistance(p, q Path) int {
+	return strmatch.Levenshtein(p.String(), q.String())
+}
+
+// StepDistance is the token-level Levenshtein distance over steps: the
+// minimum number of step insertions, deletions and substitutions turning p
+// into q, where two steps match only if both tag and index are equal. It is
+// cheaper and scale-free compared to StringDistance and is used where the
+// magnitude of index numerals should not influence the metric.
+func StepDistance(p, q Path) int {
+	if len(p) == 0 {
+		return len(q)
+	}
+	if len(q) == 0 {
+		return len(p)
+	}
+	prev := make([]int, len(q)+1)
+	curr := make([]int, len(q)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(p); i++ {
+		curr[0] = i
+		for j := 1; j <= len(q); j++ {
+			cost := 1
+			if p[i-1] == q[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if d := prev[j] + 1; d < m {
+				m = d
+			}
+			if in := curr[j-1] + 1; in < m {
+				m = in
+			}
+			curr[j] = m
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(q)]
+}

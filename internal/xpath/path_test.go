@@ -1,0 +1,154 @@
+package xpath
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	cases := []string{
+		"/",
+		"/html[1]",
+		"/html[1]/body[1]/div[3]/a[2]",
+		"/html[1]/body[1]/div[2]/text()[1]",
+	}
+	for _, s := range cases {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := p.String(); got != s {
+			t.Errorf("roundtrip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "html[1]", "/html", "/html[]", "/html[0]", "/html[x]", "/html[1]/", "/[1]",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+// genPath builds a random valid path for property tests.
+func genPath(r *rand.Rand) Path {
+	tags := []string{"html", "body", "div", "span", "a", "li", "ul", "td", "text()"}
+	n := r.Intn(8)
+	p := make(Path, n)
+	for i := range p {
+		p[i] = Step{Tag: tags[r.Intn(len(tags))], Index: 1 + r.Intn(9)}
+	}
+	return p
+}
+
+func TestParsePrintRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		p := genPath(r)
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", p.String(), err)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("roundtrip mismatch: %v vs %v", p, q)
+		}
+	}
+}
+
+func TestSameShapeAndDiff(t *testing.T) {
+	a := MustParse("/html[1]/body[1]/div[2]/a[3]")
+	b := MustParse("/html[1]/body[1]/div[2]/a[7]")
+	c := MustParse("/html[1]/body[1]/span[2]/a[3]")
+	if !a.SameShape(b) || a.SameShape(c) {
+		t.Fatalf("SameShape misbehaving")
+	}
+	diffs, ok := a.DiffIndices(b)
+	if !ok || !reflect.DeepEqual(diffs, []int{3}) {
+		t.Errorf("DiffIndices = %v, %v", diffs, ok)
+	}
+	if _, ok := a.DiffIndices(c); ok {
+		t.Errorf("DiffIndices should fail across shapes")
+	}
+	if diffs, ok := a.DiffIndices(a); !ok || diffs != nil {
+		t.Errorf("self diff = %v, %v", diffs, ok)
+	}
+}
+
+func TestStringDistanceFigure2(t *testing.T) {
+	// The two IMDb acted-in paths from the paper's Figure 2 differ at two
+	// node indices; their string distance must be small and positive, and
+	// far smaller than the distance to an unrelated path.
+	winfrey := MustParse("/html[1]/body[1]/div[3]/div[2]/div[1]/div[2]/div[4]/div[9]/div[2]/b[1]/a[1]")
+	mckellen := MustParse("/html[1]/body[1]/div[3]/div[2]/div[1]/div[2]/div[4]/div[8]/div[2]/b[1]/a[1]")
+	other := MustParse("/html[1]/body[1]/div[1]/span[2]/a[1]")
+	near := StringDistance(winfrey, mckellen)
+	far := StringDistance(winfrey, other)
+	if near == 0 || near > 4 {
+		t.Errorf("near distance = %d, want small positive", near)
+	}
+	if far <= near {
+		t.Errorf("far (%d) should exceed near (%d)", far, near)
+	}
+	if StringDistance(winfrey, winfrey) != 0 {
+		t.Errorf("self distance nonzero")
+	}
+}
+
+func TestStepDistance(t *testing.T) {
+	a := MustParse("/html[1]/body[1]/div[2]/a[3]")
+	b := MustParse("/html[1]/body[1]/div[2]/a[7]")
+	c := MustParse("/html[1]/body[1]/div[2]")
+	if d := StepDistance(a, b); d != 1 {
+		t.Errorf("one substituted step: got %d", d)
+	}
+	if d := StepDistance(a, c); d != 1 {
+		t.Errorf("one deleted step: got %d", d)
+	}
+	if d := StepDistance(a, a); d != 0 {
+		t.Errorf("self: got %d", d)
+	}
+	if d := StepDistance(Path{}, a); d != 4 {
+		t.Errorf("empty vs 4 steps: got %d", d)
+	}
+}
+
+func TestStepDistanceMetricProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		a, b, c := genPath(r), genPath(r), genPath(r)
+		if StepDistance(a, b) != StepDistance(b, a) {
+			t.Fatalf("asymmetric: %v %v", a, b)
+		}
+		if StepDistance(a, c) > StepDistance(a, b)+StepDistance(b, c) {
+			t.Fatalf("triangle violated: %v %v %v", a, b, c)
+		}
+		if StepDistance(a, a) != 0 {
+			t.Fatalf("identity violated: %v", a)
+		}
+	}
+}
+
+func TestQuickPathStringNeverPanics(t *testing.T) {
+	f := func(tags []uint8, idxs []uint8) bool {
+		n := len(tags)
+		if len(idxs) < n {
+			n = len(idxs)
+		}
+		names := []string{"div", "a", "span", "li"}
+		p := make(Path, n)
+		for i := 0; i < n; i++ {
+			p[i] = Step{Tag: names[int(tags[i])%len(names)], Index: 1 + int(idxs[i])%5}
+		}
+		q, err := Parse(p.String())
+		return err == nil && q.Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
