@@ -8,6 +8,7 @@ package ceres
 // EXPERIMENTS.md records.
 
 import (
+	"context"
 	"testing"
 
 	"ceres/internal/bench"
@@ -141,8 +142,63 @@ func BenchmarkEndToEndSite(b *testing.B) {
 	f := getFixture(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Run(f.sources, f.kb, core.Config{}); err != nil {
+		if _, err := core.Run(context.Background(), f.sources, f.kb, core.Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServeExtract contrasts the one-shot path (ExtractPages
+// retrains on every call) with the train-once/extract-forever path the
+// serving API enables. The "OneShot" numbers pay parse+cluster+annotate+
+// train per call; "TrainOnce" pays only parse+route+classify.
+func BenchmarkServeExtract(b *testing.B) {
+	f := getFixture(b)
+	pages := make([]PageSource, len(f.sources))
+	for i, s := range f.sources {
+		pages[i] = PageSource{ID: s.ID, HTML: s.HTML}
+	}
+	p := NewPipeline(f.kb)
+
+	b.Run("OneShot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.ExtractPages(pages); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("TrainOnce", func(b *testing.B) {
+		model, err := p.Train(context.Background(), pages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := model.Extract(context.Background(), pages); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("TrainOnceStream", func(b *testing.B) {
+		model, err := p.Train(context.Background(), pages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if err := model.ExtractStream(context.Background(), pages, func(Triple) error {
+				n++
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				b.Fatal("stream produced no triples")
+			}
+		}
+	})
 }

@@ -9,23 +9,37 @@
 // (subject, predicate, object) triples — including triples about entities
 // the seed KB has never heard of — each with a calibrated confidence.
 //
-// Quick start:
+// The API splits the lifecycle in two. Training is the expensive,
+// KB-dependent phase and runs once per site; it produces a SiteModel, the
+// cheap, self-contained serving artifact:
 //
 //	k := ceres.NewKB(ceres.NewOntology(
 //	    ceres.Predicate{Name: "directedBy", Domain: "film", Range: "person"},
 //	))
 //	// ... add seed entities and triples ...
 //	p := ceres.NewPipeline(k, ceres.WithThreshold(0.75))
-//	result, err := p.ExtractPages(pages)
+//	model, err := p.Train(ctx, trainPages)        // parse→cluster→annotate→train
+//	result, err := model.Extract(ctx, newPages)   // serve any pages, no retraining
+//
+// A SiteModel persists across processes (WriteTo / ReadSiteModel), streams
+// extractions with bounded memory (ExtractStream), and routes pages it has
+// never seen to the nearest template cluster learned at training time. A
+// Harvester trains and serves many sites concurrently and feeds the fused
+// multi-site view directly (Harvester.Fuse).
 //
 // See examples/ for runnable end-to-end programs, DESIGN.md for the system
-// inventory, and EXPERIMENTS.md for the reproduction of every table and
-// figure in the paper.
+// inventory and the SiteModel serialization format, and EXPERIMENTS.md for
+// the reproduction of every table and figure in the paper.
 package ceres
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"sort"
+	"sync/atomic"
 
 	"ceres/internal/core"
 	"ceres/internal/kb"
@@ -49,6 +63,18 @@ type (
 	Object = kb.Object
 	// KBTriple is one (subject, predicate, object) seed fact.
 	KBTriple = kb.Triple
+)
+
+// Sentinel errors of the train/serve lifecycle; test with errors.Is.
+var (
+	// ErrNoPages reports an empty page set passed to Train or Extract.
+	ErrNoPages = core.ErrNoPages
+	// ErrNotTrained reports extraction through a SiteModel that has no
+	// trained cluster extractor (e.g. the zero value).
+	ErrNotTrained = core.ErrNotTrained
+	// ErrNoAnnotations reports that distant supervision aligned too few
+	// pages with the seed KB to train any extractor.
+	ErrNoAnnotations = core.ErrNoAnnotations
 )
 
 // NewKB creates an empty knowledge base over the ontology.
@@ -96,7 +122,8 @@ type Result struct {
 	Triples []Triple
 	// AnnotatedPages and Annotations report distant-supervision yield
 	// (how many pages aligned with the seed KB, and how many labels that
-	// produced).
+	// produced). For SiteModel.Extract they describe the training run the
+	// model came from, not the served pages.
 	AnnotatedPages int
 	Annotations    int
 	// TemplateClusters is the number of template groups the site split
@@ -123,7 +150,7 @@ type Option func(*Pipeline)
 
 // WithThreshold sets the extraction-confidence cutoff (default 0.5, the
 // paper's setting; 0.75 trades recall for ~90% precision in the paper's
-// long-tail experiment).
+// long-tail experiment). Models trained by the pipeline inherit it.
 func WithThreshold(t float64) Option {
 	return func(p *Pipeline) { p.threshold = t }
 }
@@ -156,12 +183,13 @@ func WithMinAnnotations(n int) Option {
 	return func(p *Pipeline) { p.cfg.Relation.MinAnnotations = n }
 }
 
-// WithWorkers bounds parsing/extraction parallelism.
+// WithWorkers bounds parsing/extraction parallelism, at training and —
+// through the trained SiteModel — at serving time.
 func WithWorkers(n int) Option {
 	return func(p *Pipeline) { p.cfg.Workers = n }
 }
 
-// Pipeline is a configured CERES extractor bound to a seed KB.
+// Pipeline is a configured CERES trainer bound to a seed KB.
 type Pipeline struct {
 	kb        *KB
 	cfg       core.Config
@@ -181,21 +209,43 @@ func NewPipeline(k *KB, opts ...Option) *Pipeline {
 	return p
 }
 
+// Train runs the training phase — parse, template-cluster, annotate
+// against the seed KB, and fit one node classifier per template cluster —
+// over the pages of one website (they should come from a single site:
+// CERES learns one extractor per site template). The returned SiteModel
+// extracts from any number of further pages without retraining.
+//
+// Train returns ErrNoPages for an empty page set, ErrNoAnnotations when
+// the seed KB aligned with too few pages to train any cluster, and
+// ctx.Err() when cancelled.
+func (p *Pipeline) Train(ctx context.Context, pages []PageSource) (*SiteModel, error) {
+	src, err := toSources(pages)
+	if err != nil {
+		return nil, err
+	}
+	sm, _, err := core.TrainSite(ctx, src, p.kb, p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if sm.TrainedClusters() == 0 {
+		return nil, ErrNoAnnotations
+	}
+	return newSiteModel(sm, p.threshold), nil
+}
+
 // ExtractPages runs annotation, training and extraction over the pages of
-// one website (they should come from a single site: CERES learns one
-// extractor per site template).
+// one website — Train plus Extract on the same pages, with each page
+// served by the template cluster it was assigned to during training.
+//
+// Deprecated: use Train once, then SiteModel.Extract (or ExtractStream)
+// for every batch of pages. ExtractPages retrains from scratch on every
+// call and cannot serve pages outside the training set.
 func (p *Pipeline) ExtractPages(pages []PageSource) (*Result, error) {
-	if len(pages) == 0 {
-		return nil, fmt.Errorf("ceres: no pages")
+	src, err := toSources(pages)
+	if err != nil {
+		return nil, err
 	}
-	src := make([]core.PageSource, len(pages))
-	for i, pg := range pages {
-		if pg.ID == "" {
-			return nil, fmt.Errorf("ceres: page %d has an empty ID", i)
-		}
-		src[i] = core.PageSource{ID: pg.ID, HTML: pg.HTML}
-	}
-	res, err := core.Run(src, p.kb, p.cfg)
+	res, err := core.Run(context.Background(), src, p.kb, p.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -205,21 +255,204 @@ func (p *Pipeline) ExtractPages(pages []PageSource) (*Result, error) {
 		TemplateClusters: len(res.Clusters),
 		Pages:            len(pages),
 	}
-	for _, e := range res.Extractions {
-		if e.Confidence < p.threshold {
+	out.Triples = tripleize(res.Extractions, p.threshold)
+	return out, nil
+}
+
+// SiteModel is a trained, self-contained extractor for one website: the
+// per-template-cluster classifiers, featurizers and cluster signatures
+// learned by Pipeline.Train. It serves pages that were never part of
+// training by routing each to the most similar cluster. A SiteModel is
+// safe for concurrent use and persists across processes via WriteTo /
+// ReadSiteModel.
+type SiteModel struct {
+	sm *core.SiteModel
+	// threshold holds math.Float64bits of the cutoff so SetThreshold can
+	// race safely with concurrent serving.
+	threshold atomic.Uint64
+}
+
+func newSiteModel(sm *core.SiteModel, threshold float64) *SiteModel {
+	m := &SiteModel{sm: sm}
+	m.SetThreshold(threshold)
+	return m
+}
+
+// Threshold returns the extraction-confidence cutoff the model applies.
+func (m *SiteModel) Threshold() float64 { return math.Float64frombits(m.threshold.Load()) }
+
+// SetThreshold changes the extraction-confidence cutoff — retraining is
+// never needed to trade precision for recall. It is safe to call while
+// the model is serving; in-flight batches may observe either value.
+func (m *SiteModel) SetThreshold(t float64) { m.threshold.Store(math.Float64bits(t)) }
+
+// TemplateClusters returns the number of template clusters the training
+// site split into.
+func (m *SiteModel) TemplateClusters() int {
+	if m.sm == nil {
+		return 0
+	}
+	return len(m.sm.Clusters)
+}
+
+// TrainedClusters returns how many clusters have a usable extractor.
+func (m *SiteModel) TrainedClusters() int {
+	if m.sm == nil {
+		return 0
+	}
+	return m.sm.TrainedClusters()
+}
+
+// TrainPages returns the number of pages the model was trained on.
+func (m *SiteModel) TrainPages() int {
+	if m.sm == nil {
+		return 0
+	}
+	return m.sm.TrainPages
+}
+
+// Extract applies the trained extractor to pages — typically pages the
+// model has never seen — without any retraining. Each page is routed to
+// the template cluster whose signature it most resembles. The Result's
+// annotation statistics describe the training run; Pages counts the
+// served pages.
+//
+// Extract returns ErrNotTrained on an untrained model, ErrNoPages for an
+// empty page set, and ctx.Err() when cancelled.
+func (m *SiteModel) Extract(ctx context.Context, pages []PageSource) (*Result, error) {
+	src, err := toSources(pages)
+	if err != nil {
+		return nil, err
+	}
+	exts, err := m.sm.ExtractSources(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		AnnotatedPages:   m.sm.AnnotatedPages(),
+		Annotations:      m.sm.Annotations(),
+		TemplateClusters: len(m.sm.Clusters),
+		Pages:            len(pages),
+	}
+	out.Triples = tripleize(exts, m.Threshold())
+	return out, nil
+}
+
+// ExtractStream extracts with bounded memory, calling emit for every
+// triple at or above the model threshold as its page finishes. Pages
+// complete in worker order, not input order; emit is never called
+// concurrently. A non-nil error from emit stops the stream and is
+// returned; cancellation of ctx stops it with ctx.Err(). Only about
+// WithWorkers pages are in memory at any moment, so a site of millions of
+// pages streams in constant space.
+func (m *SiteModel) ExtractStream(ctx context.Context, pages []PageSource, emit func(Triple) error) error {
+	src, err := toSources(pages)
+	if err != nil {
+		return err
+	}
+	return m.sm.StreamSources(ctx, src, func(e core.Extraction) error {
+		if e.Confidence < m.Threshold() {
+			return nil
+		}
+		return emit(toTriple(e))
+	})
+}
+
+// sitemodelFormat versions the WriteTo serialization.
+const sitemodelFormat = "ceres.sitemodel/1"
+
+// siteModelFile is the on-disk envelope of a SiteModel.
+type siteModelFile struct {
+	Format    string               `json:"format"`
+	Threshold float64              `json:"threshold"`
+	Model     *core.SiteModelState `json:"model"`
+}
+
+// WriteTo serializes the trained model so it can be reloaded in another
+// process with ReadSiteModel (implements io.WriterTo). The format is
+// versioned JSON; see DESIGN.md for the layout.
+func (m *SiteModel) WriteTo(w io.Writer) (int64, error) {
+	if m.sm == nil {
+		return 0, ErrNotTrained
+	}
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
+	err := enc.Encode(siteModelFile{
+		Format:    sitemodelFormat,
+		Threshold: m.Threshold(),
+		Model:     m.sm.State(),
+	})
+	return cw.n, err
+}
+
+// ReadSiteModel deserializes a model written by SiteModel.WriteTo.
+func ReadSiteModel(r io.Reader) (*SiteModel, error) {
+	var f siteModelFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("ceres: reading site model: %w", err)
+	}
+	if f.Format != sitemodelFormat {
+		return nil, fmt.Errorf("ceres: unknown site model format %q", f.Format)
+	}
+	if f.Model == nil {
+		return nil, fmt.Errorf("ceres: site model file has no model")
+	}
+	sm, err := core.RestoreSiteModel(f.Model)
+	if err != nil {
+		return nil, fmt.Errorf("ceres: reading site model: %w", err)
+	}
+	return newSiteModel(sm, f.Threshold), nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// toSources validates public pages into core sources.
+func toSources(pages []PageSource) ([]core.PageSource, error) {
+	if len(pages) == 0 {
+		return nil, ErrNoPages
+	}
+	src := make([]core.PageSource, len(pages))
+	for i, pg := range pages {
+		if pg.ID == "" {
+			return nil, fmt.Errorf("ceres: page %d has an empty ID", i)
+		}
+		src[i] = core.PageSource{ID: pg.ID, HTML: pg.HTML}
+	}
+	return src, nil
+}
+
+func toTriple(e core.Extraction) Triple {
+	return Triple{
+		Subject:    e.Subject,
+		Predicate:  e.Predicate,
+		Object:     e.Value,
+		Confidence: e.Confidence,
+		Page:       e.PageID,
+		Path:       e.Path,
+	}
+}
+
+// tripleize thresholds and sorts extractions into the public triple order:
+// descending confidence, then page, predicate, object.
+func tripleize(exts []core.Extraction, threshold float64) []Triple {
+	var out []Triple
+	for _, e := range exts {
+		if e.Confidence < threshold {
 			continue
 		}
-		out.Triples = append(out.Triples, Triple{
-			Subject:    e.Subject,
-			Predicate:  e.Predicate,
-			Object:     e.Value,
-			Confidence: e.Confidence,
-			Page:       e.PageID,
-			Path:       e.Path,
-		})
+		out = append(out, toTriple(e))
 	}
-	sort.Slice(out.Triples, func(i, j int) bool {
-		a, b := out.Triples[i], out.Triples[j]
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
 		if a.Confidence != b.Confidence {
 			return a.Confidence > b.Confidence
 		}
@@ -231,5 +464,5 @@ func (p *Pipeline) ExtractPages(pages []PageSource) (*Result, error) {
 		}
 		return a.Object < b.Object
 	})
-	return out, nil
+	return out
 }

@@ -1,17 +1,25 @@
-// Command ceres-run extracts triples from a directory of HTML pages using
-// a seed KB, printing the results as TSV (subject, predicate, object,
-// confidence, page).
+// Command ceres-run extracts triples from a directory of HTML pages,
+// printing the results as TSV (subject, predicate, object, confidence,
+// page).
+//
+// It exposes the train/serve lifecycle: train an extractor from a seed KB
+// and optionally persist it, or load a previously trained model and serve
+// pages without a KB at all.
 //
 // Usage:
 //
 //	ceres-run -pages ./corpus/pages -kb ./corpus/kb.tsv -threshold 0.75
+//	ceres-run -pages ./corpus/pages -kb ./corpus/kb.tsv -save-model site.model
+//	ceres-run -pages ./new/pages -model site.model -stream
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -21,37 +29,123 @@ import (
 
 func main() {
 	pagesDir := flag.String("pages", "", "directory of .html pages")
-	kbPath := flag.String("kb", "", "seed KB file (TSV, see ceres.KB.Write)")
+	kbPath := flag.String("kb", "", "seed KB file (TSV, see ceres.KB.Write); required unless -model is given")
+	modelPath := flag.String("model", "", "serve with a trained site model instead of training (see -save-model)")
+	saveModel := flag.String("save-model", "", "after training, persist the site model to this file")
 	threshold := flag.Float64("threshold", 0.5, "extraction confidence threshold")
 	topicOnly := flag.Bool("topic-only", false, "use the CERES-Topic annotation baseline")
+	stream := flag.Bool("stream", false, "stream triples as pages finish (bounded memory; order follows completion)")
 	stats := flag.Bool("stats", false, "print pipeline statistics to stderr")
 	flag.Parse()
-	if *pagesDir == "" || *kbPath == "" {
+	if *pagesDir == "" || (*kbPath == "" && *modelPath == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *modelPath != "" && (*kbPath != "" || *saveModel != "" || *topicOnly) {
+		log.Fatal("-model serves an already-trained extractor: -kb, -save-model and -topic-only only apply when training")
+	}
 
-	kbFile, err := os.Open(*kbPath)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	pages := loadPages(*pagesDir)
+
+	var model *ceres.SiteModel
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err = ceres.ReadSiteModel(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The loaded model carries its trained threshold; only an explicit
+		// -threshold overrides it.
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "threshold" {
+				model.SetThreshold(*threshold)
+			}
+		})
+	} else {
+		kbFile, err := os.Open(*kbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		k, err := ceres.ReadKB(kbFile)
+		if err != nil {
+			log.Fatalf("reading KB: %v", err)
+		}
+		kbFile.Close()
+
+		opts := []ceres.Option{ceres.WithThreshold(*threshold)}
+		if *topicOnly {
+			opts = append(opts, ceres.WithMode(ceres.ModeTopicOnly))
+		}
+		model, err = ceres.NewPipeline(k, opts...).Train(ctx, pages)
+		if err != nil {
+			log.Fatalf("training: %v", err)
+		}
+		if *saveModel != "" {
+			f, err := os.Create(*saveModel)
+			if err != nil {
+				log.Fatal(err)
+			}
+			n, err := model.WriteTo(f)
+			if err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				log.Fatalf("saving model: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *saveModel, n)
+		}
+	}
+
+	printTriple := func(t ceres.Triple) error {
+		_, err := fmt.Printf("%s\t%s\t%s\t%.4f\t%s\n", t.Subject, t.Predicate, t.Object, t.Confidence, t.Page)
+		return err
+	}
+	triples := 0
+	if *stream {
+		err := model.ExtractStream(ctx, pages, func(t ceres.Triple) error {
+			triples++
+			return printTriple(t)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		res, err := model.Extract(ctx, pages)
+		if err != nil {
+			log.Fatal(err)
+		}
+		triples = len(res.Triples)
+		for _, t := range res.Triples {
+			if err := printTriple(t); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "pages=%d trainpages=%d clusters=%d trained=%d triples=%d\n",
+			len(pages), model.TrainPages(), model.TemplateClusters(), model.TrainedClusters(), triples)
+	}
+}
+
+func loadPages(dir string) []ceres.PageSource {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	k, err := ceres.ReadKB(kbFile)
-	if err != nil {
-		log.Fatalf("reading KB: %v", err)
-	}
-	kbFile.Close()
-
-	entries, err := os.ReadDir(*pagesDir)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var pages []ceres.PageSource
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+	var pages []ceres.PageSource
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".html") {
 			continue
 		}
-		b, err := os.ReadFile(filepath.Join(*pagesDir, e.Name()))
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,22 +155,7 @@ func main() {
 		})
 	}
 	if len(pages) == 0 {
-		log.Fatalf("no .html pages in %s", *pagesDir)
+		log.Fatalf("no .html pages in %s", dir)
 	}
-
-	opts := []ceres.Option{ceres.WithThreshold(*threshold)}
-	if *topicOnly {
-		opts = append(opts, ceres.WithMode(ceres.ModeTopicOnly))
-	}
-	res, err := ceres.NewPipeline(k, opts...).ExtractPages(pages)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *stats {
-		fmt.Fprintf(os.Stderr, "pages=%d annotated=%d annotations=%d clusters=%d triples=%d\n",
-			res.Pages, res.AnnotatedPages, res.Annotations, res.TemplateClusters, len(res.Triples))
-	}
-	for _, t := range res.Triples {
-		fmt.Printf("%s\t%s\t%s\t%.4f\t%s\n", t.Subject, t.Predicate, t.Object, t.Confidence, t.Page)
-	}
+	return pages
 }

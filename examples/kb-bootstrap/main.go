@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Two sites over the same world: site A's films half-overlap the seed
 	// KB; site B is rendered from the same world (different template) so
 	// facts harvested from A transfer to B.
@@ -27,13 +29,17 @@ func main() {
 	}
 
 	run := func(name string, k *ceres.KB, c *ceres.Corpus) *ceres.Result {
-		res, err := ceres.NewPipeline(k, ceres.WithThreshold(0.8)).ExtractPages(c.Pages)
+		model, err := ceres.NewPipeline(k, ceres.WithThreshold(0.8)).Train(ctx, c.Pages)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := model.Extract(ctx, c.Pages)
 		if err != nil {
 			log.Fatal(err)
 		}
 		p, r, _ := c.Score(res.Triples)
 		fmt.Printf("%-28s annotated %3d/%3d pages, %4d triples@0.8, P=%.3f R=%.3f\n",
-			name, res.AnnotatedPages, res.Pages, len(res.Triples), p, r)
+			name, res.AnnotatedPages, len(c.Pages), len(res.Triples), p, r)
 		return res
 	}
 

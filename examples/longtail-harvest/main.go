@@ -2,10 +2,14 @@
 // (§5.5) in miniature: extract from a long-tail, non-English movie site
 // whose entities only partially overlap the seed KB, and report how many
 // facts concern entities the KB had never seen — the knowledge-base growth
-// loop that motivates CERES.
+// loop that motivates CERES. It also demonstrates the serving lifecycle:
+// the trained model is persisted, reloaded as a second process would, and
+// streams its extractions with bounded memory.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +23,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	threshold := flag.Float64("threshold", 0.75, "extraction confidence threshold")
 	flag.Parse()
+	ctx := context.Background()
 
 	corpus, err := ceres.DemoCorpus("crawl-czech", *seed, *pages)
 	if err != nil {
@@ -27,12 +32,37 @@ func main() {
 	fmt.Printf("site kinobox.cz (synthetic): %d Czech-language pages; seed KB: %d triples\n\n",
 		len(corpus.Pages), corpus.KB.NumTriples())
 
+	// Train once...
 	p := ceres.NewPipeline(corpus.KB, ceres.WithThreshold(*threshold))
-	res, err := p.ExtractPages(corpus.Pages)
+	model, err := p.Train(ctx, corpus.Pages)
 	if err != nil {
 		log.Fatal(err)
 	}
-	prec, rec, _ := corpus.Score(res.Triples)
+
+	// ...persist the extractor, and reload it the way a separate serving
+	// process would: no KB, no annotation, no training.
+	var buf bytes.Buffer
+	n, err := model.WriteTo(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	served, err := ceres.ReadSiteModel(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("site model: %d bytes on disk, %d template clusters (%d trained)\n",
+		n, served.TemplateClusters(), served.TrainedClusters())
+
+	// Stream extractions from the reloaded model.
+	var triples []ceres.Triple
+	err = served.ExtractStream(ctx, corpus.Pages, func(t ceres.Triple) error {
+		triples = append(triples, t)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prec, rec, _ := corpus.Score(triples)
 
 	// Count triples about subjects absent from the seed KB.
 	known := map[string]bool{}
@@ -41,20 +71,18 @@ func main() {
 		known[strings.ToLower(e.Name)] = true
 	}
 	newEntity := 0
-	for _, t := range res.Triples {
+	for _, t := range triples {
 		if !known[strings.ToLower(t.Subject)] {
 			newEntity++
 		}
 	}
 
-	fmt.Printf("annotated pages: %d/%d (long-tail overlap is partial by design)\n",
-		res.AnnotatedPages, res.Pages)
-	fmt.Printf("triples@%.2f: %d   P=%.3f R=%.3f\n", *threshold, len(res.Triples), prec, rec)
+	fmt.Printf("triples@%.2f: %d   P=%.3f R=%.3f\n", *threshold, len(triples), prec, rec)
 	fmt.Printf("triples about entities NOT in the seed KB: %d (%.0f%%)\n\n",
-		newEntity, 100*float64(newEntity)/float64(max(1, len(res.Triples))))
+		newEntity, 100*float64(newEntity)/float64(max(1, len(triples))))
 
 	fmt.Println("sample extractions:")
-	for i, t := range res.Triples {
+	for i, t := range triples {
 		if i == 10 {
 			break
 		}

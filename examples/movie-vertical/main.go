@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ func main() {
 	pages := flag.Int("pages", 120, "site size")
 	seed := flag.Int64("seed", 1, "generator seed")
 	flag.Parse()
+	ctx := context.Background()
 
 	corpus, err := ceres.DemoCorpus("movies", *seed, *pages)
 	if err != nil {
@@ -33,25 +35,34 @@ func main() {
 		{"CERES-Topic (no relation annotation)", ceres.ModeTopicOnly},
 	} {
 		p := ceres.NewPipeline(corpus.KB, ceres.WithMode(mode.m))
-		res, err := p.ExtractPages(corpus.Pages)
+		model, err := p.Train(ctx, corpus.Pages)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := model.Extract(ctx, corpus.Pages)
 		if err != nil {
 			log.Fatal(err)
 		}
 		prec, rec, f1 := corpus.Score(res.Triples)
 		fmt.Printf("%s\n", mode.name)
 		fmt.Printf("  annotated pages: %d/%d, annotations: %d\n",
-			res.AnnotatedPages, res.Pages, res.Annotations)
+			res.AnnotatedPages, len(corpus.Pages), res.Annotations)
 		fmt.Printf("  triples@0.5: %d   P=%.3f R=%.3f F1=%.3f\n\n",
 			len(res.Triples), prec, rec, f1)
 	}
 
 	// Confidence-threshold tradeoff (the Figure 6 story, on one site).
-	p := ceres.NewPipeline(corpus.KB, ceres.WithThreshold(0))
-	res, err := p.ExtractPages(corpus.Pages)
+	// Train ONCE, then reuse the same model at every cutoff — the
+	// threshold is a serve-time knob, not a training parameter.
+	model, err := ceres.NewPipeline(corpus.KB, ceres.WithThreshold(0)).Train(ctx, corpus.Pages)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("precision / volume vs confidence threshold:")
+	res, err := model.Extract(ctx, corpus.Pages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("precision / volume vs confidence threshold (one trained model):")
 	for _, th := range []float64{0.5, 0.75, 0.9, 0.95} {
 		var kept []ceres.Triple
 		for _, t := range res.Triples {

@@ -1,11 +1,13 @@
 // Command multi-site-fusion harvests the same world from three differently
-// templated sites, then fuses the extractions: facts corroborated by
+// templated sites with a Harvester — each site trains and serves
+// concurrently — then fuses the extractions: facts corroborated by
 // several sites gain belief, single-site noise sinks — the knowledge-
 // fusion post-processing the paper recommends for multi-site harvests
 // (§5.5.1).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,11 +15,15 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	kinds := []string{"movies", "imdb-films", "crawl-czech"}
-	results := map[string]*ceres.Result{}
+
+	// Same world seed: the three sites describe overlapping films. Each
+	// site aligns against its own seed KB, so its SiteInput carries a
+	// site-specific pipeline.
+	var sites []ceres.SiteInput
 	var kb *ceres.KB
-	for i, kind := range kinds {
-		// Same world seed: the three sites describe overlapping films.
+	for _, kind := range kinds {
 		c, err := ceres.DemoCorpus(kind, 1, 80)
 		if err != nil {
 			log.Fatal(err)
@@ -25,15 +31,33 @@ func main() {
 		if kb == nil {
 			kb = c.KB
 		}
-		res, err := ceres.NewPipeline(c.KB, ceres.WithThreshold(0.6)).ExtractPages(c.Pages)
-		if err != nil {
-			log.Fatal(err)
-		}
-		results[kind] = res
-		fmt.Printf("site %d (%-12s): %4d triples from %d pages\n", i+1, kind, len(res.Triples), res.Pages)
+		sites = append(sites, ceres.SiteInput{
+			Site:     kind,
+			Pages:    c.Pages,
+			Pipeline: ceres.NewPipeline(c.KB, ceres.WithThreshold(0.6)),
+		})
 	}
 
-	fused := ceres.Fuse(results, ceres.FusionOptions{
+	// One Harvester trains and serves all sites concurrently and
+	// accumulates their results for fusion.
+	h := ceres.NewHarvester(
+		ceres.NewPipeline(kb, ceres.WithThreshold(0.6)),
+		ceres.WithSiteConcurrency(3),
+	)
+	results, err := h.Harvest(ctx, sites)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for site, serr := range h.Errors() {
+		fmt.Printf("site %-12s failed: %v\n", site, serr)
+	}
+	for i, kind := range kinds {
+		if res, ok := results[kind]; ok {
+			fmt.Printf("site %d (%-12s): %4d triples from %d pages\n", i+1, kind, len(res.Triples), res.Pages)
+		}
+	}
+
+	fused := h.Fuse(ceres.FusionOptions{
 		Functional: map[string]bool{
 			"film.hasReleaseYear.year": true,
 			"film.hasReleaseDate.date": true,

@@ -1,11 +1,12 @@
 // Command quickstart runs CERES end-to-end on a tiny hand-written website:
 // six film detail pages sharing one template, and a seed knowledge base
 // that knows four of the six films. CERES aligns the KB with the pages,
-// trains an extractor, and then extracts facts from every page — including
-// the two films the KB has never heard of.
+// trains an extractor once, and then serves pages through the trained
+// SiteModel — including two pages that were not part of training at all.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,8 @@ func page(title, director, year string, genres []string) string {
 }
 
 func main() {
-	pages := []ceres.PageSource{
+	ctx := context.Background()
+	trainPages := []ceres.PageSource{
 		{ID: "m1", HTML: page("Do the Right Thing", "Spike Lee", "1989", []string{"Comedy", "Drama"})},
 		{ID: "m2", HTML: page("Crooklyn", "Spike Lee", "1994", []string{"Comedy", "Drama"})},
 		{ID: "m3", HTML: page("The Silent Harbor", "Ada Dahl", "2001", []string{"Mystery"})},
@@ -74,18 +76,39 @@ func main() {
 		}
 	}
 
+	// Phase 1: train once. The SiteModel is the whole serving artifact.
 	p := ceres.NewPipeline(k,
 		ceres.WithThreshold(0.5),
 		ceres.WithMinAnnotations(2), // tiny site: relax the informativeness filter
 	)
-	res, err := p.ExtractPages(pages)
+	model, err := p.Train(ctx, trainPages)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("trained on %d pages (%d template clusters)\n\n",
+		model.TrainPages(), model.TemplateClusters())
 
-	fmt.Printf("pages: %d   annotated: %d   annotations: %d   template clusters: %d\n\n",
-		res.Pages, res.AnnotatedPages, res.Annotations, res.TemplateClusters)
-	fmt.Println("extracted triples (note m5 and m6 are NOT in the seed KB):")
+	// Phase 2: serve. First the training pages themselves...
+	res, err := model.Extract(ctx, trainPages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("extracted from the training pages (m5, m6 are NOT in the seed KB):")
+	for _, t := range res.Triples {
+		fmt.Printf("  [%.2f] (%s, %s, %s)  page=%s\n", t.Confidence, t.Subject, t.Predicate, t.Object, t.Page)
+	}
+
+	// ...then two brand-new pages the model has never seen. No KB lookup,
+	// no retraining — the template generalizes.
+	unseen := []ceres.PageSource{
+		{ID: "m7", HTML: page("Glass Meridian", "Ada Dahl", "2021", []string{"Sci-Fi"})},
+		{ID: "m8", HTML: page("The Last Ferry", "Emil Weber", "2023", []string{"Drama"})},
+	}
+	res, err = model.Extract(ctx, unseen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nextracted from pages unseen at training time:")
 	for _, t := range res.Triples {
 		fmt.Printf("  [%.2f] (%s, %s, %s)  page=%s\n", t.Confidence, t.Subject, t.Predicate, t.Object, t.Page)
 	}

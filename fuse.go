@@ -1,6 +1,10 @@
 package ceres
 
-import "ceres/internal/fusion"
+import (
+	"sort"
+
+	"ceres/internal/fusion"
+)
 
 // FusedFact is a triple aggregated across sites with combined belief.
 type FusedFact = fusion.Fact
@@ -15,8 +19,17 @@ type FusionOptions = fusion.Options
 // cleaning a multi-site harvest (§5.5.1). results maps a site identifier
 // to that site's extraction Result.
 func Fuse(results map[string]*Result, opts FusionOptions) []FusedFact {
+	// Iterate sites in sorted order: map order is random, and observation
+	// order feeds any order-sensitive tie-breaking downstream, so sorting
+	// keeps fusion output deterministic run to run.
+	sites := make([]string, 0, len(results))
+	for site := range results {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
 	var obs []fusion.Observation
-	for site, res := range results {
+	for _, site := range sites {
+		res := results[site]
 		if res == nil {
 			continue
 		}

@@ -1,0 +1,3 @@
+module ceres
+
+go 1.24

@@ -1,0 +1,231 @@
+package ceres
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// SiteInput is one site of a multi-site harvest.
+type SiteInput struct {
+	// Site identifies the site (e.g. its domain); it becomes the source
+	// name fusion credits observations to.
+	Site string
+	// Pages are the site's detail pages.
+	Pages []PageSource
+	// Pipeline optionally overrides the harvester's shared pipeline for
+	// this site — e.g. a site-specific seed KB or threshold. Nil uses the
+	// shared pipeline.
+	Pipeline *Pipeline
+}
+
+// HarvesterOption configures a Harvester.
+type HarvesterOption func(*Harvester)
+
+// WithSiteConcurrency bounds how many sites train/serve at once
+// (default 4). Per-site page parallelism is still governed by the
+// pipeline's WithWorkers.
+func WithSiteConcurrency(n int) HarvesterOption {
+	return func(h *Harvester) {
+		if n > 0 {
+			h.concurrency = n
+		}
+	}
+}
+
+// Harvester trains and serves many sites concurrently against one seed KB
+// — the paper's long-tail setting (§5.5), where 33 sites are harvested
+// and the results fused. It accumulates one SiteModel and one Result per
+// site and feeds them directly into Fuse. All methods are safe for
+// concurrent use.
+type Harvester struct {
+	p           *Pipeline
+	concurrency int
+
+	mu      sync.Mutex
+	models  map[string]*SiteModel
+	results map[string]*Result
+	errs    map[string]error
+}
+
+// NewHarvester builds a harvester over a configured pipeline.
+func NewHarvester(p *Pipeline, opts ...HarvesterOption) *Harvester {
+	h := &Harvester{
+		p:           p,
+		concurrency: 4,
+		models:      map[string]*SiteModel{},
+		results:     map[string]*Result{},
+		errs:        map[string]error{},
+	}
+	for _, o := range opts {
+		o(h)
+	}
+	return h
+}
+
+// Train trains one site with the shared pipeline and registers its model
+// for serving.
+func (h *Harvester) Train(ctx context.Context, site string, pages []PageSource) (*SiteModel, error) {
+	return h.trainWith(ctx, h.p, site, pages)
+}
+
+func (h *Harvester) trainWith(ctx context.Context, p *Pipeline, site string, pages []PageSource) (*SiteModel, error) {
+	m, err := p.Train(ctx, pages)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err != nil {
+		// Cancellation means the site never ran, not that it failed;
+		// Errors() reports only genuine per-site failures.
+		if ctx.Err() == nil {
+			h.errs[site] = err
+		}
+		return nil, err
+	}
+	delete(h.errs, site)
+	h.models[site] = m
+	return m, nil
+}
+
+// AddModel registers an already-trained model (e.g. one loaded with
+// ReadSiteModel) so Harvest and Extract can serve the site without
+// retraining.
+func (h *Harvester) AddModel(site string, m *SiteModel) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.models[site] = m
+}
+
+// Model returns the registered model of a site.
+func (h *Harvester) Model(site string) (*SiteModel, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.models[site]
+	return m, ok
+}
+
+// Extract serves pages of a previously trained site and records the
+// result for fusion. It returns ErrNotTrained when the site has no
+// registered model.
+func (h *Harvester) Extract(ctx context.Context, site string, pages []PageSource) (*Result, error) {
+	m, ok := h.Model(site)
+	if !ok {
+		return nil, ErrNotTrained
+	}
+	res, err := m.Extract(ctx, pages)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.results[site] = res
+	h.mu.Unlock()
+	return res, nil
+}
+
+// Harvest processes sites concurrently: each site is trained (unless a
+// model is already registered) and then served over its own pages, the
+// multi-site harvest of the paper's CommonCrawl experiment. Sites whose
+// seed-KB overlap is too thin to train (ErrNoAnnotations) are skipped and
+// recorded in Errors() — a long-tail harvest expects some of those — as
+// are sites that fail to serve. Harvest stops early only when ctx is
+// cancelled, returning ctx.Err(); otherwise it returns the per-site
+// results, which are also retained for Fuse.
+func (h *Harvester) Harvest(ctx context.Context, sites []SiteInput) (map[string]*Result, error) {
+	workers := h.concurrency
+	if workers > len(sites) {
+		workers = len(sites)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan SiteInput)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for in := range next {
+				h.harvestOne(ctx, in)
+			}
+		}()
+	}
+feed:
+	for _, in := range sites {
+		select {
+		case next <- in:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]*Result{}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, in := range sites {
+		if res, ok := h.results[in.Site]; ok {
+			out[in.Site] = res
+		}
+	}
+	return out, nil
+}
+
+func (h *Harvester) harvestOne(ctx context.Context, in SiteInput) {
+	if _, ok := h.Model(in.Site); !ok {
+		p := h.p
+		if in.Pipeline != nil {
+			p = in.Pipeline
+		}
+		if _, err := h.trainWith(ctx, p, in.Site, in.Pages); err != nil {
+			return // recorded by trainWith
+		}
+	}
+	if _, err := h.Extract(ctx, in.Site, in.Pages); err != nil && ctx.Err() == nil {
+		h.mu.Lock()
+		h.errs[in.Site] = err
+		h.mu.Unlock()
+	}
+}
+
+// Results returns a copy of the per-site results accumulated so far.
+func (h *Harvester) Results() map[string]*Result {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]*Result, len(h.results))
+	for k, v := range h.results {
+		out[k] = v
+	}
+	return out
+}
+
+// Errors returns a copy of the per-site failures (e.g. ErrNoAnnotations
+// for sites the seed KB could not align with).
+func (h *Harvester) Errors() map[string]error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]error, len(h.errs))
+	for k, v := range h.errs {
+		out[k] = v
+	}
+	return out
+}
+
+// Sites lists sites with a result, sorted.
+func (h *Harvester) Sites() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.results))
+	for s := range h.results {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fuse aggregates every accumulated result into fused facts — the
+// knowledge-fusion step the paper applies to its multi-site harvest.
+func (h *Harvester) Fuse(opts FusionOptions) []FusedFact {
+	return Fuse(h.Results(), opts)
+}

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -146,7 +147,7 @@ func sourcesOf(pages []*websim.Page) []core.PageSource {
 // evaluation half, returning scored extraction facts (including the name
 // pseudo-fact per page with an identified subject).
 func runTrainExtract(train, evalSet []*websim.Page, K *kb.KB, cfg core.Config) ([]eval.ScoredFact, *core.Result, error) {
-	res, err := core.Run(sourcesOf(train), K, cfg)
+	res, err := core.Run(context.Background(), sourcesOf(train), K, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -56,7 +57,7 @@ func runCrawl(cfg Config) *crawlRun {
 			topicByPage[p.ID] = p.TopicName
 			topicIDByPage[p.ID] = p.TopicID
 		}
-		res, err := core.Run(sourcesOf(site.Pages), c.SeedKB, ceresConfig(cfg))
+		res, err := core.Run(context.Background(), sourcesOf(site.Pages), c.SeedKB, ceresConfig(cfg))
 		if err == nil {
 			sr.annotatedPages = res.NumAnnotatedPages()
 			sr.annotations = res.NumAnnotations()

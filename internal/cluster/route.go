@@ -1,0 +1,46 @@
+package cluster
+
+import "sort"
+
+// Routing sends a never-before-seen page to the template cluster it most
+// resembles, so a trained per-cluster extractor can serve pages that were
+// not part of training. This is the serve-time counterpart of
+// ClusterPages: training fixes the cluster exemplars, routing only
+// compares against them.
+
+// Route returns the index of the exemplar most similar to sig, and the
+// similarity. With no exemplars it returns (-1, 0). Ties go to the
+// earliest exemplar, which ClusterPages orders largest-cluster-first, so
+// ambiguous pages fall into the dominant template.
+func Route(sig PageSignature, exemplars []PageSignature) (int, float64) {
+	best, bestSim := -1, -1.0
+	for i, ex := range exemplars {
+		if sim := Jaccard(sig, ex); sim > bestSim {
+			best, bestSim = i, sim
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bestSim
+}
+
+// Keys returns the signature's entries sorted, for deterministic
+// serialization.
+func (s PageSignature) Keys() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SignatureFromKeys rebuilds a signature from its serialized key list.
+func SignatureFromKeys(keys []string) PageSignature {
+	s := make(PageSignature, len(keys))
+	for _, k := range keys {
+		s[k] = true
+	}
+	return s
+}

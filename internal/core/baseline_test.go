@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ceres/internal/eval"
@@ -34,7 +35,7 @@ func TestBaselineTrainsAndExtracts(t *testing.T) {
 	for i, g := range gold {
 		sources[i] = PageSource{ID: g.ID, HTML: g.HTML}
 	}
-	full, err := Run(sources, K, Config{})
+	full, err := Run(context.Background(), sources, K, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
 	"ceres/internal/dom"
@@ -49,6 +50,44 @@ func (o FeatureOptions) withDefaults() FeatureOptions {
 		o.MaxFrequentStringLen = 40
 	}
 	return o
+}
+
+// FeaturizerState is the serializable form of a Featurizer: its options,
+// the feature dictionary, and the frequent-string lexicon (sorted for
+// deterministic output).
+type FeaturizerState struct {
+	Opts     FeatureOptions
+	Dict     mlr.DictState
+	Frequent []string
+}
+
+// State snapshots the featurizer.
+func (fz *Featurizer) State() FeaturizerState {
+	st := FeaturizerState{Opts: fz.opts, Dict: fz.dict.State()}
+	st.Frequent = make([]string, 0, len(fz.frequent))
+	for s := range fz.frequent {
+		st.Frequent = append(st.Frequent, s)
+	}
+	sort.Strings(st.Frequent)
+	return st
+}
+
+// RestoreFeaturizer rebuilds a featurizer from its state. The restored
+// dictionary keeps its frozen flag, so a trained featurizer stays frozen.
+func RestoreFeaturizer(st FeaturizerState) (*Featurizer, error) {
+	dict, err := mlr.RestoreDict(st.Dict)
+	if err != nil {
+		return nil, err
+	}
+	fz := &Featurizer{
+		opts:     st.Opts.withDefaults(),
+		dict:     dict,
+		frequent: make(map[string]bool, len(st.Frequent)),
+	}
+	for _, s := range st.Frequent {
+		fz.frequent[s] = true
+	}
+	return fz, nil
 }
 
 // structuralAttrs are the HTML attributes Vertex-style features read

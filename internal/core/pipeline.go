@@ -1,11 +1,25 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 
 	"ceres/internal/cluster"
 	"ceres/internal/kb"
+)
+
+// Sentinel errors of the training/serving lifecycle. The public ceres
+// package re-exports them; errors.Is works through either name.
+var (
+	// ErrNoPages reports an empty page set.
+	ErrNoPages = errors.New("ceres: no pages")
+	// ErrNotTrained reports a SiteModel with no trained cluster extractor.
+	ErrNotTrained = errors.New("ceres: site model has no trained extractor")
+	// ErrNoAnnotations reports that distant supervision produced too few
+	// annotations to train any cluster extractor.
+	ErrNoAnnotations = errors.New("ceres: no cluster produced enough annotations to train")
 )
 
 // PageSource is one raw input page.
@@ -40,12 +54,17 @@ func (c Config) withDefaults() Config {
 		c.MinAnnotatedPages = 2
 	}
 	if c.Workers == 0 {
-		c.Workers = runtime.NumCPU()
-		if c.Workers > 8 {
-			c.Workers = 8
-		}
+		c.Workers = defaultWorkers()
 	}
 	return c
+}
+
+func defaultWorkers() int {
+	w := runtime.NumCPU()
+	if w > 8 {
+		w = 8
+	}
+	return w
 }
 
 // ClusterResult is the pipeline output for one template cluster.
@@ -90,11 +109,41 @@ func (r *Result) NumAnnotatedPages() int {
 }
 
 // Run executes the CERES pipeline on one site: parse, cluster templates,
-// annotate, train, extract (Figure 3's architecture).
-func Run(sources []PageSource, K *kb.KB, cfg Config) (*Result, error) {
+// annotate, train, extract (Figure 3's architecture). It is Train followed
+// by extraction over the same pages, with each page served by the cluster
+// it was assigned to during training.
+func Run(ctx context.Context, sources []PageSource, K *kb.KB, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	pages := ParsePages(sources, cfg.Workers)
+	sm, res, err := TrainSite(ctx, sources, K, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for ci, cr := range res.Clusters {
+		exts, err := extractGroup(ctx, res.Pages, cr.PageIdxs, sm.Clusters[ci].Model, cfg.Extract, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		res.Extractions = append(res.Extractions, exts...)
+	}
+	return res, nil
+}
 
+// TrainSite runs the training phase only — parse, cluster, annotate, train
+// — and returns both the serving artifact (the SiteModel) and the full
+// training trace (parsed pages, per-cluster annotations). Untrainable
+// clusters still appear in the SiteModel so serve-time routing can send
+// their pages somewhere deterministic.
+func TrainSite(ctx context.Context, sources []PageSource, K *kb.KB, cfg Config) (*SiteModel, *Result, error) {
+	cfg = cfg.withDefaults()
+	if len(sources) == 0 {
+		return nil, nil, ErrNoPages
+	}
+	pages, err := parsePagesCtx(ctx, sources, cfg.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var sigs []cluster.PageSignature
 	var groups [][]int
 	if cfg.DisablePageClustering {
 		all := make([]int, len(pages))
@@ -102,33 +151,65 @@ func Run(sources []PageSource, K *kb.KB, cfg Config) (*Result, error) {
 			all[i] = i
 		}
 		groups = [][]int{all}
+		// Only the single group's exemplar signature is needed.
+		sigs = []cluster.PageSignature{cluster.Signature(pages[0].Doc)}
 	} else {
-		sigs := make([]cluster.PageSignature, len(pages))
-		parallelFor(len(pages), cfg.Workers, func(i int) {
+		sigs = make([]cluster.PageSignature, len(pages))
+		if err := parallelFor(ctx, len(pages), cfg.Workers, func(i int) {
 			sigs[i] = cluster.Signature(pages[i].Doc)
-		})
+		}); err != nil {
+			return nil, nil, err
+		}
 		groups = cluster.ClusterPages(sigs, cfg.PageCluster)
 	}
 
+	sm := &SiteModel{
+		Extract:    cfg.Extract,
+		Workers:    cfg.Workers,
+		TrainPages: len(pages),
+	}
 	res := &Result{Pages: pages}
 	for _, group := range groups {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		cr, err := runCluster(pages, group, K, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		res.Clusters = append(res.Clusters, cr)
-		res.Extractions = append(res.Extractions, extractionsOf(pages, group, cr, cfg)...)
+		cm := &ClusterModel{
+			// ClusterPages founds each cluster on its first member, so
+			// that page's signature is the cluster exemplar.
+			Exemplar: sigs[group[0]],
+			Model:    cr.Model,
+			Trained:  cr.Trained,
+			Pages:    len(group),
+		}
+		if cr.Annotation != nil {
+			cm.AnnotatedPages = cr.Annotation.NumAnnotatedPages()
+			cm.Annotations = len(cr.Annotation.Annotations)
+		}
+		sm.Clusters = append(sm.Clusters, cm)
 	}
-	return res, nil
+	return sm, res, nil
 }
 
 // ParsePages parses page sources concurrently, preserving order.
 func ParsePages(sources []PageSource, workers int) []*Page {
+	pages, _ := parsePagesCtx(context.Background(), sources, workers)
+	return pages
+}
+
+func parsePagesCtx(ctx context.Context, sources []PageSource, workers int) ([]*Page, error) {
 	pages := make([]*Page, len(sources))
-	parallelFor(len(sources), workers, func(i int) {
+	err := parallelFor(ctx, len(sources), workers, func(i int) {
 		pages[i] = PreparePage(sources[i].ID, sources[i].HTML)
 	})
-	return pages
+	if err != nil {
+		return nil, err
+	}
+	return pages, nil
 }
 
 func runCluster(pages []*Page, group []int, K *kb.KB, cfg Config) (*ClusterResult, error) {
@@ -156,28 +237,40 @@ func runCluster(pages []*Page, group []int, K *kb.KB, cfg Config) (*ClusterResul
 	return cr, nil
 }
 
-func extractionsOf(pages []*Page, group []int, cr *ClusterResult, cfg Config) []Extraction {
-	if !cr.Trained {
-		return nil
+// extractGroup applies one cluster's model to the listed pages, pooling
+// extractions in page order. A nil model (untrained cluster) yields none.
+func extractGroup(ctx context.Context, pages []*Page, group []int, m *Model, opts ExtractOptions, workers int) ([]Extraction, error) {
+	if m == nil {
+		return nil, nil
 	}
 	perPage := make([][]Extraction, len(group))
-	parallelFor(len(group), cfg.Workers, func(i int) {
-		perPage[i] = ExtractPage(pages[group[i]], cr.Model, cfg.Extract)
-	})
+	if err := parallelFor(ctx, len(group), workers, func(i int) {
+		perPage[i] = ExtractPage(pages[group[i]], m, opts)
+	}); err != nil {
+		return nil, err
+	}
 	var out []Extraction
 	for _, exts := range perPage {
 		out = append(out, exts...)
 	}
-	return out
+	return out, nil
 }
 
-// parallelFor runs fn(i) for i in [0,n) on up to `workers` goroutines.
-func parallelFor(n, workers int, fn func(int)) {
+// parallelFor runs fn(i) for i in [0,n) on up to `workers` goroutines,
+// stopping early (between items) when ctx is cancelled. Items already
+// started still finish; the ctx error is returned once workers drain.
+func parallelFor(ctx context.Context, n, workers int, fn func(int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	if workers > n {
 		workers = n
@@ -193,9 +286,13 @@ func parallelFor(n, workers int, fn func(int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					return
+				}
 				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }

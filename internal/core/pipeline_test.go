@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ceres/internal/eval"
@@ -40,7 +41,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 		sources[i] = PageSource{ID: g.ID, HTML: g.HTML}
 	}
 	_ = pages
-	res, err := Run(sources, K, Config{})
+	res, err := Run(context.Background(), sources, K, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestPipelineDiscoversNewEntities(t *testing.T) {
 	for _, p := range site.Pages {
 		sources = append(sources, PageSource{ID: p.ID, HTML: p.HTML})
 	}
-	res, err := Run(sources, K, Config{})
+	res, err := Run(context.Background(), sources, K, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestPipelineClustersTemplates(t *testing.T) {
 		sources = append(sources, PageSource{ID: "p/" + p.ID, HTML: p.HTML})
 	}
 	K := websim.BuildKB(w, websim.FullCoverage(), 3)
-	res, err := Run(sources, K, Config{})
+	res, err := Run(context.Background(), sources, K, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestPipelineNoAnnotatablePages(t *testing.T) {
 	for _, p := range site.Pages {
 		sources = append(sources, PageSource{ID: p.ID, HTML: p.HTML})
 	}
-	res, err := Run(sources, K, Config{})
+	res, err := Run(context.Background(), sources, K, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,13 +194,15 @@ func TestParallelForMatchesSerial(t *testing.T) {
 	for i := 0; i < n; i++ {
 		serial[i] = i * i
 	}
-	parallelFor(n, 7, func(i int) { parallel[i] = i * i })
+	if err := parallelFor(context.Background(), n, 7, func(i int) { parallel[i] = i * i }); err != nil {
+		t.Fatal(err)
+	}
 	for i := range serial {
 		if serial[i] != parallel[i] {
 			t.Fatalf("parallelFor diverged at %d", i)
 		}
 	}
 	// Degenerate worker counts.
-	parallelFor(3, 0, func(i int) {})
-	parallelFor(0, 5, func(i int) { t.Fatal("should not run") })
+	parallelFor(context.Background(), 3, 0, func(i int) {})
+	parallelFor(context.Background(), 0, 5, func(i int) { t.Fatal("should not run") })
 }

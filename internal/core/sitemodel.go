@@ -1,0 +1,354 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ceres/internal/cluster"
+	"ceres/internal/mlr"
+)
+
+// SiteModel is the serving artifact of one trained site: everything
+// extraction needs — per-template-cluster classifiers, featurizers and
+// exemplar signatures — and nothing training needed (no KB, no
+// annotations, no parsed pages). It is safe for concurrent use once
+// trained or restored.
+type SiteModel struct {
+	// Clusters holds one entry per template cluster found at training
+	// time, largest cluster first (the order ClusterPages produced).
+	Clusters []*ClusterModel
+	// Extract carries the extraction options the model was trained under.
+	Extract ExtractOptions
+	// Workers bounds serve-time parallelism (0 = default).
+	Workers int
+	// TrainPages is the number of pages the model was trained on.
+	TrainPages int
+
+	// exOnce/ex cache the exemplar slice for the per-page routing hot
+	// path; Clusters is immutable after training/restore.
+	exOnce sync.Once
+	ex     []cluster.PageSignature
+}
+
+// ClusterModel is the serving-side artifact of one template cluster.
+type ClusterModel struct {
+	// Exemplar is the template signature new pages are routed by.
+	Exemplar cluster.PageSignature
+	// Model is nil when the cluster produced too few annotations to
+	// train; pages routed here yield no extractions.
+	Model   *Model
+	Trained bool
+	// Training statistics, for reporting.
+	Pages          int
+	AnnotatedPages int
+	Annotations    int
+}
+
+// TrainedClusters counts clusters with a usable extractor.
+func (sm *SiteModel) TrainedClusters() int {
+	n := 0
+	for _, c := range sm.Clusters {
+		if c.Trained {
+			n++
+		}
+	}
+	return n
+}
+
+// AnnotatedPages sums training-time annotated pages across clusters.
+func (sm *SiteModel) AnnotatedPages() int {
+	n := 0
+	for _, c := range sm.Clusters {
+		n += c.AnnotatedPages
+	}
+	return n
+}
+
+// Annotations sums training-time positive labels across clusters.
+func (sm *SiteModel) Annotations() int {
+	n := 0
+	for _, c := range sm.Clusters {
+		n += c.Annotations
+	}
+	return n
+}
+
+func (sm *SiteModel) workers() int {
+	if sm.Workers > 0 {
+		return sm.Workers
+	}
+	return defaultWorkers()
+}
+
+func (sm *SiteModel) exemplars() []cluster.PageSignature {
+	sm.exOnce.Do(func() {
+		sm.ex = make([]cluster.PageSignature, len(sm.Clusters))
+		for i, c := range sm.Clusters {
+			sm.ex[i] = c.Exemplar
+		}
+	})
+	return sm.ex
+}
+
+// Route returns the index of the cluster whose exemplar signature is most
+// similar to the page, or -1 for a model with no clusters.
+func (sm *SiteModel) Route(p *Page) int {
+	if len(sm.Clusters) == 1 {
+		return 0
+	}
+	i, _ := cluster.Route(cluster.Signature(p.Doc), sm.exemplars())
+	return i
+}
+
+// ExtractSources parses and extracts pages never seen at training time,
+// routing each to its nearest template cluster. Extractions are pooled in
+// input page order, unthresholded; callers threshold.
+func (sm *SiteModel) ExtractSources(ctx context.Context, sources []PageSource) ([]Extraction, error) {
+	if err := sm.serveable(sources); err != nil {
+		return nil, err
+	}
+	perPage := make([][]Extraction, len(sources))
+	err := parallelFor(ctx, len(sources), sm.workers(), func(i int) {
+		perPage[i] = sm.extractOne(sources[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Extraction
+	for _, exts := range perPage {
+		out = append(out, exts...)
+	}
+	return out, nil
+}
+
+// StreamSources extracts pages with bounded memory, invoking emit for each
+// extraction as its page finishes (pages complete in whatever order the
+// workers finish them; emit is never called concurrently). A non-nil error
+// from emit stops the stream and is returned. Only ~Workers pages are held
+// in memory at once.
+func (sm *SiteModel) StreamSources(ctx context.Context, sources []PageSource, emit func(Extraction) error) error {
+	if err := sm.serveable(sources); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := sm.workers()
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	var (
+		mu      sync.Mutex
+		emitErr error
+		wg      sync.WaitGroup
+	)
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					return
+				}
+				exts := sm.extractOne(sources[i])
+				mu.Lock()
+				for _, e := range exts {
+					if emitErr != nil || ctx.Err() != nil {
+						break
+					}
+					if err := emit(e); err != nil {
+						emitErr = err
+						cancel()
+						break
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i := range sources {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if emitErr != nil {
+		return emitErr
+	}
+	return ctx.Err()
+}
+
+// serveable validates a serve call: a model must exist and have at least
+// one trained cluster, and there must be pages to serve.
+func (sm *SiteModel) serveable(sources []PageSource) error {
+	if sm == nil || sm.TrainedClusters() == 0 {
+		return ErrNotTrained
+	}
+	if len(sources) == 0 {
+		return ErrNoPages
+	}
+	return nil
+}
+
+// extractOne parses, routes and extracts a single page.
+func (sm *SiteModel) extractOne(src PageSource) []Extraction {
+	p := PreparePage(src.ID, src.HTML)
+	ci := sm.Route(p)
+	if ci < 0 || !sm.Clusters[ci].Trained {
+		return nil
+	}
+	return ExtractPage(p, sm.Clusters[ci].Model, sm.Extract)
+}
+
+// ---------------------------------------------------------------- state
+
+// SiteModelState is the serializable form of a SiteModel. All fields are
+// plain data; the public package marshals it (JSON) behind a versioned
+// envelope.
+type SiteModelState struct {
+	Clusters   []ClusterModelState
+	Extract    ExtractOptions
+	Workers    int
+	TrainPages int
+}
+
+// ClusterModelState is the serializable form of one ClusterModel.
+type ClusterModelState struct {
+	// Exemplar lists the signature keys, sorted.
+	Exemplar []string
+	Trained  bool
+	// Model is nil for untrained clusters.
+	Model          *ModelState
+	Pages          int
+	AnnotatedPages int
+	Annotations    int
+}
+
+// ModelState is the serializable form of a trained cluster Model.
+type ModelState struct {
+	Classes    []string
+	Featurizer FeaturizerState
+	// Exactly one of LR / NB is set, matching the classifier choice.
+	LR *mlr.Model
+	NB *mlr.NaiveBayesState
+}
+
+// State snapshots the site model for serialization.
+func (sm *SiteModel) State() *SiteModelState {
+	st := &SiteModelState{
+		Extract:    sm.Extract,
+		Workers:    sm.Workers,
+		TrainPages: sm.TrainPages,
+	}
+	for _, c := range sm.Clusters {
+		cs := ClusterModelState{
+			Exemplar:       c.Exemplar.Keys(),
+			Trained:        c.Trained,
+			Pages:          c.Pages,
+			AnnotatedPages: c.AnnotatedPages,
+			Annotations:    c.Annotations,
+		}
+		if c.Model != nil {
+			ms := &ModelState{
+				Classes:    c.Model.Classes.Names(),
+				Featurizer: c.Model.Featurizer.State(),
+				LR:         c.Model.LR,
+			}
+			if c.Model.NB != nil {
+				nb := c.Model.NB.State()
+				ms.NB = &nb
+			}
+			cs.Model = ms
+		}
+		st.Clusters = append(st.Clusters, cs)
+	}
+	return st
+}
+
+// RestoreSiteModel rebuilds a serving-ready SiteModel from its state,
+// validating classifier shapes so a corrupt state fails at load time.
+func RestoreSiteModel(st *SiteModelState) (*SiteModel, error) {
+	sm := &SiteModel{
+		Extract:    st.Extract,
+		Workers:    st.Workers,
+		TrainPages: st.TrainPages,
+	}
+	for i, cs := range st.Clusters {
+		cm := &ClusterModel{
+			Exemplar:       cluster.SignatureFromKeys(cs.Exemplar),
+			Trained:        cs.Trained,
+			Pages:          cs.Pages,
+			AnnotatedPages: cs.AnnotatedPages,
+			Annotations:    cs.Annotations,
+		}
+		if cs.Trained && cs.Model == nil {
+			return nil, fmt.Errorf("core: cluster %d marked trained but has no model", i)
+		}
+		if cs.Model != nil {
+			m, err := restoreModel(cs.Model)
+			if err != nil {
+				return nil, fmt.Errorf("core: cluster %d: %w", i, err)
+			}
+			cm.Model = m
+		}
+		sm.Clusters = append(sm.Clusters, cm)
+	}
+	return sm, nil
+}
+
+func restoreModel(st *ModelState) (*Model, error) {
+	classes, err := ClassesFromNames(st.Classes)
+	if err != nil {
+		return nil, err
+	}
+	fz, err := RestoreFeaturizer(st.Featurizer)
+	if err != nil {
+		return nil, err
+	}
+	// Serving featurizes concurrently; an unfrozen dictionary would grow
+	// its map from multiple goroutines. Trained featurizers are always
+	// frozen, so freeze unconditionally rather than trust the state.
+	fz.Freeze()
+	m := &Model{Classes: classes, Featurizer: fz}
+	dictLen := fz.Dict().Len()
+	checkFeatures := func(numFeatures int) error {
+		if numFeatures > dictLen {
+			return fmt.Errorf("core: model scores %d features but dictionary has %d", numFeatures, dictLen)
+		}
+		return nil
+	}
+	switch {
+	case st.LR != nil && st.NB == nil:
+		if err := st.LR.Validate(); err != nil {
+			return nil, err
+		}
+		if st.LR.NumClasses != classes.Len() {
+			return nil, fmt.Errorf("core: model has %d classes, class space has %d", st.LR.NumClasses, classes.Len())
+		}
+		if err := checkFeatures(st.LR.NumFeatures); err != nil {
+			return nil, err
+		}
+		m.LR = st.LR
+	case st.NB != nil && st.LR == nil:
+		nb, err := mlr.RestoreNaiveBayes(*st.NB)
+		if err != nil {
+			return nil, err
+		}
+		if nb.NumClasses != classes.Len() {
+			return nil, fmt.Errorf("core: model has %d classes, class space has %d", nb.NumClasses, classes.Len())
+		}
+		if err := checkFeatures(nb.NumFeatures); err != nil {
+			return nil, err
+		}
+		m.NB = nb
+	default:
+		return nil, fmt.Errorf("core: model state needs exactly one classifier")
+	}
+	return m, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -63,6 +64,22 @@ func NewClasses(anns []Annotation) *Classes {
 		c.index[n] = i
 	}
 	return c
+}
+
+// ClassesFromNames rebuilds a class space from its serialized name list,
+// preserving the exact index order the model was trained with.
+func ClassesFromNames(names []string) (*Classes, error) {
+	if len(names) == 0 || names[0] != "OTHER" {
+		return nil, fmt.Errorf("core: class list must start with OTHER")
+	}
+	c := &Classes{names: append([]string(nil), names...), index: map[string]int{}}
+	for i, n := range c.names {
+		if _, dup := c.index[n]; dup {
+			return nil, fmt.Errorf("core: duplicate class %q", n)
+		}
+		c.index[n] = i
+	}
+	return c, nil
 }
 
 // Index returns the class index of a predicate (OtherClass if unknown).
