@@ -13,6 +13,7 @@ import (
 
 	"ceres/internal/bench"
 	"ceres/internal/core"
+	"ceres/internal/mlr"
 	"ceres/internal/websim"
 )
 
@@ -137,6 +138,48 @@ func BenchmarkStageExtract(b *testing.B) {
 	}
 }
 
+// BenchmarkFeaturize contrasts the training-time featurizer (string
+// concatenation + dictionary hashing, fresh sorted slice per field) with
+// the compiled serve-path featurizer (integer tables + reusable
+// VectorBuilder) over every field of a page.
+func BenchmarkFeaturize(b *testing.B) {
+	f := getFixture(b)
+	ann := core.Annotate(f.pages, f.kb, core.TopicOptions{}, core.RelationOptions{})
+	fz := core.NewFeaturizer(f.pages, core.FeatureOptions{})
+	core.BuildExamples(f.pages, ann, fz, core.TrainOptions{Seed: 1})
+	fz.Freeze()
+	page := f.pages[0]
+
+	b.Run("Legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, fld := range page.Fields {
+				if v := fz.Features(fld); len(v) == 0 {
+					b.Fatal("no features")
+				}
+			}
+		}
+	})
+	b.Run("Compiled", func(b *testing.B) {
+		cf, err := fz.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var vb mlr.VectorBuilder
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, fld := range page.Fields {
+				vb.Reset()
+				cf.AppendFeatures(&vb, fld)
+				if v := vb.Build(); len(v) == 0 {
+					b.Fatal("no features")
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkEndToEndSite measures the full pipeline on the 60-page site.
 func BenchmarkEndToEndSite(b *testing.B) {
 	f := getFixture(b)
@@ -180,6 +223,7 @@ func BenchmarkServeExtract(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		b.ReportMetric(float64(len(pages))*float64(b.N)/b.Elapsed().Seconds(), "pages/s")
 	})
 	b.Run("TrainOnceStream", func(b *testing.B) {
 		model, err := p.Train(context.Background(), pages)
@@ -200,5 +244,6 @@ func BenchmarkServeExtract(b *testing.B) {
 				b.Fatal("stream produced no triples")
 			}
 		}
+		b.ReportMetric(float64(len(pages))*float64(b.N)/b.Elapsed().Seconds(), "pages/s")
 	})
 }

@@ -358,8 +358,14 @@ func (m *SiteModel) ExtractStream(ctx context.Context, pages []PageSource, emit 
 	})
 }
 
-// sitemodelFormat versions the WriteTo serialization.
-const sitemodelFormat = "ceres.sitemodel/1"
+// sitemodelFormat versions the WriteTo serialization. Version 2 stores
+// extraction options fully resolved (an explicit zero is literal);
+// version 1 files, whose zero options meant "apply the default", are
+// still read with their original semantics.
+const (
+	sitemodelFormat   = "ceres.sitemodel/2"
+	sitemodelFormatV1 = "ceres.sitemodel/1"
+)
 
 // siteModelFile is the on-disk envelope of a SiteModel.
 type siteModelFile struct {
@@ -391,11 +397,16 @@ func ReadSiteModel(r io.Reader) (*SiteModel, error) {
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
 		return nil, fmt.Errorf("ceres: reading site model: %w", err)
 	}
-	if f.Format != sitemodelFormat {
+	if f.Format != sitemodelFormat && f.Format != sitemodelFormatV1 {
 		return nil, fmt.Errorf("ceres: unknown site model format %q", f.Format)
 	}
 	if f.Model == nil {
 		return nil, fmt.Errorf("ceres: site model file has no model")
+	}
+	if f.Format == sitemodelFormatV1 {
+		// v1 stored unresolved options: zero meant "default at serve
+		// time". Resolve before the literal-valued restore below.
+		f.Model.Extract = f.Model.Extract.Resolve()
 	}
 	sm, err := core.RestoreSiteModel(f.Model)
 	if err != nil {

@@ -1,0 +1,240 @@
+package ceres
+
+// Differential tests for the compiled serve path (DESIGN.md §5): serving
+// through SiteModel — which featurizes via compiled integer tables and
+// scores through the allocation-free Scorer fast path — must be
+// output-identical to the legacy string-hashing path (PreparePage +
+// Route + core.ExtractPage), triple for triple, confidence bit for bit,
+// across every DemoCorpus site, both classifiers, and untrained-cluster
+// routing. Serialization must be unaffected by compilation.
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"ceres/internal/core"
+)
+
+// legacyExtract reproduces the pre-compilation serve path with exported
+// core pieces: full page preparation, routing, string-hashed features,
+// allocating scorer.
+func legacyExtract(sm *core.SiteModel, sources []core.PageSource) []core.Extraction {
+	var out []core.Extraction
+	for _, src := range sources {
+		p := core.PreparePage(src.ID, src.HTML)
+		ci := sm.Route(p)
+		if ci < 0 || !sm.Clusters[ci].Trained {
+			continue
+		}
+		out = append(out, core.ExtractPage(p, sm.Clusters[ci].Model, sm.Extract)...)
+	}
+	return out
+}
+
+func corpusSources(t *testing.T, kind string, seed int64, pages int) ([]core.PageSource, *Corpus) {
+	t.Helper()
+	c, err := DemoCorpus(kind, seed, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]core.PageSource, len(c.Pages))
+	for i, p := range c.Pages {
+		src[i] = core.PageSource{ID: p.ID, HTML: p.HTML}
+	}
+	return src, c
+}
+
+func diffServe(t *testing.T, name string, sm *core.SiteModel, serve []core.PageSource) int {
+	t.Helper()
+	want := legacyExtract(sm, serve)
+	got, err := sm.ExtractSources(context.Background(), serve)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		max := len(got)
+		if len(want) < max {
+			max = len(want)
+		}
+		for i := 0; i < max; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("%s: extraction %d diverges\ncompiled: %+v\nlegacy:   %+v", name, i, got[i], want[i])
+			}
+		}
+		t.Fatalf("%s: compiled path %d extractions, legacy %d", name, len(got), len(want))
+	}
+	return len(want)
+}
+
+// TestCompiledServeMatchesLegacyAllCorpora trains on half of every demo
+// corpus and serves the other (unseen) half down both paths.
+func TestCompiledServeMatchesLegacyAllCorpora(t *testing.T) {
+	kinds := []string{"movies", "movies-longtail", "imdb-films", "imdb-people", "crawl-czech"}
+	total := 0
+	for _, kind := range kinds {
+		src, c := corpusSources(t, kind, 7, 40)
+		var train, serve []core.PageSource
+		for i, s := range src {
+			if i%2 == 0 {
+				train = append(train, s)
+			} else {
+				serve = append(serve, s)
+			}
+		}
+		sm, _, err := core.TrainSite(context.Background(), train, c.KB, core.Config{Train: core.TrainOptions{Seed: 1}})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		n := diffServe(t, kind, sm, serve)
+		t.Logf("%s: %d extractions identical on both paths", kind, n)
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no corpus produced extractions; differential vacuous")
+	}
+}
+
+// TestCompiledServeMatchesLegacyNaiveBayes repeats the differential with
+// the classifier ablation, which serves through the same Scorer contract.
+func TestCompiledServeMatchesLegacyNaiveBayes(t *testing.T) {
+	src, c := corpusSources(t, "movies", 7, 40)
+	sm, _, err := core.TrainSite(context.Background(), src[:20], c.KB,
+		core.Config{Train: core.TrainOptions{Seed: 1, Classifier: "nb"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := diffServe(t, "movies/nb", sm, src[20:]); n == 0 {
+		t.Fatal("naive Bayes extracted nothing; differential vacuous")
+	}
+}
+
+// TestCompiledServeUntrainedClusterRouting mixes two template families
+// with a KB covering only one, so the other's cluster exists but is
+// untrained: pages routed there must yield nothing, identically on both
+// paths.
+func TestCompiledServeUntrainedClusterRouting(t *testing.T) {
+	movieSrc, movieCorpus := corpusSources(t, "movies", 7, 30)
+	imdbSrc, _ := corpusSources(t, "imdb-films", 3, 20)
+	train := append(append([]core.PageSource{}, movieSrc[:15]...), imdbSrc[:10]...)
+	sm, _, err := core.TrainSite(context.Background(), train, movieCorpus.KB, core.Config{Train: core.TrainOptions{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sm.Clusters) < 2 {
+		t.Fatalf("expected >=2 template clusters, got %d", len(sm.Clusters))
+	}
+	if sm.TrainedClusters() == len(sm.Clusters) {
+		t.Fatalf("expected at least one untrained cluster")
+	}
+	serve := append(append([]core.PageSource{}, movieSrc[15:]...), imdbSrc[10:]...)
+	// The serve set must actually exercise untrained-cluster routing.
+	untrainedHits := 0
+	for _, s := range serve {
+		ci := sm.Route(core.PrepareServePage(s.ID, s.HTML))
+		if ci >= 0 && !sm.Clusters[ci].Trained {
+			untrainedHits++
+		}
+	}
+	if untrainedHits == 0 {
+		t.Fatal("no serve page routed to an untrained cluster; test vacuous")
+	}
+	if n := diffServe(t, "mixed", sm, serve); n == 0 {
+		t.Fatal("trained cluster extracted nothing; differential vacuous")
+	}
+}
+
+// TestCompiledServeLeavesSerializationUnchanged: compiling and serving
+// must not mutate the model; WriteTo is byte-identical before and after,
+// and a reloaded model re-serializes identically (the on-disk format has
+// no compiled artifacts).
+func TestCompiledServeLeavesSerializationUnchanged(t *testing.T) {
+	c, err := DemoCorpus("movies", 7, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewPipeline(c.KB).Train(context.Background(), c.Pages[:15])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	if _, err := model.WriteTo(&before); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Extract(context.Background(), c.Pages[15:]); err != nil {
+		t.Fatal(err)
+	}
+	var after bytes.Buffer
+	if _, err := model.WriteTo(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("serving through the compiled path changed the serialized model")
+	}
+	loaded, err := ReadSiteModel(bytes.NewReader(after.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.Extract(context.Background(), c.Pages[15:]); err != nil {
+		t.Fatal(err)
+	}
+	var reloaded bytes.Buffer
+	if _, err := loaded.WriteTo(&reloaded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), reloaded.Bytes()) {
+		t.Fatal("reload + compiled serve changed the serialized bytes")
+	}
+}
+
+// TestReadSiteModelV1ZeroMeansDefault: version-1 files stored unresolved
+// extraction options (zero meant "default"); loading one must keep the
+// old semantics instead of taking the zero literally.
+func TestReadSiteModelV1ZeroMeansDefault(t *testing.T) {
+	c, err := DemoCorpus("movies", 7, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewPipeline(c.KB).Train(context.Background(), c.Pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := model.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Replace(buf.Bytes(), []byte(`"format":"ceres.sitemodel/2"`), []byte(`"format":"ceres.sitemodel/1"`), 1)
+	v1 = bytes.Replace(v1, []byte(`"Extract":{"NameThreshold":0.5}`), []byte(`"Extract":{"NameThreshold":0}`), 1)
+	if bytes.Equal(v1, buf.Bytes()) {
+		t.Fatal("fixture rewrite failed; format or Extract layout changed")
+	}
+	loaded, err := ReadSiteModel(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 semantics: the stored zero resolves to the 0.5 default.
+	if got := loaded.sm.Extract.Resolve().NameThreshold; got != 0.5 {
+		t.Fatalf("v1 zero NameThreshold restored as %v, want default 0.5", got)
+	}
+
+	// v2 semantics: a stored zero is literal (it can only have been put
+	// there by an Explicit zero at training time).
+	v2zero := bytes.Replace(buf.Bytes(), []byte(`"Extract":{"NameThreshold":0.5}`), []byte(`"Extract":{"NameThreshold":0}`), 1)
+	loaded2, err := ReadSiteModel(bytes.NewReader(v2zero))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded2.sm.Extract.Resolve().NameThreshold; got != 0 {
+		t.Fatalf("v2 explicit-zero NameThreshold restored as %v, want literal 0", got)
+	}
+
+	// And loading a v1 file still serves.
+	res, err := loaded.Extract(context.Background(), c.Pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Triples) == 0 {
+		t.Fatal("v1 model served no triples")
+	}
+}

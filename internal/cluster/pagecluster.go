@@ -18,23 +18,31 @@ type PageSignature map[string]bool
 func Signature(doc *dom.Node) PageSignature {
 	sig := make(PageSignature)
 	doc.Walk(func(n *dom.Node) bool {
-		if n.Type != dom.ElementNode {
-			return true
+		if key, ok := signatureKey(n); ok {
+			sig[key] = true
 		}
-		path := n.Tag
-		if p := n.Parent; p != nil && p.Type == dom.ElementNode {
-			path = p.Tag + "/" + path
-			if gp := p.Parent; gp != nil && gp.Type == dom.ElementNode {
-				path = gp.Tag + "/" + path
-			}
-		}
-		if c, ok := n.Attr("class"); ok && c != "" {
-			path += "." + c
-		}
-		sig[path] = true
 		return true
 	})
 	return sig
+}
+
+// signatureKey returns the signature entry one node contributes, shared
+// by the map-based Signature and the serve-side SortedSignatureOf.
+func signatureKey(n *dom.Node) (string, bool) {
+	if n.Type != dom.ElementNode {
+		return "", false
+	}
+	path := n.Tag
+	if p := n.Parent; p != nil && p.Type == dom.ElementNode {
+		path = p.Tag + "/" + path
+		if gp := p.Parent; gp != nil && gp.Type == dom.ElementNode {
+			path = gp.Tag + "/" + path
+		}
+	}
+	if c, ok := n.Attr("class"); ok && c != "" {
+		path += "." + c
+	}
+	return path, true
 }
 
 // Jaccard returns the Jaccard similarity of two signatures.

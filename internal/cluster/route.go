@@ -1,6 +1,11 @@
 package cluster
 
-import "sort"
+import (
+	"slices"
+	"sort"
+
+	"ceres/internal/dom"
+)
 
 // Routing sends a never-before-seen page to the template cluster it most
 // resembles, so a trained per-cluster extractor can serve pages that were
@@ -43,4 +48,71 @@ func SignatureFromKeys(keys []string) PageSignature {
 		s[k] = true
 	}
 	return s
+}
+
+// SortedSignature is a page signature as a sorted, duplicate-free key
+// slice — the serving-side representation. Jaccard similarity against the
+// pre-sorted cluster exemplars becomes a linear merge: no per-page set
+// building, no map probes.
+type SortedSignature []string
+
+// Sorted converts the map form to the sorted form.
+func (s PageSignature) Sorted() SortedSignature {
+	return SortedSignature(s.Keys())
+}
+
+// SortedSignatureOf fingerprints a parsed page directly into sorted form,
+// with the same key set Signature produces.
+func SortedSignatureOf(doc *dom.Node) SortedSignature {
+	keys := make([]string, 0, 64)
+	doc.Walk(func(n *dom.Node) bool {
+		if key, ok := signatureKey(n); ok {
+			keys = append(keys, key)
+		}
+		return true
+	})
+	sort.Strings(keys)
+	return slices.Compact(keys)
+}
+
+// JaccardSorted returns the Jaccard similarity of two sorted signatures.
+// It equals Jaccard over the corresponding map signatures exactly.
+func JaccardSorted(a, b SortedSignature) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// RouteSorted is Route over pre-sorted signatures: the serve-path variant
+// that compares one page against every exemplar without rebuilding sets.
+// Ties break identically to Route (earliest exemplar wins).
+func RouteSorted(sig SortedSignature, exemplars []SortedSignature) (int, float64) {
+	best, bestSim := -1, -1.0
+	for i, ex := range exemplars {
+		if sim := JaccardSorted(sig, ex); sim > bestSim {
+			best, bestSim = i, sim
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bestSim
 }

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ceres/internal/dom"
+	"ceres/internal/mlr"
+)
+
+// This file implements the compiled serve path (DESIGN.md §5). Training
+// builds features by concatenating string names and hashing them through
+// the feature dictionary; that is fine once per site, but serving applies
+// the model to every DOM node of every page, so the string building and
+// map probes dominate extraction cost. Compile() runs once per model and
+// inverts the dictionary into per-(level, offset, attribute) lookup
+// tables keyed directly by tag / attribute value / sibling text, so
+// serve-time featurization emits integer feature IDs with no string
+// assembly and no allocation. The compiled path is output-identical to
+// Featurizer.Features + Model.Proba — the differential tests assert
+// deep-equality over the whole DemoCorpus.
+
+// CompiledFeaturizer is the frozen, serve-only form of a Featurizer. It
+// is immutable after Compile and safe for concurrent use; the per-call
+// scratch lives in the caller's VectorBuilder.
+type CompiledFeaturizer struct {
+	opts FeatureOptions
+	// structural[lvl][off+SiblingWindow] resolves the 4-tuple features of
+	// one context position.
+	structural [][]structTable
+	// text[lvl][off] resolves frequent-string features: off 0 is the
+	// ancestor's own text, off k>0 the k-th preceding element sibling.
+	text [][]map[string]int32
+}
+
+// structTable resolves the structural features of one (level, offset)
+// context position. Nil maps (and a nil attr slice) are valid and simply
+// never match.
+type structTable struct {
+	tag map[string]int32
+	// attr is parallel to structuralAttrs: attr[i] maps attribute values
+	// of structuralAttrs[i] to feature IDs. Allocated lazily to
+	// len(structuralAttrs) when the first attribute feature is indexed.
+	attr []map[string]int32
+}
+
+// emit appends the IDs of n's structural features at this position.
+func (t *structTable) emit(n *dom.Node, vb *mlr.VectorBuilder) {
+	if id, ok := t.tag[n.Tag]; ok {
+		vb.AddID(int(id))
+	}
+	for i, m := range t.attr {
+		if m == nil {
+			continue
+		}
+		if v, ok := n.Attr(structuralAttrs[i]); ok && v != "" {
+			if id, ok := m[v]; ok {
+				vb.AddID(int(id))
+			}
+		}
+	}
+}
+
+// Compile inverts the frozen feature dictionary into integer lookup
+// tables. The featurizer must be frozen: a growing dictionary cannot be
+// compiled because serving would miss features training would still add.
+func (fz *Featurizer) Compile() (*CompiledFeaturizer, error) {
+	if !fz.dict.Frozen() {
+		return nil, fmt.Errorf("core: cannot compile an unfrozen featurizer")
+	}
+	o := fz.opts
+	cf := &CompiledFeaturizer{opts: o}
+	cf.structural = make([][]structTable, o.MaxAncestors+1)
+	for i := range cf.structural {
+		cf.structural[i] = make([]structTable, 2*o.SiblingWindow+1)
+	}
+	cf.text = make([][]map[string]int32, o.TextAncestors+1)
+	for i := range cf.text {
+		cf.text[i] = make([]map[string]int32, o.SiblingWindow+1)
+	}
+	for id := 0; id < fz.dict.Len(); id++ {
+		cf.index(fz.dict.Name(id), int32(id))
+	}
+	return cf, nil
+}
+
+// index parses one dictionary feature name into the tables. Names that do
+// not match the grammar the trainer emits ("s|lvl|off|attr|value",
+// "t|lvl|off|text") or whose positions fall outside the configured
+// windows are skipped: the legacy path can never look such names up, so
+// ignoring them preserves output equivalence.
+func (cf *CompiledFeaturizer) index(name string, id int32) {
+	rest, structural := strings.CutPrefix(name, "s|")
+	if !structural {
+		var ok bool
+		rest, ok = strings.CutPrefix(name, "t|")
+		if !ok {
+			return
+		}
+	}
+	lvl, rest, ok := cutInt(rest)
+	if !ok || lvl < 0 {
+		return
+	}
+	off, rest, ok := cutInt(rest)
+	if !ok || rest == "" {
+		return
+	}
+	if structural {
+		if lvl >= len(cf.structural) || off < -cf.opts.SiblingWindow || off > cf.opts.SiblingWindow {
+			return
+		}
+		t := &cf.structural[lvl][off+cf.opts.SiblingWindow]
+		if v, ok := strings.CutPrefix(rest, "tag|"); ok {
+			if t.tag == nil {
+				t.tag = make(map[string]int32)
+			}
+			t.tag[v] = id
+			return
+		}
+		for i, attr := range structuralAttrs {
+			if v, ok := strings.CutPrefix(rest, attr+"|"); ok {
+				if t.attr == nil {
+					t.attr = make([]map[string]int32, len(structuralAttrs))
+				}
+				if t.attr[i] == nil {
+					t.attr[i] = make(map[string]int32)
+				}
+				t.attr[i][v] = id
+				return
+			}
+		}
+		return
+	}
+	// Text feature: off is 0 (ancestor own text) or negative (preceding
+	// element sibling); the table stores the magnitude.
+	if lvl >= len(cf.text) || off > 0 || -off > cf.opts.SiblingWindow {
+		return
+	}
+	if cf.text[lvl][-off] == nil {
+		cf.text[lvl][-off] = make(map[string]int32)
+	}
+	cf.text[lvl][-off][rest] = id
+}
+
+// cutInt splits "123|rest" into (123, "rest").
+func cutInt(s string) (int, string, bool) {
+	i := strings.IndexByte(s, '|')
+	if i < 0 {
+		return 0, "", false
+	}
+	v, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return 0, "", false
+	}
+	return v, s[i+1:], true
+}
+
+// AppendFeatures emits the feature IDs of a field into vb — the compiled
+// counterpart of Featurizer.Features. It walks the same context the
+// trainer walked (the containing element, its ancestors, their sibling
+// windows) but reads the parse-time structural caches and resolves
+// features through the integer tables, so it performs no tree re-walks,
+// no string building and no allocation.
+func (cf *CompiledFeaturizer) AppendFeatures(vb *mlr.VectorBuilder, f *Field) {
+	elem := f.Node.Parent
+	if elem == nil {
+		return
+	}
+	if !cf.opts.DisableStructural {
+		w := cf.opts.SiblingWindow
+		node := elem
+		for lvl := 0; node != nil && node.Type == dom.ElementNode && lvl <= cf.opts.MaxAncestors; lvl++ {
+			tables := cf.structural[lvl]
+			tables[w].emit(node, vb)
+			sibs := node.ElementSiblings()
+			pos := node.ElementIndex()
+			for off := 1; off <= w; off++ {
+				if pos-off >= 0 {
+					tables[w-off].emit(sibs[pos-off], vb)
+				}
+				if pos+off < len(sibs) {
+					tables[w+off].emit(sibs[pos+off], vb)
+				}
+			}
+			node = node.Parent
+		}
+	}
+	if !cf.opts.DisableText {
+		node := elem
+		for lvl := 0; node != nil && node.Type == dom.ElementNode && lvl <= cf.opts.TextAncestors; lvl++ {
+			tables := cf.text[lvl]
+			sibs := node.ElementSiblings()
+			pos := node.ElementIndex()
+			for off := 1; off <= cf.opts.SiblingWindow; off++ {
+				if pos-off < 0 {
+					break
+				}
+				if id, ok := tables[off][sibs[pos-off].Text()]; ok {
+					vb.AddID(int(id))
+				}
+			}
+			if lvl > 0 {
+				if own := node.OwnText(); own != "" {
+					if id, ok := tables[0][own]; ok {
+						vb.AddID(int(id))
+					}
+				}
+			}
+			node = node.Parent
+		}
+	}
+}
+
+// CompiledModel bundles a compiled featurizer with its classifier behind
+// the allocation-free mlr.Scorer contract. Immutable and safe for
+// concurrent use; each worker passes its own ServeScratch.
+type CompiledModel struct {
+	classes   *Classes
+	nameClass int
+	fz        *CompiledFeaturizer
+	scorer    mlr.Scorer
+}
+
+// Compile produces the frozen serving form of a trained model.
+func (m *Model) Compile() (*CompiledModel, error) {
+	cf, err := m.Featurizer.Compile()
+	if err != nil {
+		return nil, err
+	}
+	cm := &CompiledModel{
+		classes:   m.Classes,
+		nameClass: m.Classes.Index(NameClass),
+		fz:        cf,
+	}
+	switch {
+	case m.NB != nil:
+		cm.scorer = m.NB
+	case m.LR != nil:
+		cm.scorer = m.LR
+	default:
+		return nil, fmt.Errorf("core: model has no classifier to compile")
+	}
+	return cm, nil
+}
+
+// ServeScratch is the per-worker scratch space a compiled extraction
+// writes into: the reusable vector builder and a flat fields×classes
+// probability matrix. Each serve worker owns exactly one; a ServeScratch
+// must never be shared between concurrent goroutines.
+type ServeScratch struct {
+	vb    mlr.VectorBuilder
+	proba []float64
+}
+
+// NewServeScratch allocates an empty scratch; its buffers grow to the
+// largest page the worker sees and are then reused.
+func NewServeScratch() *ServeScratch {
+	return &ServeScratch{}
+}
+
+// ExtractPage applies the compiled model to every field of a page — the
+// compiled counterpart of the package-level ExtractPage, with identical
+// output (same extractions, same confidences, same order) and no
+// per-field allocation.
+func (cm *CompiledModel) ExtractPage(p *Page, opts ExtractOptions, sc *ServeScratch) []Extraction {
+	opts = opts.withDefaults()
+	if cm.nameClass == OtherClass {
+		return nil // no name class was learned; no subjects identifiable
+	}
+	K := cm.scorer.ClassCount()
+	need := len(p.Fields) * K
+	if cap(sc.proba) < need {
+		sc.proba = make([]float64, need)
+	}
+	proba := sc.proba[:need]
+	bestName, bestNameP := -1, 0.0
+	for fi, f := range p.Fields {
+		sc.vb.Reset()
+		cm.fz.AppendFeatures(&sc.vb, f)
+		pr := proba[fi*K : (fi+1)*K]
+		cm.scorer.ProbaInto(sc.vb.Build(), pr)
+		if pr[cm.nameClass] > bestNameP {
+			bestName, bestNameP = fi, pr[cm.nameClass]
+		}
+	}
+	if bestName < 0 || bestNameP < opts.NameThreshold {
+		return nil // §4.3: extraction requires an identified name node
+	}
+	subject := p.Fields[bestName].Text
+	subjectPath := p.Fields[bestName].XPath()
+
+	var out []Extraction
+	for fi := range p.Fields {
+		if fi == bestName {
+			continue
+		}
+		cls, prob := argmax(proba[fi*K : (fi+1)*K])
+		if cls == OtherClass || cls == cm.nameClass {
+			continue
+		}
+		out = append(out, Extraction{
+			PageID:      p.ID,
+			Subject:     subject,
+			Predicate:   cm.classes.Name(cls),
+			Value:       p.Fields[fi].Text,
+			Confidence:  prob,
+			Path:        p.Fields[fi].XPath(),
+			SubjectPath: subjectPath,
+		})
+	}
+	return out
+}

@@ -20,9 +20,31 @@ type ExtractOptions struct {
 	// NameThreshold is the minimum probability for a node to be accepted
 	// as the page's name node (default 0.5).
 	NameThreshold float64
+
+	// applied marks the options as fully resolved; see Explicit.
+	applied bool
+}
+
+// Explicit returns o marked as fully resolved: every field — including a
+// zero NameThreshold, which accepts any best-scoring name node — is taken
+// literally instead of being replaced by the default.
+func (o ExtractOptions) Explicit() ExtractOptions {
+	o.applied = true
+	return o
+}
+
+// Resolve substitutes defaults for unset zero fields and marks the
+// options resolved — the exported form of withDefaults, used when loading
+// legacy serialized states whose zeros mean "default".
+func (o ExtractOptions) Resolve() ExtractOptions {
+	return o.withDefaults()
 }
 
 func (o ExtractOptions) withDefaults() ExtractOptions {
+	if o.applied {
+		return o
+	}
+	o.applied = true
 	if o.NameThreshold == 0 {
 		o.NameThreshold = 0.5
 	}
@@ -58,7 +80,7 @@ func ExtractPage(p *Page, m *Model, opts ExtractOptions) []Extraction {
 		return nil // §4.3: extraction requires an identified name node
 	}
 	subject := p.Fields[bestName].Text
-	subjectPath := p.Fields[bestName].PathString
+	subjectPath := p.Fields[bestName].XPath()
 
 	var out []Extraction
 	for _, s := range all {
@@ -75,7 +97,7 @@ func ExtractPage(p *Page, m *Model, opts ExtractOptions) []Extraction {
 			Predicate:   m.Classes.Name(cls),
 			Value:       p.Fields[s.fieldIdx].Text,
 			Confidence:  prob,
-			Path:        p.Fields[s.fieldIdx].PathString,
+			Path:        p.Fields[s.fieldIdx].XPath(),
 			SubjectPath: subjectPath,
 		})
 	}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 	"strconv"
 
@@ -31,9 +30,28 @@ type FeatureOptions struct {
 	// ablation of DESIGN.md §4.
 	DisableStructural bool
 	DisableText       bool
+
+	// applied marks the options as fully resolved: withDefaults leaves
+	// them untouched, so zero values set through Explicit survive instead
+	// of being re-defaulted.
+	applied bool
+}
+
+// Explicit returns o marked as fully resolved: every field — including
+// zeros — is taken literally, and defaults are no longer substituted.
+// This is how a caller legitimately sets a zero value (e.g.
+// FrequentStringMinFrac: 0) that the zero-means-default convention would
+// otherwise swallow.
+func (o FeatureOptions) Explicit() FeatureOptions {
+	o.applied = true
+	return o
 }
 
 func (o FeatureOptions) withDefaults() FeatureOptions {
+	if o.applied {
+		return o
+	}
+	o.applied = true
 	if o.MaxAncestors == 0 {
 		o.MaxAncestors = 5
 	}
@@ -79,8 +97,11 @@ func RestoreFeaturizer(st FeaturizerState) (*Featurizer, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Serialized states always carry resolved options (NewFeaturizer
+	// resolves before storing), so restore takes them literally — this is
+	// what lets an explicit zero survive a round trip.
 	fz := &Featurizer{
-		opts:     st.Opts.withDefaults(),
+		opts:     st.Opts.Explicit(),
 		dict:     dict,
 		frequent: make(map[string]bool, len(st.Frequent)),
 	}
@@ -173,17 +194,16 @@ func (fz *Featurizer) Features(f *Field) mlr.Vector {
 		node := elem
 		for lvl := 0; node != nil && node.Type == dom.ElementNode && lvl <= fz.opts.MaxAncestors; lvl++ {
 			fz.structuralFor(node, lvl, 0, add)
-			if lvl > 0 || true {
-				// Siblings of this ancestor within the window.
-				sibs := elementSiblings(node)
-				pos := indexOf(sibs, node)
-				for off := 1; off <= fz.opts.SiblingWindow; off++ {
-					if pos-off >= 0 {
-						fz.structuralFor(sibs[pos-off], lvl, -off, add)
-					}
-					if pos+off < len(sibs) {
-						fz.structuralFor(sibs[pos+off], lvl, off, add)
-					}
+			// Siblings of this ancestor within the window, at every level
+			// (§4.2: the node itself, its ancestors, and their siblings).
+			sibs := node.ElementSiblings()
+			pos := node.ElementIndex()
+			for off := 1; off <= fz.opts.SiblingWindow; off++ {
+				if pos-off >= 0 {
+					fz.structuralFor(sibs[pos-off], lvl, -off, add)
+				}
+				if pos+off < len(sibs) {
+					fz.structuralFor(sibs[pos+off], lvl, off, add)
 				}
 			}
 			node = node.Parent
@@ -195,8 +215,8 @@ func (fz *Featurizer) Features(f *Field) mlr.Vector {
 		// text) — where key/value templates put their labels.
 		node := elem
 		for lvl := 0; node != nil && node.Type == dom.ElementNode && lvl <= fz.opts.TextAncestors; lvl++ {
-			sibs := elementSiblings(node)
-			pos := indexOf(sibs, node)
+			sibs := node.ElementSiblings()
+			pos := node.ElementIndex()
 			for off := 1; off <= fz.opts.SiblingWindow; off++ {
 				if pos-off < 0 {
 					break
@@ -228,32 +248,4 @@ func (fz *Featurizer) structuralFor(n *dom.Node, lvl, off int, add func(string))
 			add(prefix + attr + "|" + v)
 		}
 	}
-}
-
-func elementSiblings(n *dom.Node) []*dom.Node {
-	if n.Parent == nil {
-		return []*dom.Node{n}
-	}
-	var out []*dom.Node
-	for _, c := range n.Parent.Children {
-		if c.Type == dom.ElementNode {
-			out = append(out, c)
-		}
-	}
-	return out
-}
-
-func indexOf(xs []*dom.Node, x *dom.Node) int {
-	for i, v := range xs {
-		if v == x {
-			return i
-		}
-	}
-	return -1
-}
-
-// featureName is a debugging helper that renders a feature index back to
-// its name.
-func (fz *Featurizer) featureName(id int) string {
-	return fmt.Sprintf("%q", fz.dict.Name(id))
 }

@@ -1,0 +1,109 @@
+package core
+
+import "testing"
+
+// TestOptionDefaultsZeroValueSentinel is the regression test for the
+// zero-value ambiguity: a plain zero takes the default, but a zero set
+// through Explicit survives resolution.
+func TestOptionDefaultsZeroValueSentinel(t *testing.T) {
+	// Plain zeros default.
+	eo := ExtractOptions{}.withDefaults()
+	if eo.NameThreshold != 0.5 {
+		t.Errorf("default NameThreshold = %v, want 0.5", eo.NameThreshold)
+	}
+	fo := FeatureOptions{}.withDefaults()
+	if fo.FrequentStringMinFrac != 0.2 || fo.MaxAncestors != 5 {
+		t.Errorf("defaults not applied: %+v", fo)
+	}
+
+	// Explicit zeros survive.
+	eo = ExtractOptions{NameThreshold: 0}.Explicit().withDefaults()
+	if eo.NameThreshold != 0 {
+		t.Errorf("explicit zero NameThreshold became %v", eo.NameThreshold)
+	}
+	fo = FeatureOptions{
+		MaxAncestors: 5, SiblingWindow: 5, TextAncestors: 3,
+		MaxFrequentStringLen: 40, FrequentStringMinFrac: 0,
+	}.Explicit().withDefaults()
+	if fo.FrequentStringMinFrac != 0 {
+		t.Errorf("explicit zero FrequentStringMinFrac became %v", fo.FrequentStringMinFrac)
+	}
+	if fo.MaxAncestors != 5 {
+		t.Errorf("explicit non-zero field changed: %+v", fo)
+	}
+
+	// Resolution is idempotent: re-resolving an already resolved value
+	// never re-substitutes (non-zero or zero alike).
+	eo2 := ExtractOptions{NameThreshold: 0.9}.withDefaults()
+	eo2.NameThreshold = 0
+	if got := eo2.withDefaults().NameThreshold; got != 0 {
+		t.Errorf("resolved options re-defaulted: %v", got)
+	}
+}
+
+// TestExplicitZeroMinFracWidensLexicon checks the sentinel has a real
+// behavioral effect: with the default 0.2 fraction over 15 pages, only
+// strings on >=3 pages are frequent; an explicit zero drops the bar to
+// the absolute floor of 2 pages.
+func TestExplicitZeroMinFracWidensLexicon(t *testing.T) {
+	pages, _, _, _ := buildMovieSite(t, 15, defaultStyle())
+	base := FeatureOptions{}.withDefaults()
+	zero := base
+	zero.FrequentStringMinFrac = 0
+	defFz := NewFeaturizer(pages, base)
+	zeroFz := NewFeaturizer(pages, zero.Explicit())
+	if len(zeroFz.frequent) <= len(defFz.frequent) {
+		t.Errorf("explicit zero min-frac lexicon (%d strings) not larger than default (%d)",
+			len(zeroFz.frequent), len(defFz.frequent))
+	}
+	for s := range defFz.frequent {
+		if !zeroFz.frequent[s] {
+			t.Errorf("string %q lost when threshold lowered", s)
+		}
+	}
+}
+
+// TestSiteModelPreservesExplicitZeroThreshold: an explicit zero
+// NameThreshold must survive a State/Restore round trip — TrainSite
+// stores resolved extraction options and RestoreSiteModel takes them
+// literally, so the unexported sentinel never needs to serialize.
+func TestSiteModelPreservesExplicitZeroThreshold(t *testing.T) {
+	cfg := Config{Extract: ExtractOptions{NameThreshold: 0}.Explicit()}.withDefaults()
+	if cfg.Extract.NameThreshold != 0 {
+		t.Fatalf("Config.withDefaults overwrote explicit zero: %v", cfg.Extract.NameThreshold)
+	}
+	sm := &SiteModel{Extract: cfg.Extract}
+	restored, err := RestoreSiteModel(sm.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.Extract.withDefaults()
+	if got.NameThreshold != 0 {
+		t.Errorf("explicit zero NameThreshold became %v after round trip", got.NameThreshold)
+	}
+	// And the default still resolves for models trained without it.
+	def := Config{}.withDefaults()
+	if def.Extract.NameThreshold != 0.5 {
+		t.Errorf("default NameThreshold = %v, want 0.5", def.Extract.NameThreshold)
+	}
+}
+
+// TestRestoreFeaturizerPreservesExplicitZero: serialized states carry
+// resolved options, so a round trip keeps a legitimate zero.
+func TestRestoreFeaturizerPreservesExplicitZero(t *testing.T) {
+	pages, _, _, _ := buildMovieSite(t, 6, defaultStyle())
+	opts := FeatureOptions{}.withDefaults()
+	opts.FrequentStringMinFrac = 0
+	fz := NewFeaturizer(pages, opts.Explicit())
+	fz.Freeze()
+	restored, err := RestoreFeaturizer(fz.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.opts.FrequentStringMinFrac; got != 0 {
+		t.Errorf("restored FrequentStringMinFrac = %v, want 0", got)
+	}
+	if !restored.opts.applied {
+		t.Errorf("restored options must be marked resolved")
+	}
+}

@@ -20,12 +20,27 @@ type Field struct {
 	Node *dom.Node
 	// Text is the collapsed text content.
 	Text string
-	// Path is the absolute XPath of the text node.
+	// Path is the absolute XPath of the text node. Serve-prepared pages
+	// leave it nil; annotation-time consumers always go through
+	// PreparePage, which fills it.
 	Path xpath.Path
-	// PathString caches Path.String().
+	// PathString caches Path.String(); empty on serve-prepared pages
+	// until XPath computes it on demand.
 	PathString string
-	// Norm caches the normalized text.
+	// Norm caches the normalized text (annotation-time only; empty on
+	// serve-prepared pages, which never match against a KB).
 	Norm string
+}
+
+// XPath returns the absolute XPath string of the field's text node,
+// computing and caching it on first use for serve-prepared pages. Not
+// safe for concurrent use on the same page — a page is owned by one serve
+// worker at a time.
+func (f *Field) XPath() string {
+	if f.PathString == "" {
+		f.PathString = xpath.FromNode(f.Node).String()
+	}
+	return f.PathString
 }
 
 // Page is a parsed page prepared for the pipeline.
@@ -35,43 +50,39 @@ type Page struct {
 	Doc *dom.Node
 	// Fields lists the non-empty text fields in document order.
 	Fields []*Field
-	// fieldByNode resolves a text node back to its Field.
-	fieldByNode map[*dom.Node]*Field
 }
 
-// PreparePage parses HTML and enumerates its text fields.
+// PreparePage parses HTML and enumerates its text fields with the full
+// annotation-time context: XPath and normalized text per field. Training
+// uses this; the serve path uses PrepareServePage.
 func PreparePage(id, html string) *Page {
-	doc := dom.Parse(html)
-	nodes := dom.TextFields(doc)
-	p := &Page{
-		ID:          id,
-		Doc:         doc,
-		Fields:      make([]*Field, 0, len(nodes)),
-		fieldByNode: make(map[*dom.Node]*Field, len(nodes)),
-	}
-	for _, n := range nodes {
-		text := dom.CollapseSpace(n.Data)
-		path := xpath.FromNode(n)
-		f := &Field{
-			Node:       n,
-			Text:       text,
-			Path:       path,
-			PathString: path.String(),
-			Norm:       strmatch.Normalize(text),
-		}
-		p.Fields = append(p.Fields, f)
-		p.fieldByNode[n] = f
+	p := PrepareServePage(id, html)
+	for _, f := range p.Fields {
+		f.Path = xpath.FromNode(f.Node)
+		f.PathString = f.Path.String()
+		f.Norm = strmatch.Normalize(f.Text)
 	}
 	return p
 }
 
-// FieldAt returns the field whose text node has the given path string, or
-// nil.
-func (p *Page) FieldAt(pathString string) *Field {
-	for _, f := range p.Fields {
-		if f.PathString == pathString {
-			return f
-		}
+// PrepareServePage parses HTML and enumerates its text fields, deferring
+// the per-field context extraction rarely needs (XPaths are computed
+// lazily for extracted nodes only; normalized text is annotation-only).
+// This is the serve-path entry: classification reads only Node and Text.
+func PrepareServePage(id, html string) *Page {
+	doc := dom.Parse(html)
+	nodes := dom.TextFields(doc)
+	p := &Page{
+		ID:     id,
+		Doc:    doc,
+		Fields: make([]*Field, 0, len(nodes)),
 	}
-	return nil
+	fields := make([]Field, len(nodes))
+	for i, n := range nodes {
+		f := &fields[i]
+		f.Node = n
+		f.Text = n.Text() // cached collapsed text from dom.Finalize
+		p.Fields = append(p.Fields, f)
+	}
+	return p
 }

@@ -56,6 +56,11 @@ func (c Config) withDefaults() Config {
 	if c.Workers == 0 {
 		c.Workers = defaultWorkers()
 	}
+	// Resolve extraction options up front so the SiteModel stores — and
+	// serializes — resolved values, the same convention the featurizer
+	// follows. This is what lets an Explicit() zero survive a WriteTo/
+	// RestoreSiteModel round trip.
+	c.Extract = c.Extract.withDefaults()
 	return c
 }
 
@@ -260,6 +265,13 @@ func extractGroup(ctx context.Context, pages []*Page, group []int, m *Model, opt
 // stopping early (between items) when ctx is cancelled. Items already
 // started still finish; the ctx error is returned once workers drain.
 func parallelFor(ctx context.Context, n, workers int, fn func(int)) error {
+	return parallelForWorker(ctx, n, workers, func(_, i int) { fn(i) })
+}
+
+// parallelForWorker is parallelFor with the executing worker's index
+// (0..workers-1) passed to fn, so callers can hand each worker its own
+// scratch state without synchronization.
+func parallelForWorker(ctx context.Context, n, workers int, fn func(worker, i int)) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -268,7 +280,7 @@ func parallelFor(ctx context.Context, n, workers int, fn func(int)) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(i)
+			fn(0, i)
 		}
 		return nil
 	}
@@ -283,15 +295,15 @@ func parallelFor(ctx context.Context, n, workers int, fn func(int)) error {
 	close(next)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range next {
 				if ctx.Err() != nil {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return ctx.Err()

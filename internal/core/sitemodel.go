@@ -25,10 +25,10 @@ type SiteModel struct {
 	// TrainPages is the number of pages the model was trained on.
 	TrainPages int
 
-	// exOnce/ex cache the exemplar slice for the per-page routing hot
-	// path; Clusters is immutable after training/restore.
+	// exOnce/ex cache the pre-sorted exemplar signatures for the per-page
+	// routing hot path; Clusters is immutable after training/restore.
 	exOnce sync.Once
-	ex     []cluster.PageSignature
+	ex     []cluster.SortedSignature
 }
 
 // ClusterModel is the serving-side artifact of one template cluster.
@@ -43,6 +43,26 @@ type ClusterModel struct {
 	Pages          int
 	AnnotatedPages int
 	Annotations    int
+
+	// compileOnce/compiled lazily build the compiled serving form of
+	// Model on first extraction.
+	compileOnce sync.Once
+	compiled    *CompiledModel
+}
+
+// Compiled returns the cluster's compiled serving model, building it on
+// first use. A nil result (untrained cluster, or a dictionary the
+// compiler cannot invert) sends extraction down the legacy path.
+func (c *ClusterModel) Compiled() *CompiledModel {
+	c.compileOnce.Do(func() {
+		if c.Model == nil {
+			return
+		}
+		if cm, err := c.Model.Compile(); err == nil {
+			c.compiled = cm
+		}
+	})
+	return c.compiled
 }
 
 // TrainedClusters counts clusters with a usable extractor.
@@ -81,23 +101,25 @@ func (sm *SiteModel) workers() int {
 	return defaultWorkers()
 }
 
-func (sm *SiteModel) exemplars() []cluster.PageSignature {
+func (sm *SiteModel) exemplars() []cluster.SortedSignature {
 	sm.exOnce.Do(func() {
-		sm.ex = make([]cluster.PageSignature, len(sm.Clusters))
+		sm.ex = make([]cluster.SortedSignature, len(sm.Clusters))
 		for i, c := range sm.Clusters {
-			sm.ex[i] = c.Exemplar
+			sm.ex[i] = c.Exemplar.Sorted()
 		}
 	})
 	return sm.ex
 }
 
 // Route returns the index of the cluster whose exemplar signature is most
-// similar to the page, or -1 for a model with no clusters.
+// similar to the page, or -1 for a model with no clusters. The page's
+// signature is matched against the pre-sorted exemplar slices with a
+// linear merge instead of per-page map intersections.
 func (sm *SiteModel) Route(p *Page) int {
 	if len(sm.Clusters) == 1 {
 		return 0
 	}
-	i, _ := cluster.Route(cluster.Signature(p.Doc), sm.exemplars())
+	i, _ := cluster.RouteSorted(cluster.SortedSignatureOf(p.Doc), sm.exemplars())
 	return i
 }
 
@@ -108,9 +130,14 @@ func (sm *SiteModel) ExtractSources(ctx context.Context, sources []PageSource) (
 	if err := sm.serveable(sources); err != nil {
 		return nil, err
 	}
+	workers := sm.workers()
+	scratch := make([]*ServeScratch, workers)
+	for i := range scratch {
+		scratch[i] = NewServeScratch()
+	}
 	perPage := make([][]Extraction, len(sources))
-	err := parallelFor(ctx, len(sources), sm.workers(), func(i int) {
-		perPage[i] = sm.extractOne(sources[i])
+	err := parallelForWorker(ctx, len(sources), workers, func(w, i int) {
+		perPage[i] = sm.extractOne(sources[i], scratch[w])
 	})
 	if err != nil {
 		return nil, err
@@ -148,11 +175,12 @@ func (sm *SiteModel) StreamSources(ctx context.Context, sources []PageSource, em
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			sc := NewServeScratch() // per-worker scratch, never shared
 			for i := range next {
 				if ctx.Err() != nil {
 					return
 				}
-				exts := sm.extractOne(sources[i])
+				exts := sm.extractOne(sources[i], sc)
 				mu.Lock()
 				for _, e := range exts {
 					if emitErr != nil || ctx.Err() != nil {
@@ -196,14 +224,21 @@ func (sm *SiteModel) serveable(sources []PageSource) error {
 	return nil
 }
 
-// extractOne parses, routes and extracts a single page.
-func (sm *SiteModel) extractOne(src PageSource) []Extraction {
-	p := PreparePage(src.ID, src.HTML)
+// extractOne parses, routes and extracts a single page through the
+// compiled pipeline, writing intermediates into the worker's scratch. The
+// legacy (string-hashing) path remains as fallback for models whose
+// dictionary cannot compile.
+func (sm *SiteModel) extractOne(src PageSource, sc *ServeScratch) []Extraction {
+	p := PrepareServePage(src.ID, src.HTML)
 	ci := sm.Route(p)
 	if ci < 0 || !sm.Clusters[ci].Trained {
 		return nil
 	}
-	return ExtractPage(p, sm.Clusters[ci].Model, sm.Extract)
+	c := sm.Clusters[ci]
+	if cm := c.Compiled(); cm != nil {
+		return cm.ExtractPage(p, sm.Extract, sc)
+	}
+	return ExtractPage(p, c.Model, sm.Extract)
 }
 
 // ---------------------------------------------------------------- state
@@ -274,8 +309,11 @@ func (sm *SiteModel) State() *SiteModelState {
 // RestoreSiteModel rebuilds a serving-ready SiteModel from its state,
 // validating classifier shapes so a corrupt state fails at load time.
 func RestoreSiteModel(st *SiteModelState) (*SiteModel, error) {
+	// Serialized states carry resolved extraction options (TrainSite
+	// resolves before storing), so restore takes them literally; see the
+	// matching convention in RestoreFeaturizer.
 	sm := &SiteModel{
-		Extract:    st.Extract,
+		Extract:    st.Extract.Explicit(),
 		Workers:    st.Workers,
 		TrainPages: st.TrainPages,
 	}

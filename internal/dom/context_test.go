@@ -1,0 +1,151 @@
+package dom
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const ctxDoc = `<html><body>
+<div class="info">
+  <h2>  Director  </h2>
+  <ul><li>A</li><li>B</li><li>C</li></ul>
+  <p>plot <b>bold</b> tail</p>
+  <!-- comment -->
+  stray text
+</div>
+<div id="second"><span>x</span><span>y</span></div>
+</body></html>`
+
+// dynamicText recomputes subtree text the pre-cache way, for comparison.
+func dynamicText(n *Node) string {
+	var parts []string
+	n.Walk(func(m *Node) bool {
+		if m.Type == TextNode {
+			if t := CollapseSpace(m.Data); t != "" {
+				parts = append(parts, t)
+			}
+		}
+		return true
+	})
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}
+
+func dynamicOwnText(n *Node) string {
+	out, first := "", true
+	for _, c := range n.Children {
+		if c.Type == TextNode {
+			if t := CollapseSpace(c.Data); t != "" {
+				if !first {
+					out += " "
+				}
+				out += t
+				first = false
+			}
+		}
+	}
+	return out
+}
+
+func dynamicElementSiblings(n *Node) []*Node {
+	if n.Parent == nil {
+		return []*Node{n}
+	}
+	var out []*Node
+	for _, c := range n.Parent.Children {
+		if c.Type == ElementNode {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestFinalizedContextMatchesDynamic verifies every cached accessor agrees
+// with a from-scratch recomputation on every node of a parsed page.
+func TestFinalizedContextMatchesDynamic(t *testing.T) {
+	doc := Parse(ctxDoc)
+	doc.Walk(func(n *Node) bool {
+		if got, want := n.Text(), dynamicText(n); got != want {
+			t.Errorf("Text(%s) = %q, want %q", n.Tag, got, want)
+		}
+		if got, want := n.OwnText(), dynamicOwnText(n); got != want {
+			t.Errorf("OwnText(%s) = %q, want %q", n.Tag, got, want)
+		}
+		if n.Type == ElementNode {
+			sibs := n.ElementSiblings()
+			want := dynamicElementSiblings(n)
+			if !reflect.DeepEqual(sibs, want) {
+				t.Errorf("ElementSiblings(%s): %d vs %d", n.Tag, len(sibs), len(want))
+			}
+			pos := n.ElementIndex()
+			if pos < 0 || pos >= len(sibs) || sibs[pos] != n {
+				t.Errorf("ElementIndex(%s) = %d, not n's position", n.Tag, pos)
+			}
+		}
+		// SiblingIndex: cached vs recomputed on an unfinalized copy of the
+		// relationship (count same-kind predecessors manually).
+		if n.Parent != nil {
+			idx := 0
+			for _, s := range n.Parent.Children {
+				if sameKind(s, n) {
+					idx++
+				}
+				if s == n {
+					break
+				}
+			}
+			if got := n.SiblingIndex(); got != idx {
+				t.Errorf("SiblingIndex(%s %q) = %d, want %d", n.Tag, n.Data, got, idx)
+			}
+		}
+		return true
+	})
+}
+
+// TestAppendChildInvalidatesCaches checks that mutating a finalized tree
+// does not serve stale text or sibling context.
+func TestAppendChildInvalidatesCaches(t *testing.T) {
+	doc := Parse(`<div><p>one</p></div>`)
+	div := doc.FindAll("div")[0]
+	if got := div.Text(); got != "one" {
+		t.Fatalf("Text = %q", got)
+	}
+	p2 := &Node{Type: ElementNode, Tag: "p"}
+	p2.AppendChild(&Node{Type: TextNode, Data: "two"})
+	div.AppendChild(p2)
+	if got := div.Text(); got != "one two" {
+		t.Errorf("Text after append = %q, want %q", got, "one two")
+	}
+	if got := len(div.FindAll("p")[0].ElementSiblings()); got != 2 {
+		t.Errorf("ElementSiblings after append = %d, want 2", got)
+	}
+	if got := p2.ElementIndex(); got != 1 {
+		t.Errorf("ElementIndex of appended child = %d, want 1", got)
+	}
+	if got := p2.SiblingIndex(); got != 2 {
+		t.Errorf("SiblingIndex of appended child = %d, want 2", got)
+	}
+}
+
+func TestCollapseSpaceFastPath(t *testing.T) {
+	cases := []string{
+		"", " ", "a", " a ", "a b", "a  b", "\ta\nb ", "  spaced   out  ",
+		"already collapsed text", "tab\tinside", "trailing  ",
+		"non\u00a0breaking", "\u00a0lead", "\u010ce\u0161tina \u017e\u00e1nr",
+		"mixed \u2028 runs",
+	}
+	for _, c := range cases {
+		// Reference: the original implementation.
+		want := strings.Join(strings.Fields(c), " ")
+		if got := CollapseSpace(c); got != want {
+			t.Errorf("CollapseSpace(%q) = %q, want %q", c, got, want)
+		}
+	}
+}

@@ -37,6 +37,19 @@ type Node struct {
 	Attrs    []Attr
 	Parent   *Node
 	Children []*Node
+
+	// Structural and text context precomputed by Finalize so the
+	// featurization hot path never re-walks the tree. Parse finalizes
+	// every document it returns; AppendChild invalidates the affected
+	// caches, and the accessors fall back to dynamic recomputation when a
+	// cache is absent.
+	elemKids      []*Node // element children, in order (structCached)
+	elemIndex     int32   // index among parent's element children
+	siblingIndex  int32   // 1-based XPath ordinal among same-kind siblings
+	structCached  bool    // elemKids + children's indices are valid
+	textCached    bool    // cachedText/cachedOwnText are valid
+	cachedText    string  // collapsed subtree text
+	cachedOwnText string  // collapsed direct-child text
 }
 
 // Attr returns the value of the named attribute and whether it is present.
@@ -58,9 +71,180 @@ func (n *Node) AttrOr(key, def string) string {
 }
 
 // AppendChild adds c as the last child of n and sets its parent pointer.
+// Appending to a finalized tree invalidates the caches the new child makes
+// stale: n's child-structure context and the subtree-text caches of n and
+// every ancestor.
 func (n *Node) AppendChild(c *Node) {
 	c.Parent = n
 	n.Children = append(n.Children, c)
+	if n.structCached {
+		n.structCached = false
+		n.elemKids = nil
+	}
+	for p := n; p != nil && p.textCached; p = p.Parent {
+		p.textCached = false
+		p.cachedText, p.cachedOwnText = "", ""
+	}
+}
+
+// Finalize precomputes the per-node context the extraction hot path reads:
+// each node's element-children slice, its index among its parent's element
+// children, its 1-based same-kind sibling ordinal (the XPath index), and
+// the collapsed OwnText/subtree-text strings. Parse finalizes every
+// document it returns; manually built trees may call Finalize themselves.
+// The caches trade memory (each level of the tree holds its joined subtree
+// text) for never re-walking the tree during featurization.
+func (n *Node) Finalize() {
+	n.finalize(make(map[string]int32, 8))
+}
+
+func (n *Node) finalize(ordinals map[string]int32) {
+	for _, c := range n.Children {
+		c.finalize(ordinals)
+	}
+	n.refreshStruct(ordinals)
+	n.refreshText()
+}
+
+// refreshStruct rebuilds n's child-structure caches: the element-children
+// slice plus each child's element index and same-kind sibling ordinal.
+func (n *Node) refreshStruct(ordinals map[string]int32) {
+	n.elemKids = nil
+	if len(n.Children) > 0 {
+		clear(ordinals)
+		elems := 0
+		for _, c := range n.Children {
+			if c.Type == ElementNode {
+				elems++
+			}
+		}
+		if elems > 0 {
+			n.elemKids = make([]*Node, 0, elems)
+		}
+		for _, c := range n.Children {
+			if c.Type == ElementNode {
+				c.elemIndex = int32(len(n.elemKids))
+				n.elemKids = append(n.elemKids, c)
+			}
+			k := c.kindKey()
+			ordinals[k]++
+			c.siblingIndex = ordinals[k]
+		}
+	}
+	n.structCached = true
+}
+
+// kindSentinels bucket non-element node types for kindKey without
+// allocating. Element tags never start with '\x00', so these cannot
+// collide with tag keys.
+var kindSentinels = [...]string{"\x00doc", "\x00elem", "\x00text", "\x00comment"}
+
+// kindKey buckets siblings the way sameKind compares them: by type, and
+// for elements also by tag.
+func (n *Node) kindKey() string {
+	if n.Type == ElementNode {
+		return n.Tag
+	}
+	return kindSentinels[n.Type]
+}
+
+// refreshText rebuilds n's collapsed-text caches from its (already
+// refreshed) children, bottom-up, matching Text/OwnText exactly.
+func (n *Node) refreshText() {
+	switch n.Type {
+	case TextNode:
+		n.cachedText = CollapseSpace(n.Data)
+		n.cachedOwnText = ""
+	case CommentNode:
+		n.cachedText, n.cachedOwnText = "", ""
+	default:
+		n.cachedText = joinChildText(n.Children, false)
+		n.cachedOwnText = joinChildText(n.Children, true)
+	}
+	n.textCached = true
+}
+
+// joinChildText joins the children's cached collapsed text with single
+// spaces, skipping empties. ownOnly restricts to direct text children
+// (OwnText); otherwise element children contribute their subtree text.
+// Children must already be finalized. The single-part case returns the
+// child's string without copying.
+func joinChildText(children []*Node, ownOnly bool) string {
+	first := ""
+	var sb strings.Builder
+	parts := 0
+	for _, c := range children {
+		if ownOnly && c.Type != TextNode {
+			continue
+		}
+		t := c.cachedText
+		if t == "" {
+			continue
+		}
+		switch parts {
+		case 0:
+			first = t
+		case 1:
+			sb.Grow(len(first) + 1 + len(t))
+			sb.WriteString(first)
+			sb.WriteByte(' ')
+			sb.WriteString(t)
+		default:
+			sb.WriteByte(' ')
+			sb.WriteString(t)
+		}
+		parts++
+	}
+	if parts <= 1 {
+		return first
+	}
+	return sb.String()
+}
+
+// ElementSiblings returns the element children of n's parent (including n
+// itself), in document order — the sibling context §4.2's structural
+// features read. A parentless node is its own sole sibling. On finalized
+// trees this returns the cached slice without walking or allocating.
+func (n *Node) ElementSiblings() []*Node {
+	p := n.Parent
+	if p == nil {
+		return []*Node{n}
+	}
+	if p.structCached {
+		return p.elemKids
+	}
+	out := make([]*Node, 0, len(p.Children))
+	for _, c := range p.Children {
+		if c.Type == ElementNode {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ElementIndex returns n's position within ElementSiblings, or -1 when n
+// is not an element child of its parent. A parentless node is at index 0.
+func (n *Node) ElementIndex() int {
+	p := n.Parent
+	if p == nil {
+		return 0
+	}
+	if p.structCached && n.Type == ElementNode {
+		return int(n.elemIndex)
+	}
+	idx := 0
+	for _, c := range p.Children {
+		if c == n {
+			if n.Type == ElementNode {
+				return idx
+			}
+			return -1
+		}
+		if c.Type == ElementNode {
+			idx++
+		}
+	}
+	return -1
 }
 
 // Walk visits n and every descendant in document (pre-) order. If fn
@@ -76,8 +260,11 @@ func (n *Node) Walk(fn func(*Node) bool) {
 
 // Text returns the concatenation of all text in the subtree, with each text
 // node's content whitespace-collapsed and the pieces joined by single
-// spaces.
+// spaces. On finalized trees this is a cached-string read.
 func (n *Node) Text() string {
+	if n.textCached {
+		return n.cachedText
+	}
 	var parts []string
 	n.Walk(func(m *Node) bool {
 		if m.Type == TextNode {
@@ -91,8 +278,12 @@ func (n *Node) Text() string {
 }
 
 // OwnText returns the whitespace-collapsed concatenation of the direct text
-// children of n (not descendants).
+// children of n (not descendants). On finalized trees this is a
+// cached-string read.
 func (n *Node) OwnText() string {
+	if n.textCached {
+		return n.cachedOwnText
+	}
 	var parts []string
 	for _, c := range n.Children {
 		if c.Type == TextNode {
@@ -137,10 +328,13 @@ func (n *Node) Depth() int {
 
 // SiblingIndex returns the 1-based position of n among its parent's
 // children that share n's type and tag (the XPath index), and 1 if n has no
-// parent.
+// parent. On finalized trees this is a cached read.
 func (n *Node) SiblingIndex() int {
 	if n.Parent == nil {
 		return 1
+	}
+	if n.Parent.structCached {
+		return int(n.siblingIndex)
 	}
 	idx := 0
 	for _, s := range n.Parent.Children {
@@ -184,7 +378,49 @@ func (n *Node) Contains(m *Node) bool {
 }
 
 // CollapseSpace trims s and collapses internal whitespace runs to single
-// spaces.
+// spaces. Already-collapsed input (the common case on template-generated
+// pages) is returned as-is, or as a substring, without allocating.
 func CollapseSpace(s string) string {
+	// Fast path: scan for anything that forces a rewrite — a whitespace
+	// byte that is not a single interior space.
+	start, end := 0, len(s)
+	for start < end && isASCIISpace(s[start]) {
+		start++
+	}
+	for end > start && isASCIISpace(s[end-1]) {
+		end--
+	}
+	clean := true
+	for i := start; i < end-1; i++ {
+		if isASCIISpace(s[i]) && (s[i] != ' ' || isASCIISpace(s[i+1])) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		// Unicode spaces (NBSP etc.) are multi-byte and invisible to the
+		// byte scan; strings.Fields splits on them, so fall through when
+		// any non-ASCII bytes could hide one.
+		ascii := true
+		for i := start; i < end; i++ {
+			if s[i] >= 0x80 {
+				ascii = false
+				break
+			}
+		}
+		if ascii {
+			return s[start:end]
+		}
+	}
 	return strings.Join(strings.Fields(s), " ")
+}
+
+// isASCIISpace matches the ASCII whitespace strings.Fields splits on
+// (unlike the tokenizer's isSpaceByte, it includes '\v').
+func isASCIISpace(b byte) bool {
+	switch b {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
 }

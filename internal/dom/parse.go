@@ -107,6 +107,9 @@ func Parse(src string) *Node {
 			}
 		}
 	}
+	// Precompute the structural/text context extraction reads per node, so
+	// the serve hot path never re-walks the tree (see Node.Finalize).
+	doc.Finalize()
 	return doc
 }
 
@@ -120,7 +123,7 @@ func TextFields(doc *Node) []*Node {
 		if n.Type == ElementNode && (n.Tag == "script" || n.Tag == "style" || n.Tag == "textarea") {
 			return false
 		}
-		if n.Type == TextNode && CollapseSpace(n.Data) != "" {
+		if n.Type == TextNode && n.Text() != "" {
 			out = append(out, n)
 		}
 		return true

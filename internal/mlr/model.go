@@ -19,20 +19,52 @@ type Model struct {
 	B []float64
 }
 
-// Scores returns the raw linear scores (logits) for each class.
-func (m *Model) Scores(x Vector) []float64 {
-	out := make([]float64, m.NumClasses)
+// Scorer is the serving-side contract the classifiers share: score a
+// sparse vector into a caller-provided buffer of ClassCount probabilities,
+// allocating nothing. Both the logistic-regression Model (the paper's
+// classifier) and NaiveBayes (the ablation) implement it, so a compiled
+// extraction pipeline serves either.
+type Scorer interface {
+	ClassCount() int
+	ProbaInto(x Vector, out []float64)
+}
+
+var (
+	_ Scorer = (*Model)(nil)
+	_ Scorer = (*NaiveBayes)(nil)
+)
+
+// ClassCount returns the number of classes the model scores.
+func (m *Model) ClassCount() int { return m.NumClasses }
+
+// ScoresInto writes the raw linear scores (logits) for each class into
+// out, which must have length NumClasses. This is the dense-weight fast
+// path: no per-call allocation.
+func (m *Model) ScoresInto(x Vector, out []float64) {
 	for k := 0; k < m.NumClasses; k++ {
 		row := m.W[k*m.NumFeatures : (k+1)*m.NumFeatures]
 		out[k] = m.B[k] + x.Dot(row)
 	}
+}
+
+// ProbaInto writes the posterior distribution over classes into out, which
+// must have length NumClasses.
+func (m *Model) ProbaInto(x Vector, out []float64) {
+	m.ScoresInto(x, out)
+	softmaxInPlace(out)
+}
+
+// Scores returns the raw linear scores (logits) for each class.
+func (m *Model) Scores(x Vector) []float64 {
+	out := make([]float64, m.NumClasses)
+	m.ScoresInto(x, out)
 	return out
 }
 
 // Proba returns the posterior distribution over classes.
 func (m *Model) Proba(x Vector) []float64 {
-	s := m.Scores(x)
-	softmaxInPlace(s)
+	s := make([]float64, m.NumClasses)
+	m.ProbaInto(x, s)
 	return s
 }
 

@@ -56,9 +56,12 @@ func TrainNaiveBayes(ds *Dataset) *NaiveBayes {
 	return nb
 }
 
-// Proba returns the posterior distribution over classes for x.
-func (nb *NaiveBayes) Proba(x Vector) []float64 {
-	s := make([]float64, nb.NumClasses)
+// ClassCount returns the number of classes the classifier scores.
+func (nb *NaiveBayes) ClassCount() int { return nb.NumClasses }
+
+// ProbaInto writes the posterior distribution over classes for x into s,
+// which must have length NumClasses. No per-call allocation.
+func (nb *NaiveBayes) ProbaInto(x Vector, s []float64) {
 	for k := 0; k < nb.NumClasses; k++ {
 		s[k] = nb.logPrior[k] + nb.logAbsent[k]
 		for _, f := range x {
@@ -69,6 +72,12 @@ func (nb *NaiveBayes) Proba(x Vector) []float64 {
 		}
 	}
 	softmaxInPlace(s)
+}
+
+// Proba returns the posterior distribution over classes for x.
+func (nb *NaiveBayes) Proba(x Vector) []float64 {
+	s := make([]float64, nb.NumClasses)
+	nb.ProbaInto(x, s)
 	return s
 }
 

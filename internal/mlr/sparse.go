@@ -7,7 +7,11 @@
 // classifiers").
 package mlr
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+	"sort"
+)
 
 // Feature is one (index, value) component of a sparse vector.
 type Feature struct {
@@ -27,6 +31,12 @@ func NewVector(feats []Feature) Vector {
 	sorted := make([]Feature, len(feats))
 	copy(sorted, feats)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	return Vector(coalesceSorted(sorted))
+}
+
+// coalesceSorted merges duplicate indices (summing their values) and drops
+// zero-valued entries from an index-sorted slice, in place.
+func coalesceSorted(sorted []Feature) []Feature {
 	out := sorted[:0]
 	for _, f := range sorted {
 		if len(out) > 0 && out[len(out)-1].Index == f.Index {
@@ -41,7 +51,42 @@ func NewVector(feats []Feature) Vector {
 			final = append(final, f)
 		}
 	}
-	return Vector(final)
+	return final
+}
+
+// VectorBuilder accumulates (index, value) pairs into a reusable backing
+// array and normalizes them into a Vector without allocating per build —
+// the serve-path replacement for NewVector's copy-and-sort. A builder is
+// owned by one goroutine (one serve worker); the Vector returned by Build
+// aliases the builder's backing array and is valid only until the next
+// Reset or Add.
+type VectorBuilder struct {
+	feats []Feature
+}
+
+// Reset empties the builder, keeping its capacity.
+func (b *VectorBuilder) Reset() { b.feats = b.feats[:0] }
+
+// Len returns the number of accumulated (pre-coalesce) entries.
+func (b *VectorBuilder) Len() int { return len(b.feats) }
+
+// Add appends one (index, value) pair.
+func (b *VectorBuilder) Add(index int, value float64) {
+	b.feats = append(b.feats, Feature{Index: index, Value: value})
+}
+
+// AddID appends a binary feature (value 1).
+func (b *VectorBuilder) AddID(index int) { b.Add(index, 1) }
+
+// Build sorts, coalesces duplicates and drops zeros in place, returning
+// the normalized Vector. Equivalent to NewVector over the same pairs.
+func (b *VectorBuilder) Build() Vector {
+	if len(b.feats) == 0 {
+		return nil
+	}
+	slices.SortFunc(b.feats, func(a, c Feature) int { return cmp.Compare(a.Index, c.Index) })
+	b.feats = coalesceSorted(b.feats)
+	return Vector(b.feats)
 }
 
 // Dot returns the dot product with a dense weight slice. Indices beyond
@@ -112,6 +157,9 @@ func (d *Dict) Len() int { return len(d.names) }
 
 // Freeze stops the dictionary from growing.
 func (d *Dict) Freeze() { d.frozen = true }
+
+// Frozen reports whether the dictionary has stopped growing.
+func (d *Dict) Frozen() bool { return d.frozen }
 
 // Dataset is a labelled training set. Labels are class indices in
 // [0, NumClasses).
