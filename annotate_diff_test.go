@@ -1,0 +1,150 @@
+package ceres
+
+// Differential tests for the compiled annotation path (DESIGN.md §6):
+// distant supervision through kb.Index — interned ItemIDs, precomputed
+// match keys, sorted-slice page sets, parallel per-page phases — must be
+// output-identical to the legacy string-keyed path: same topic entities,
+// same Jaccard score bits, same annotations in the same order, same
+// annotated-page flags, across every DemoCorpus kind (including the
+// sparse-KB longtail and paper-coverage corpora), every relation-option
+// ablation, and at any worker count. This is the same bit-identical
+// discipline compiled_diff_test.go established for the serve path.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"ceres/internal/core"
+)
+
+var annotateDiffKinds = []string{
+	"movies", "movies-longtail", "imdb-films", "imdb-people", "crawl-czech",
+}
+
+func diffAnnotate(t *testing.T, name string, pages []*core.Page, c *Corpus, ropts core.RelationOptions) int {
+	t.Helper()
+	want := core.AnnotateLegacy(pages, c.KB, core.TopicOptions{}, ropts)
+	for _, workers := range []int{1, 8} {
+		got, err := core.AnnotateCtx(context.Background(), pages, c.KB, core.TopicOptions{}, ropts, workers)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got.Topics, want.Topics) {
+			for i := range want.Topics {
+				if got.Topics[i] != want.Topics[i] {
+					t.Fatalf("%s (workers=%d): topic %d diverges\nindexed: %+v\nlegacy:  %+v",
+						name, workers, i, got.Topics[i], want.Topics[i])
+				}
+			}
+			t.Fatalf("%s (workers=%d): topics diverge", name, workers)
+		}
+		if !reflect.DeepEqual(got.Annotations, want.Annotations) {
+			max := min(len(got.Annotations), len(want.Annotations))
+			for i := 0; i < max; i++ {
+				if got.Annotations[i] != want.Annotations[i] {
+					t.Fatalf("%s (workers=%d): annotation %d diverges\nindexed: %+v\nlegacy:  %+v",
+						name, workers, i, got.Annotations[i], want.Annotations[i])
+				}
+			}
+			t.Fatalf("%s (workers=%d): indexed %d annotations, legacy %d",
+				name, workers, len(got.Annotations), len(want.Annotations))
+		}
+		if !reflect.DeepEqual(got.AnnotatedPages, want.AnnotatedPages) {
+			t.Fatalf("%s (workers=%d): annotated-page flags diverge", name, workers)
+		}
+	}
+	return len(want.Annotations)
+}
+
+// TestIndexedAnnotationMatchesLegacyAllCorpora runs the full annotation
+// stage (Algorithms 1+2) down both paths over every demo corpus.
+func TestIndexedAnnotationMatchesLegacyAllCorpora(t *testing.T) {
+	total := 0
+	for _, kind := range annotateDiffKinds {
+		src, c := corpusSources(t, kind, 7, 40)
+		pages := core.ParsePages(src, 0)
+		n := diffAnnotate(t, kind, pages, c, core.RelationOptions{})
+		t.Logf("%s: %d annotations identical on both paths", kind, n)
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no corpus produced annotations; differential vacuous")
+	}
+}
+
+// TestIndexedAnnotationMatchesLegacyAblations repeats the differential
+// under the relation-stage ablations: global clustering off (ties stay
+// unannotated) and the CERES-Topic annotate-all-mentions baseline, plus a
+// strict informativeness filter.
+func TestIndexedAnnotationMatchesLegacyAblations(t *testing.T) {
+	for _, kind := range []string{"movies", "movies-longtail", "imdb-films"} {
+		src, c := corpusSources(t, kind, 11, 30)
+		pages := core.ParsePages(src, 0)
+		for _, tc := range []struct {
+			name  string
+			ropts core.RelationOptions
+		}{
+			{"no-clustering", core.RelationOptions{DisableClustering: true}},
+			{"all-mentions", core.RelationOptions{AnnotateAllMentions: true}},
+			{"strict-informativeness", core.RelationOptions{MinAnnotations: 6}},
+		} {
+			diffAnnotate(t, kind+"/"+tc.name, pages, c, tc.ropts)
+		}
+	}
+}
+
+// TestIndexedTopicsMatchLegacy diffs Algorithm 1 alone, including the
+// uniqueness filter under a tight MaxTopicPages.
+func TestIndexedTopicsMatchLegacy(t *testing.T) {
+	for _, kind := range annotateDiffKinds {
+		src, c := corpusSources(t, kind, 3, 24)
+		pages := core.ParsePages(src, 0)
+		for _, opts := range []core.TopicOptions{{}, {MaxTopicPages: 2}, {FrequentObjectFrac: 0.02, FrequentObjectMinCount: 1}} {
+			want := core.IdentifyTopicsLegacy(pages, c.KB, opts)
+			got, err := core.IdentifyTopicsCtx(context.Background(), pages, c.KB, opts, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s %+v: topics diverge\nindexed: %+v\nlegacy:  %+v", kind, opts, got, want)
+			}
+		}
+	}
+}
+
+// TestIndexedAnnotationTrainsIdenticalSiteModel proves the equivalence
+// end-to-end through the pipeline: training with Config.LegacyAnnotation
+// on and off must serialize byte-identical SiteModels, with and without
+// template clustering.
+func TestIndexedAnnotationTrainsIdenticalSiteModel(t *testing.T) {
+	for _, kind := range []string{"movies", "imdb-films"} {
+		src, c := corpusSources(t, kind, 7, 30)
+		for _, noCluster := range []bool{false, true} {
+			base := core.Config{Train: core.TrainOptions{Seed: 1}, DisablePageClustering: noCluster}
+			legacyCfg := base
+			legacyCfg.LegacyAnnotation = true
+			smIndexed, _, err := core.TrainSite(context.Background(), src, c.KB, base)
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			smLegacy, _, err := core.TrainSite(context.Background(), src, c.KB, legacyCfg)
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			a, err := json.Marshal(smIndexed.State())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(smLegacy.State())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("%s (noCluster=%v): indexed and legacy annotation trained different SiteModels", kind, noCluster)
+			}
+		}
+	}
+}

@@ -44,9 +44,14 @@ type Config struct {
 	// sites with "only a few tens" of annotated pages and produced
 	// nothing on sites with 1-2).
 	MinAnnotatedPages int
-	// Workers bounds parsing/extraction parallelism (default: NumCPU,
-	// capped at 8).
+	// Workers bounds parsing/annotation/extraction parallelism (default:
+	// NumCPU, capped at 8).
 	Workers int
+	// LegacyAnnotation routes distant supervision through the original
+	// string-keyed sequential path (AnnotateLegacy) instead of the
+	// kb.Index one — the fallback and differential-testing switch. Output
+	// is identical either way.
+	LegacyAnnotation bool
 }
 
 func (c Config) withDefaults() Config {
@@ -178,7 +183,7 @@ func TrainSite(ctx context.Context, sources []PageSource, K *kb.KB, cfg Config) 
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		cr, err := runCluster(pages, group, K, cfg)
+		cr, err := runCluster(ctx, pages, group, K, cfg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -217,12 +222,21 @@ func parsePagesCtx(ctx context.Context, sources []PageSource, workers int) ([]*P
 	return pages, nil
 }
 
-func runCluster(pages []*Page, group []int, K *kb.KB, cfg Config) (*ClusterResult, error) {
+func runCluster(ctx context.Context, pages []*Page, group []int, K *kb.KB, cfg Config) (*ClusterResult, error) {
 	sub := make([]*Page, len(group))
 	for i, pi := range group {
 		sub[i] = pages[pi]
 	}
-	ann := Annotate(sub, K, cfg.Topic, cfg.Relation)
+	var ann *AnnotationResult
+	if cfg.LegacyAnnotation {
+		ann = AnnotateLegacy(sub, K, cfg.Topic, cfg.Relation)
+	} else {
+		var err error
+		ann, err = AnnotateCtx(ctx, sub, K, cfg.Topic, cfg.Relation, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+	}
 	cr := &ClusterResult{PageIdxs: group, Annotation: ann}
 	if ann.NumAnnotatedPages() < cfg.MinAnnotatedPages {
 		return cr, nil

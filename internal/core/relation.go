@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"ceres/internal/cluster"
@@ -84,16 +85,28 @@ func (r *AnnotationResult) NumAnnotatedPages() int {
 // objGroup collects the candidate mentions of one object for one
 // predicate on one page.
 type objGroup struct {
-	obj    kb.Object
 	fields []int
 }
 
-// Annotate runs the full annotation stage over a template cluster: topic
+// Annotate runs the full annotation stage over a template cluster — topic
 // identification (Algorithm 1), then relation annotation (Algorithm 2)
-// with agglomerative XPath clustering as the global tie-breaker.
+// with agglomerative XPath clustering as the global tie-breaker — through
+// the indexed path: interned kb.ItemIDs, precomputed match keys, and the
+// worker pool. Output is identical to AnnotateLegacy (the differential
+// tests assert it over every demo corpus).
 func Annotate(pages []*Page, K *kb.KB, topts TopicOptions, ropts RelationOptions) *AnnotationResult {
+	res, _ := AnnotateCtx(context.Background(), pages, K, topts, ropts, 0)
+	return res
+}
+
+// AnnotateLegacy is the original string-keyed annotation stage: object
+// keys as "e:"/"lit:" strings, per-call normalization in MatchesObject,
+// sequential pages. It is retained as the reference implementation for
+// differential testing and as the fallback Config.LegacyAnnotation
+// selects.
+func AnnotateLegacy(pages []*Page, K *kb.KB, topts TopicOptions, ropts RelationOptions) *AnnotationResult {
 	ropts = ropts.withDefaults()
-	topics := IdentifyTopics(pages, K, topts)
+	topics := IdentifyTopicsLegacy(pages, K, topts)
 
 	// groups[pageIdx][pred][objKey] lists the fields mentioning that
 	// object of that predicate.
@@ -145,7 +158,7 @@ func Annotate(pages []*Page, K *kb.KB, topts TopicOptions, ropts RelationOptions
 			if pg[t.Predicate] == nil {
 				pg[t.Predicate] = map[string]*objGroup{}
 			}
-			pg[t.Predicate][key] = &objGroup{obj: t.Object, fields: fields}
+			pg[t.Predicate][key] = &objGroup{fields: fields}
 			if mentionPaths[t.Predicate] == nil {
 				mentionPaths[t.Predicate] = map[string]int{}
 				objPageCount[t.Predicate] = map[string]int{}
@@ -181,7 +194,12 @@ func Annotate(pages []*Page, K *kb.KB, topts TopicOptions, ropts RelationOptions
 		}
 		var anns []Annotation
 		for _, pred := range sortedKeys(pg) {
-			for _, objKey := range sortedKeys(pg[pred]) {
+			objKeys := sortedKeys(pg[pred])
+			predFields := make([][]int, len(objKeys))
+			for i, objKey := range objKeys {
+				predFields[i] = pg[pred][objKey].fields
+			}
+			for i, objKey := range objKeys {
 				g := pg[pred][objKey]
 				if ropts.AnnotateAllMentions {
 					for _, fi := range g.fields {
@@ -191,7 +209,7 @@ func Annotate(pages []*Page, K *kb.KB, topts TopicOptions, ropts RelationOptions
 				}
 				forceCluster := pagesWithTopic > 0 &&
 					float64(objPageCount[pred][objKey]) > ropts.DuplicatedPageFrac*float64(pagesWithTopic)
-				fi, ok := chooseMention(p, g, pg[pred], clusterSize[pred], forceCluster)
+				fi, ok := chooseMention(p, predFields[i], predFields, clusterSize[pred], forceCluster)
 				if ok {
 					anns = append(anns, Annotation{PageIdx: pi, FieldIdx: fi, Predicate: pred})
 				}
@@ -208,15 +226,17 @@ func Annotate(pages []*Page, K *kb.KB, topts TopicOptions, ropts RelationOptions
 }
 
 // chooseMention implements BestLocalMention (Algorithm 2 lines 1–14) plus
-// the global tie-breaking of §3.2.2 for one (predicate, object) group.
-// At most one mention is annotated (§3.2: "we annotate no more than one
-// mention of each object for a predicate").
-func chooseMention(p *Page, g *objGroup, predGroups map[string]*objGroup, clusterSize map[string]int, forceCluster bool) (int, bool) {
-	best := bestLocalMentions(p, g, predGroups)
+// the global tie-breaking of §3.2.2 for one (predicate, object) group:
+// fields are the object's candidate mentions, predFields the mention lists
+// of every object of the predicate on the page. At most one mention is
+// annotated (§3.2: "we annotate no more than one mention of each object
+// for a predicate").
+func chooseMention(p *Page, fields []int, predFields [][]int, clusterSize map[string]int, forceCluster bool) (int, bool) {
+	best := bestLocalMentions(p, fields, predFields)
 	if forceCluster {
 		// Local evidence is untrustworthy for near-constant values; only
 		// the dominant global cluster may win.
-		return pickByCluster(p, g.fields, clusterSize)
+		return pickByCluster(p, fields, clusterSize)
 	}
 	if len(best) == 1 {
 		return best[0], true
@@ -225,18 +245,17 @@ func chooseMention(p *Page, g *objGroup, predGroups map[string]*objGroup, cluste
 	return pickByCluster(p, best, clusterSize)
 }
 
-// bestLocalMentions returns the mention(s) of g whose exclusive-ancestor
+// bestLocalMentions returns the mention(s) whose exclusive-ancestor
 // subtree contains the most sibling objects of the same predicate.
-func bestLocalMentions(p *Page, g *objGroup, predGroups map[string]*objGroup) []int {
-	if len(g.fields) == 1 {
-		return g.fields
+func bestLocalMentions(p *Page, fields []int, predFields [][]int) []int {
+	if len(fields) == 1 {
+		return fields
 	}
-	// Precompute the set of mention nodes per object of this predicate.
 	bestCount := -1
 	var best []int
-	for _, fi := range g.fields {
-		anc := exclusiveAncestor(p, fi, g.fields)
-		count := objectsUnder(p, anc, predGroups)
+	for _, fi := range fields {
+		anc := exclusiveAncestor(p, fi, fields)
+		count := objectsUnder(p, anc, predFields)
 		if count > bestCount {
 			bestCount = count
 			best = []int{fi}
@@ -274,10 +293,10 @@ func exclusiveAncestor(p *Page, fi int, mentions []int) *dom.Node {
 // objectsUnder counts the distinct objects of the predicate with at least
 // one mention inside the subtree (Algorithm 2 line 7: "count of all
 // objects for predicate under ancestorNode").
-func objectsUnder(p *Page, root *dom.Node, predGroups map[string]*objGroup) int {
+func objectsUnder(p *Page, root *dom.Node, predFields [][]int) int {
 	count := 0
-	for _, key := range sortedKeys(predGroups) {
-		for _, fi := range predGroups[key].fields {
+	for _, fields := range predFields {
+		for _, fi := range fields {
 			if root.Contains(p.Fields[fi].Node) {
 				count++
 				break
@@ -370,15 +389,4 @@ func isNumeric(s string) bool {
 		}
 	}
 	return true
-}
-
-// sortedKeys returns map keys in sorted order for deterministic
-// iteration.
-func sortedKeys[V any](m map[string]V) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
 }

@@ -1,0 +1,30 @@
+package core
+
+import "sort"
+
+// sortedKeys returns map keys in sorted order for deterministic iteration.
+// It is the one shared helper for every string-keyed map the annotation
+// and training stages walk.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rankedKeysByCount ranks keys by descending count, breaking ties by key.
+func rankedKeysByCount(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if m[out[i]] != m[out[j]] {
+			return m[out[i]] > m[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"context"
 
 	"ceres/internal/kb"
 	"ceres/internal/strmatch"
@@ -37,6 +37,19 @@ func (o TopicOptions) withDefaults() TopicOptions {
 		o.MaxTopicPages = 5
 	}
 	return o
+}
+
+// frequentFrac resolves the effective frequent-object fraction, applying
+// the absolute MinCount floor. Both annotation paths share it so the
+// float arithmetic is bit-identical.
+func (o TopicOptions) frequentFrac(numTriples int) float64 {
+	frac := o.FrequentObjectFrac
+	if numTriples > 0 {
+		if floor := float64(o.FrequentObjectMinCount) / float64(numTriples); floor > frac {
+			frac = floor
+		}
+	}
+	return frac
 }
 
 // pageIndex holds the per-page precomputation topic identification and
@@ -102,20 +115,31 @@ func jaccardScore(pageSet map[string]bool, entitySet map[string]bool) float64 {
 	return float64(inter) / float64(union)
 }
 
-// IdentifyTopics runs Algorithm 1 over a cluster of pages: local candidate
-// scoring, the uniqueness filter, the dominant-XPath vote, and final
-// topic selection at the dominant path. The informativeness filter (>= k
-// relation annotations) is applied later by the annotator, which discards
-// pages it cannot annotate enough.
+// IdentifyTopics runs Algorithm 1 over a cluster of pages through the
+// indexed annotation path (kb.Index interning, sorted-slice page sets).
+// Output is identical to IdentifyTopicsLegacy; the differential tests
+// assert it over every demo corpus.
 func IdentifyTopics(pages []*Page, K *kb.KB, opts TopicOptions) []TopicResult {
+	out, _ := IdentifyTopicsCtx(context.Background(), pages, K, opts, 0)
+	return out
+}
+
+// IdentifyTopicsCtx is IdentifyTopics with context cancellation and an
+// explicit worker count (0 means the pipeline default). Page-index
+// construction and per-page candidate scoring run on the worker pool with
+// per-worker scratch.
+func IdentifyTopicsCtx(ctx context.Context, pages []*Page, K *kb.KB, opts TopicOptions, workers int) ([]TopicResult, error) {
+	topics, _, err := identifyTopicsIndexed(ctx, pages, K.BuildIndex(), opts, workers)
+	return topics, err
+}
+
+// IdentifyTopicsLegacy is the original string-keyed Algorithm 1: per-call
+// normalization, map page-sets, lazily scored candidates. It is retained
+// as the reference implementation the indexed path is differentially
+// tested against, and as the fallback Config.LegacyAnnotation selects.
+func IdentifyTopicsLegacy(pages []*Page, K *kb.KB, opts TopicOptions) []TopicResult {
 	opts = opts.withDefaults()
-	frac := opts.FrequentObjectFrac
-	if n := K.NumTriples(); n > 0 {
-		if floor := float64(opts.FrequentObjectMinCount) / float64(n); floor > frac {
-			frac = floor
-		}
-	}
-	frequent := K.FrequentObjectKeys(frac)
+	frequent := K.FrequentObjectKeys(opts.frequentFrac(K.NumTriples()))
 
 	idx := make([]*pageIndex, len(pages))
 	for i, p := range pages {
@@ -149,7 +173,7 @@ func IdentifyTopics(pages []*Page, K *kb.KB, opts TopicOptions) []TopicResult {
 	localBest := make([]string, len(pages))
 	for pi := range pages {
 		best, bestScore := "", 0.0
-		for _, item := range sortedItemKeys(idx[pi].pageSet) {
+		for _, item := range sortedKeys(idx[pi].pageSet) {
 			if len(item) < 2 || item[:2] != "e:" {
 				continue // literals cannot be subjects
 			}
@@ -190,7 +214,7 @@ func IdentifyTopics(pages []*Page, K *kb.KB, opts TopicOptions) []TopicResult {
 			pathCounts[pages[pi].Fields[fi].PathString]++
 		}
 	}
-	rankedPaths := sortedItemKeys2(pathCounts)
+	rankedPaths := rankedKeysByCount(pathCounts)
 
 	// Step 4: per page, take the highest-ranked path that exists on the
 	// page and pick the best-scoring entity mentioned in that field.
@@ -226,29 +250,5 @@ func IdentifyTopics(pages []*Page, K *kb.KB, opts TopicOptions) []TopicResult {
 			break // only the highest-ranked extant path is consulted
 		}
 	}
-	return out
-}
-
-func sortedItemKeys(m map[string]bool) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// sortedItemKeys2 ranks keys by descending count, breaking ties by key.
-func sortedItemKeys2(m map[string]int) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if m[out[i]] != m[out[j]] {
-			return m[out[i]] > m[out[j]]
-		}
-		return out[i] < out[j]
-	})
 	return out
 }

@@ -3,6 +3,7 @@ package kb
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ceres/internal/strmatch"
 )
@@ -72,6 +73,11 @@ type KB struct {
 	// objectCount tracks how many triples carry each object key, feeding
 	// the frequent-object filter of §3.1.1.
 	objectCount map[string]int
+
+	// idx caches the frozen annotation index (see index.go); any mutation
+	// invalidates it. idxMu makes concurrent BuildIndex calls safe.
+	idxMu sync.Mutex
+	idx   *Index
 }
 
 // New creates an empty KB over the given ontology.
@@ -106,7 +112,14 @@ func (k *KB) AddEntity(e Entity) error {
 	for _, a := range e.Aliases {
 		k.indexName(a, e.ID)
 	}
+	k.invalidateIndex()
 	return nil
+}
+
+func (k *KB) invalidateIndex() {
+	k.idxMu.Lock()
+	k.idx = nil
+	k.idxMu.Unlock()
 }
 
 func (k *KB) indexName(name, id string) {
@@ -154,6 +167,7 @@ func (k *KB) AddTriple(t Triple) error {
 		k.literalIndex[strmatch.Normalize(t.Object.Literal)]++
 	}
 	k.objectCount[t.Object.Key()]++
+	k.invalidateIndex()
 	return nil
 }
 

@@ -9,22 +9,37 @@ import (
 // LookupEntities returns the IDs of entities whose name or alias matches
 // the text: first exact normalized matches, then token-order-insensitive
 // matches. Results are sorted and deduplicated. This is the page-text
-// entity identification of §3.1.1 step 1.
+// entity identification of §3.1.1 step 1. The returned slice may share the
+// KB's internal storage and must not be modified.
 func (k *KB) LookupEntities(text string) []string {
 	n := strmatch.Normalize(text)
 	if n == "" {
 		return nil
 	}
-	var out []string
-	out = append(out, k.nameIndex[n]...)
-	tk := strmatch.TokenSetKey(text)
-	if tk != "" {
-		for _, id := range k.tokenIndex[tk] {
-			out = appendUnique(out, id)
+	names := k.nameIndex[n]
+	// The token key lives in a stack buffer; the map probe's string
+	// conversion does not allocate.
+	var tkBuf [96]byte
+	toks := k.tokenIndex[string(strmatch.AppendTokenSetKey(tkBuf[:0], n))]
+	if len(toks) == 0 {
+		// Exact-only hit: the common case. The name list is already unique
+		// (appendUnique on insert); a single ID needs no sort or copy, so
+		// return the stored slice capped to its length.
+		switch len(names) {
+		case 0:
+			return nil
+		case 1:
+			return names[:1:1]
 		}
+		out := make([]string, len(names))
+		copy(out, names)
+		sort.Strings(out)
+		return out
 	}
-	if len(out) == 0 {
-		return nil
+	var out []string
+	out = append(out, names...)
+	for _, id := range toks {
+		out = appendUnique(out, id)
 	}
 	sort.Strings(out)
 	return out

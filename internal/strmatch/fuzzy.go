@@ -1,5 +1,7 @@
 package strmatch
 
+import "unicode/utf8"
+
 // FuzzyEqual reports whether two strings should be considered mentions of
 // the same name. It is the page-text-to-KB matcher of §3.1.1: exact match
 // on normalized forms, token-order-insensitive match ("Lee, Spike" vs
@@ -13,10 +15,10 @@ func FuzzyEqual(a, b string) bool {
 	if na == nb {
 		return true
 	}
-	if TokenSetKey(na) == TokenSetKey(nb) {
+	if TokenSetKeyNormalized(na) == TokenSetKeyNormalized(nb) {
 		return true
 	}
-	max := editBudget(na, nb)
+	max := EditBudget(utf8.RuneCountInString(na), utf8.RuneCountInString(nb))
 	if max == 0 {
 		return false
 	}
@@ -24,13 +26,14 @@ func FuzzyEqual(a, b string) bool {
 	return ok
 }
 
-// editBudget returns the edit-distance tolerance for two normalized strings.
-// Strings shorter than 8 runes must match exactly; longer strings tolerate
-// roughly one edit per 8 runes, capped at 3.
-func editBudget(na, nb string) int {
-	n := len([]rune(na))
-	if m := len([]rune(nb)); m < n {
-		n = m
+// EditBudget returns the edit-distance tolerance for two normalized strings
+// of the given rune lengths. Strings shorter than 8 runes must match
+// exactly; longer strings tolerate roughly one edit per 8 runes, capped
+// at 3. The kb.Index matcher calls this with precomputed lengths.
+func EditBudget(la, lb int) int {
+	n := la
+	if lb < n {
+		n = lb
 	}
 	switch {
 	case n < 8:

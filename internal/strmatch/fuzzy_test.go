@@ -22,17 +22,40 @@ func TestFuzzyEqual(t *testing.T) {
 		{"", "a", false},
 		{"abc", "xyz", false},
 		{"Björk", "Bjork", true},
-		{"Frank Welker", "Frank Welkes", false}, // 12 runes -> budget 1; 1 sub ok? len("frank welker")=12 -> budget 1 -> true actually
+		// "frank welker" is 12 runes, so the edit budget is 1 and a single
+		// substitution is within tolerance.
+		{"Frank Welker", "Frank Welkes", true},
+		// Edit-budget boundaries: <8 runes tolerates 0 edits, 8-15 runes 1,
+		// 16-23 runes 2, >=24 runes 3 (the cap). The budget is taken from
+		// the shorter side.
+		{"abcdefg", "abcdefx", false},                                             // 7 runes: budget 0
+		{"abcdefgh", "abcdefgx", true},                                            // 8 runes: budget 1
+		{"abcdefgh", "abcdefxy", false},                                           // 2 edits exceed budget 1
+		{"abcdefghijklmnop", "abcdefghijklmnxy", true},                            // 16 runes: budget 2
+		{"abcdefghijklmno", "abcdefghijklmxy", false},                             // 15 runes: budget 1 < 2 edits
+		{"abcdefghijklmnopqrstuvwx", "abcdefghijklmnopqrstuxyz", true},            // 24 runes: budget 3
+		{"abcdefghijklmnopqrstuvwxyz12345", "abcdefghijklmnopqrstuvwwxyz", false}, // 4 edits exceed the cap
+		{"abcdefg", "abcdefgh", false},                                            // shorter side 7 runes: budget 0
 	}
 	for _, c := range cases {
-		got := FuzzyEqual(c.a, c.b)
-		// Recompute the edge case noted inline: "Frank Welker" normalizes to
-		// 12 runes, so one substitution is within budget.
-		if c.a == "Frank Welker" {
-			c.want = true
-		}
-		if got != c.want {
+		if got := FuzzyEqual(c.a, c.b); got != c.want {
 			t.Errorf("FuzzyEqual(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditBudget(t *testing.T) {
+	cases := []struct {
+		la, lb, want int
+	}{
+		{0, 0, 0}, {7, 7, 0}, {7, 100, 0},
+		{8, 8, 1}, {15, 15, 1}, {8, 30, 1},
+		{16, 16, 2}, {23, 23, 2},
+		{24, 24, 3}, {100, 24, 3}, {1000, 1000, 3},
+	}
+	for _, c := range cases {
+		if got := EditBudget(c.la, c.lb); got != c.want {
+			t.Errorf("EditBudget(%d,%d) = %d, want %d", c.la, c.lb, got, c.want)
 		}
 	}
 }

@@ -52,9 +52,13 @@ func LevenshteinRunes(ra, rb []rune) int {
 // most max, and (max+1, false) otherwise. Early exit makes bulk fuzzy
 // matching against a large KB affordable.
 func LevenshteinBounded(a, b string, max int) (int, bool) {
-	ra, rb := []rune(a), []rune(b)
-	la, lb := len(ra), len(rb)
-	diff := la - lb
+	return LevenshteinBoundedRunes([]rune(a), []rune(b), max)
+}
+
+// LevenshteinBoundedRunes is LevenshteinBounded over pre-split rune slices,
+// for matchers that compare one precomputed text against many candidates.
+func LevenshteinBoundedRunes(ra, rb []rune, max int) (int, bool) {
+	diff := len(ra) - len(rb)
 	if diff < 0 {
 		diff = -diff
 	}

@@ -1,6 +1,10 @@
 package strmatch
 
-import "strconv"
+import (
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
 
 // countryNames holds normalized names of countries and other geographic
 // catch-alls that the paper's topic-identification step discards as
@@ -29,11 +33,16 @@ var countryNames = map[string]bool{
 // plausible year range like "1990 2000", a single character, or a country
 // name.
 func IsLowInfo(s string) bool {
-	n := Normalize(s)
+	return IsLowInfoNormalized(Normalize(s))
+}
+
+// IsLowInfoNormalized is IsLowInfo for an already-normalized string,
+// allocation-free for callers that precompute the normalized form.
+func IsLowInfoNormalized(n string) bool {
 	if n == "" {
 		return true
 	}
-	if len([]rune(n)) == 1 {
+	if utf8.RuneCountInString(n) == 1 {
 		return true
 	}
 	if isShortNumber(n) {
@@ -42,10 +51,12 @@ func IsLowInfo(s string) bool {
 	if countryNames[n] {
 		return true
 	}
-	// "1994 1998"-style ranges (normalized form of "1994–1998").
-	toks := Tokens(n)
-	if len(toks) == 2 && isShortNumber(toks[0]) && isShortNumber(toks[1]) {
-		return true
+	// "1994 1998"-style ranges (normalized form of "1994–1998"): exactly
+	// two tokens, both short numbers.
+	if i := strings.IndexByte(n, ' '); i >= 0 && strings.IndexByte(n[i+1:], ' ') < 0 {
+		if isShortNumber(n[:i]) && isShortNumber(n[i+1:]) {
+			return true
+		}
 	}
 	return false
 }

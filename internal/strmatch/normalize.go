@@ -12,6 +12,7 @@ package strmatch
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // foldRune maps accented Latin letters onto their ASCII base letter. It
@@ -72,25 +73,37 @@ func foldRune(r rune) rune {
 // replace punctuation with spaces, collapse runs of whitespace, and trim.
 // Normalize is idempotent: Normalize(Normalize(s)) == Normalize(s).
 func Normalize(s string) string {
-	var b strings.Builder
-	b.Grow(len(s))
+	var buf [96]byte
+	return string(NormalizeInto(buf[:0], s))
+}
+
+// NormalizeInto appends the normalized form of s (as Normalize would return
+// it) to dst and returns the extended slice. It allocates only when dst's
+// capacity is exceeded, so callers that reuse a scratch buffer normalize
+// with zero allocations.
+func NormalizeInto(dst []byte, s string) []byte {
+	start := len(dst)
 	lastSpace := true // suppress leading spaces
 	for _, r := range s {
 		r = unicode.ToLower(r)
 		r = foldRune(r)
 		switch {
 		case unicode.IsLetter(r) || unicode.IsDigit(r):
-			b.WriteRune(r)
+			dst = utf8.AppendRune(dst, r)
 			lastSpace = false
 		default:
 			if !lastSpace {
-				b.WriteByte(' ')
+				dst = append(dst, ' ')
 				lastSpace = true
 			}
 		}
 	}
-	out := b.String()
-	return strings.TrimRight(out, " ")
+	// Runs of space collapse as they are written, so at most one trailing
+	// space needs trimming — but only one this call appended.
+	if n := len(dst); n > start && dst[n-1] == ' ' {
+		dst = dst[:n-1]
+	}
+	return dst
 }
 
 // Tokens splits a normalized form of s into its word tokens.
@@ -106,23 +119,65 @@ func Tokens(s string) []string {
 // the sorted, deduplicated tokens of the normalized string joined by spaces.
 // "Lee, Spike" and "Spike Lee" share a TokenSetKey.
 func TokenSetKey(s string) string {
-	toks := Tokens(s)
-	if len(toks) == 0 {
-		return ""
+	return TokenSetKeyNormalized(Normalize(s))
+}
+
+// TokenSetKeyNormalized is TokenSetKey for an already-normalized string,
+// skipping the re-normalization pass. When the normalized form is a single
+// token, or its tokens are already sorted and unique, the input string is
+// returned as-is with no allocation.
+func TokenSetKeyNormalized(n string) string {
+	if strings.IndexByte(n, ' ') < 0 {
+		return n // zero or one token: already canonical
 	}
+	var buf [96]byte
+	out := AppendTokenSetKey(buf[:0], n)
+	if string(out) == n {
+		return n
+	}
+	return string(out)
+}
+
+// AppendTokenSetKey appends the token-set key of an already-normalized
+// string (single-space-separated tokens, no leading/trailing space) to dst
+// and returns the extended slice. Index builders use it to precompute token
+// keys without per-name allocation; tokens are tracked as boundary pairs so
+// the input never escapes to the heap.
+func AppendTokenSetKey(dst []byte, n string) []byte {
+	if n == "" {
+		return dst
+	}
+	var arr [16][2]int32
+	toks := arr[:0]
+	for start, rest := 0, n; ; {
+		i := strings.IndexByte(rest, ' ')
+		if i < 0 {
+			toks = append(toks, [2]int32{int32(start), int32(start + len(rest))})
+			break
+		}
+		toks = append(toks, [2]int32{int32(start), int32(start + i)})
+		start += i + 1
+		rest = rest[i+1:]
+	}
+	tok := func(b [2]int32) string { return n[b[0]:b[1]] }
 	// Insertion sort: token lists are short (entity names).
 	for i := 1; i < len(toks); i++ {
-		for j := i; j > 0 && toks[j] < toks[j-1]; j-- {
+		for j := i; j > 0 && tok(toks[j]) < tok(toks[j-1]); j-- {
 			toks[j], toks[j-1] = toks[j-1], toks[j]
 		}
 	}
-	out := toks[:1]
-	for _, t := range toks[1:] {
-		if t != out[len(out)-1] {
-			out = append(out, t)
+	first := true
+	for i, b := range toks {
+		if i > 0 && tok(b) == tok(toks[i-1]) {
+			continue // dedup
 		}
+		if !first {
+			dst = append(dst, ' ')
+		}
+		first = false
+		dst = append(dst, tok(b)...)
 	}
-	return strings.Join(out, " ")
+	return dst
 }
 
 // TokenJaccard returns the Jaccard similarity of the token sets of a and b

@@ -87,6 +87,73 @@ func TestTokenSetKey(t *testing.T) {
 	}
 }
 
+func TestNormalizeIntoMatchesNormalize(t *testing.T) {
+	f := func(s string) bool {
+		return string(NormalizeInto(nil, s)) == Normalize(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeIntoAppends(t *testing.T) {
+	dst := []byte("prefix ")
+	got := NormalizeInto(dst, "Spike Lee!")
+	if string(got) != "prefix spike lee" {
+		t.Errorf("NormalizeInto appended %q", got)
+	}
+	// A suffix that normalizes to nothing must not eat the existing prefix.
+	if got := NormalizeInto([]byte("keep"), "!!!"); string(got) != "keep" {
+		t.Errorf("NormalizeInto(%q, punctuation) = %q", "keep", got)
+	}
+}
+
+func TestNormalizeIntoNoAllocWithCapacity(t *testing.T) {
+	buf := make([]byte, 0, 128)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = NormalizeInto(buf[:0], "Björk Guðmundsdóttir (1965)")
+	})
+	if allocs != 0 {
+		t.Errorf("NormalizeInto allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestTokenSetKeyNormalized(t *testing.T) {
+	f := func(s string) bool {
+		return TokenSetKeyNormalized(Normalize(s)) == TokenSetKey(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Already-canonical inputs come back without allocation.
+	if TokenSetKeyNormalized("cat") != "cat" || TokenSetKeyNormalized("") != "" {
+		t.Error("single-token keys should round-trip")
+	}
+	if got := TokenSetKeyNormalized("the the cat"); got != "cat the" {
+		t.Errorf("TokenSetKeyNormalized dedup: got %q", got)
+	}
+}
+
+func TestAppendTokenSetKey(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"cat", "cat"},
+		{"spike lee", "lee spike"},
+		{"the the the cat", "cat the"},
+		{"b a b a c", "a b c"},
+		// More tokens than the stack-array fast path holds.
+		{"q p o n m l k j i h g f e d c b a r s t u v w x y z", "a b c d e f g h i j k l m n o p q r s t u v w x y z"},
+	}
+	for _, c := range cases {
+		if got := string(AppendTokenSetKey(nil, c.in)); got != c.want {
+			t.Errorf("AppendTokenSetKey(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := AppendTokenSetKey([]byte("x|"), "b a"); string(got) != "x|a b" {
+		t.Errorf("AppendTokenSetKey should append: got %q", got)
+	}
+}
+
 func TestTokenJaccard(t *testing.T) {
 	if got := TokenJaccard("a b c", "a b c"); got != 1 {
 		t.Errorf("identical sets: got %v", got)
