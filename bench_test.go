@@ -9,6 +9,7 @@ package ceres
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
 
 	"ceres/internal/bench"
@@ -262,7 +263,7 @@ func BenchmarkServeExtract(b *testing.B) {
 	b.Run("OneShot", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := p.ExtractPages(pages); err != nil {
+			if _, err := p.ExtractPages(context.Background(), pages); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -301,5 +302,55 @@ func BenchmarkServeExtract(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(len(pages))*float64(b.N)/b.Elapsed().Seconds(), "pages/s")
+	})
+}
+
+// BenchmarkServiceExtract measures the request-scoped serving stack —
+// Registry lookup, per-request threshold, stats — end to end, both for
+// one caller and for many concurrent requests against one hot model (the
+// daemon's steady state).
+func BenchmarkServiceExtract(b *testing.B) {
+	f := getFixture(b)
+	pages := make([]PageSource, len(f.sources))
+	for i, s := range f.sources {
+		pages[i] = PageSource{ID: s.ID, HTML: s.HTML}
+	}
+	model, err := NewPipeline(f.kb).Train(context.Background(), pages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.Publish("bench", 1, model)
+	svc := NewService(reg)
+	th := 0.75
+	req := ExtractRequest{Site: "bench", Pages: pages, Options: RequestOptions{Threshold: &th}}
+
+	b.Run("Sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Extract(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(pages))*float64(b.N)/b.Elapsed().Seconds(), "pages/s")
+	})
+	b.Run("Parallel", func(b *testing.B) {
+		// One page per request, many requests in flight: the request
+		// fan-in shape of the HTTP daemon.
+		b.ReportAllocs()
+		var i atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				idx := int(i.Add(1)) % len(pages)
+				one := ExtractRequest{
+					Site:    "bench",
+					Pages:   pages[idx : idx+1],
+					Options: RequestOptions{Threshold: &th, Workers: 1},
+				}
+				if _, err := svc.Extract(context.Background(), one); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	})
 }

@@ -1,40 +1,9 @@
-// Package ceres is a from-scratch Go implementation of CERES — distantly
-// supervised relation extraction from semi-structured websites (Lockard,
-// Dong, Einolghozati, Shiralkar; VLDB 2018, arXiv:1804.04635).
-//
-// Given the detail pages of a template-generated website and a seed
-// knowledge base, a Pipeline automatically annotates the pages by aligning
-// them with the KB (topic identification + relation annotation), trains a
-// logistic-regression node classifier over DOM features, and extracts new
-// (subject, predicate, object) triples — including triples about entities
-// the seed KB has never heard of — each with a calibrated confidence.
-//
-// The API splits the lifecycle in two. Training is the expensive,
-// KB-dependent phase and runs once per site; it produces a SiteModel, the
-// cheap, self-contained serving artifact:
-//
-//	k := ceres.NewKB(ceres.NewOntology(
-//	    ceres.Predicate{Name: "directedBy", Domain: "film", Range: "person"},
-//	))
-//	// ... add seed entities and triples ...
-//	p := ceres.NewPipeline(k, ceres.WithThreshold(0.75))
-//	model, err := p.Train(ctx, trainPages)        // parse→cluster→annotate→train
-//	result, err := model.Extract(ctx, newPages)   // serve any pages, no retraining
-//
-// A SiteModel persists across processes (WriteTo / ReadSiteModel), streams
-// extractions with bounded memory (ExtractStream), and routes pages it has
-// never seen to the nearest template cluster learned at training time. A
-// Harvester trains and serves many sites concurrently and feeds the fused
-// multi-site view directly (Harvester.Fuse).
-//
-// See examples/ for runnable end-to-end programs, DESIGN.md for the system
-// inventory and the SiteModel serialization format, and EXPERIMENTS.md for
-// the reproduction of every table and figure in the paper.
 package ceres
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -75,6 +44,9 @@ var (
 	// ErrNoAnnotations reports that distant supervision aligned too few
 	// pages with the seed KB to train any extractor.
 	ErrNoAnnotations = core.ErrNoAnnotations
+	// ErrInvalidPage reports a malformed page in the input set (e.g. an
+	// empty ID) — a caller fault, like ErrNoPages.
+	ErrInvalidPage = errors.New("ceres: invalid page")
 )
 
 // NewKB creates an empty knowledge base over the ontology.
@@ -235,17 +207,18 @@ func (p *Pipeline) Train(ctx context.Context, pages []PageSource) (*SiteModel, e
 
 // ExtractPages runs annotation, training and extraction over the pages of
 // one website — Train plus Extract on the same pages, with each page
-// served by the template cluster it was assigned to during training.
+// served by the template cluster it was assigned to during training. It is
+// cancellable through ctx like the rest of the lifecycle.
 //
 // Deprecated: use Train once, then SiteModel.Extract (or ExtractStream)
 // for every batch of pages. ExtractPages retrains from scratch on every
 // call and cannot serve pages outside the training set.
-func (p *Pipeline) ExtractPages(pages []PageSource) (*Result, error) {
+func (p *Pipeline) ExtractPages(ctx context.Context, pages []PageSource) (*Result, error) {
 	src, err := toSources(pages)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(context.Background(), src, p.kb, p.cfg)
+	res, err := core.Run(ctx, src, p.kb, p.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -434,7 +407,7 @@ func toSources(pages []PageSource) ([]core.PageSource, error) {
 	src := make([]core.PageSource, len(pages))
 	for i, pg := range pages {
 		if pg.ID == "" {
-			return nil, fmt.Errorf("ceres: page %d has an empty ID", i)
+			return nil, fmt.Errorf("%w: page %d has an empty ID", ErrInvalidPage, i)
 		}
 		src[i] = core.PageSource{ID: pg.ID, HTML: pg.HTML}
 	}
@@ -453,7 +426,10 @@ func toTriple(e core.Extraction) Triple {
 }
 
 // tripleize thresholds and sorts extractions into the public triple order:
-// descending confidence, then page, predicate, object.
+// descending confidence, then page, predicate, object, subject, path. The
+// subject and path tie-breaks make the order total, so equal-confidence
+// triples — e.g. from multi-topic pages, or an object text repeated at two
+// nodes of one page — come out deterministically.
 func tripleize(exts []core.Extraction, threshold float64) []Triple {
 	var out []Triple
 	for _, e := range exts {
@@ -473,7 +449,13 @@ func tripleize(exts []core.Extraction, threshold float64) []Triple {
 		if a.Predicate != b.Predicate {
 			return a.Predicate < b.Predicate
 		}
-		return a.Object < b.Object
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		return a.Path < b.Path
 	})
 	return out
 }

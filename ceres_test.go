@@ -1,6 +1,7 @@
 package ceres
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestPipelineOnDemoCorpus(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := NewPipeline(c.KB)
-	res, err := p.ExtractPages(c.Pages)
+	res, err := p.ExtractPages(context.Background(), c.Pages)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,11 +50,11 @@ func TestPipelineThresholdOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loose, err := NewPipeline(c.KB, WithThreshold(0.5)).ExtractPages(c.Pages)
+	loose, err := NewPipeline(c.KB, WithThreshold(0.5)).ExtractPages(context.Background(), c.Pages)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tight, err := NewPipeline(c.KB, WithThreshold(0.9)).ExtractPages(c.Pages)
+	tight, err := NewPipeline(c.KB, WithThreshold(0.9)).ExtractPages(context.Background(), c.Pages)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,11 +74,11 @@ func TestPipelineModeOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := NewPipeline(c.KB, WithMode(ModeFull)).ExtractPages(c.Pages)
+	full, err := NewPipeline(c.KB, WithMode(ModeFull)).ExtractPages(context.Background(), c.Pages)
 	if err != nil {
 		t.Fatal(err)
 	}
-	topic, err := NewPipeline(c.KB, WithMode(ModeTopicOnly)).ExtractPages(c.Pages)
+	topic, err := NewPipeline(c.KB, WithMode(ModeTopicOnly)).ExtractPages(context.Background(), c.Pages)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestPipelineNewEntityDiscovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NewPipeline(c.KB).ExtractPages(c.Pages)
+	res, err := NewPipeline(c.KB).ExtractPages(context.Background(), c.Pages)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,10 +112,10 @@ func TestPipelineNewEntityDiscovery(t *testing.T) {
 func TestPipelineErrors(t *testing.T) {
 	c, _ := DemoCorpus("movies", 7, 10)
 	p := NewPipeline(c.KB)
-	if _, err := p.ExtractPages(nil); err == nil {
+	if _, err := p.ExtractPages(context.Background(), nil); err == nil {
 		t.Errorf("empty input should fail")
 	}
-	if _, err := p.ExtractPages([]PageSource{{ID: "", HTML: "<html></html>"}}); err == nil {
+	if _, err := p.ExtractPages(context.Background(), []PageSource{{ID: "", HTML: "<html></html>"}}); err == nil {
 		t.Errorf("empty page ID should fail")
 	}
 	if _, err := DemoCorpus("nope", 1, 10); err == nil {

@@ -1,0 +1,87 @@
+// Command ceres-serve is the CERES serving daemon: a long-lived HTTP
+// process that serves trained SiteModels out of a versioned model store.
+//
+//	ceres-serve -addr :8080 -store ./models -max-inflight 64
+//
+// On boot it loads the latest stored version of every site into a
+// Registry; thereafter models are published and hot-swapped over HTTP
+// without a restart. The API (see DESIGN.md §7 for the wire format):
+//
+//	PUT  /v1/sites/{site}/model    publish a serialized SiteModel (next version)
+//	POST /v1/sites/{site}/extract  extract triples from JSON pages
+//	GET  /v1/sites                 list the serving fleet
+//	GET  /healthz                  liveness probe
+//
+// Extraction requests carry optional per-request "threshold" and "workers"
+// overrides; concurrent requests never observe each other's settings.
+// -max-inflight bounds concurrently served extractions (the request
+// limiter); -store "" runs registry-only, losing models on restart.
+// SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ceres"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		storeDir    = flag.String("store", "./models", "model store directory (empty: serve from memory only)")
+		maxInflight = flag.Int("max-inflight", 64, "max concurrently served extraction requests (0 = unbounded)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "ceres-serve: ", log.LstdFlags)
+
+	var store ceres.ModelStore
+	reg := ceres.NewRegistry()
+	if *storeDir != "" {
+		ds, err := ceres.NewDirStore(*storeDir)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		store = ds
+		reg, err = ceres.OpenRegistry(ds)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("store %s: loaded %d site(s)", ds.Root(), reg.Len())
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(store, reg, *maxInflight, logger),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Printf("listening on %s (%d sites)", *addr, reg.Len())
+
+	select {
+	case err := <-errc:
+		logger.Fatal(err)
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down, draining for up to %s", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("serve: %v", err)
+	}
+}

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+
+	"ceres"
+)
+
+// maxModelBytes bounds a PUT model body (a serialized SiteModel is
+// typically well under a megabyte; 256 MiB leaves room for huge sites
+// while stopping an unbounded upload). maxExtractBytes bounds an extract
+// request's page payload the same way — the daemon is long-lived, so no
+// single request may buffer unbounded memory.
+const (
+	maxModelBytes   = 256 << 20
+	maxExtractBytes = 256 << 20
+)
+
+// server wires the store/registry/service stack into HTTP handlers.
+type server struct {
+	store ceres.ModelStore // nil: registry-only, models don't survive restarts
+	reg   *ceres.Registry
+	svc   *ceres.Service
+	log   *log.Logger
+	// pubMu makes store.Publish + reg.Publish one atomic step, so
+	// concurrent PUTs can't hot-swap the registry to an older version than
+	// the store's latest.
+	pubMu sync.Mutex
+}
+
+// newServer builds the daemon's HTTP handler. maxInflight bounds
+// concurrently served extraction requests (0 = unbounded); excess requests
+// wait for a worker slot until their client gives up.
+func newServer(store ceres.ModelStore, reg *ceres.Registry, maxInflight int, logger *log.Logger) http.Handler {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	s := &server{
+		store: store,
+		reg:   reg,
+		svc:   ceres.NewService(reg, ceres.WithMaxInflight(maxInflight)),
+		log:   logger,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sites/{site}/extract", s.handleExtract)
+	mux.HandleFunc("PUT /v1/sites/{site}/model", s.handlePublish)
+	mux.HandleFunc("GET /v1/sites", s.handleSites)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// wire types ------------------------------------------------------------
+
+type pageJSON struct {
+	ID   string `json:"id"`
+	HTML string `json:"html"`
+}
+
+type extractRequestJSON struct {
+	Pages []pageJSON `json:"pages"`
+	// Threshold overrides the model's confidence cutoff for this request
+	// (absent = model threshold; an explicit 0 keeps everything).
+	Threshold *float64 `json:"threshold,omitempty"`
+	// Workers bounds the request's page parallelism (absent = default).
+	Workers int `json:"workers,omitempty"`
+}
+
+type tripleJSON struct {
+	Subject    string  `json:"subject"`
+	Predicate  string  `json:"predicate"`
+	Object     string  `json:"object"`
+	Confidence float64 `json:"confidence"`
+	Page       string  `json:"page"`
+	Path       string  `json:"path"`
+}
+
+type statsJSON struct {
+	Pages          int     `json:"pages"`
+	Triples        int     `json:"triples"`
+	RoutedClusters int     `json:"routedClusters"`
+	LatencyMs      float64 `json:"latencyMs"`
+}
+
+type extractResponseJSON struct {
+	Site      string       `json:"site"`
+	Version   int          `json:"version"`
+	Threshold float64      `json:"threshold"`
+	Triples   []tripleJSON `json:"triples"`
+	Stats     statsJSON    `json:"stats"`
+}
+
+type publishResponseJSON struct {
+	Site             string `json:"site"`
+	Version          int    `json:"version"`
+	TemplateClusters int    `json:"templateClusters"`
+	TrainedClusters  int    `json:"trainedClusters"`
+}
+
+type siteJSON struct {
+	Site             string  `json:"site"`
+	Version          int     `json:"version"`
+	Threshold        float64 `json:"threshold"`
+	TemplateClusters int     `json:"templateClusters"`
+	TrainedClusters  int     `json:"trainedClusters"`
+	TrainPages       int     `json:"trainPages"`
+}
+
+// handlers --------------------------------------------------------------
+
+func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	site := r.PathValue("site")
+	var req extractRequestJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxExtractBytes)).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.fail(w, status, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	pages := make([]ceres.PageSource, len(req.Pages))
+	for i, p := range req.Pages {
+		pages[i] = ceres.PageSource{ID: p.ID, HTML: p.HTML}
+	}
+	resp, err := s.svc.Extract(r.Context(), ceres.ExtractRequest{
+		Site:  site,
+		Pages: pages,
+		Options: ceres.RequestOptions{
+			Threshold: req.Threshold,
+			Workers:   req.Workers,
+		},
+	})
+	if err != nil {
+		s.fail(w, statusOf(err), err)
+		return
+	}
+	out := extractResponseJSON{
+		Site:      resp.Site,
+		Version:   resp.Version,
+		Threshold: resp.Threshold,
+		Triples:   make([]tripleJSON, len(resp.Triples)),
+		Stats: statsJSON{
+			Pages:          resp.Stats.Pages,
+			Triples:        resp.Stats.Triples,
+			RoutedClusters: resp.Stats.RoutedClusters,
+			LatencyMs:      float64(resp.Stats.Latency.Microseconds()) / 1000,
+		},
+	}
+	for i, t := range resp.Triples {
+		out.Triples[i] = tripleJSON{
+			Subject: t.Subject, Predicate: t.Predicate, Object: t.Object,
+			Confidence: t.Confidence, Page: t.Page, Path: t.Path,
+		}
+	}
+	s.reply(w, http.StatusOK, out)
+}
+
+func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	site := r.PathValue("site")
+	if site == "" {
+		s.fail(w, http.StatusBadRequest, errors.New("empty site name"))
+		return
+	}
+	m, err := ceres.ReadSiteModel(http.MaxBytesReader(w, r.Body, maxModelBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.fail(w, status, err)
+		return
+	}
+	var version int
+	if s.store != nil {
+		s.pubMu.Lock()
+		if version, err = s.store.Publish(site, m); err != nil {
+			s.pubMu.Unlock()
+			s.fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.reg.Publish(site, version, m)
+		s.pubMu.Unlock()
+	} else {
+		version = s.reg.PublishNext(site, m)
+	}
+	s.log.Printf("published site %q version %d (%d/%d clusters trained)",
+		site, version, m.TrainedClusters(), m.TemplateClusters())
+	s.reply(w, http.StatusOK, publishResponseJSON{
+		Site:             site,
+		Version:          version,
+		TemplateClusters: m.TemplateClusters(),
+		TrainedClusters:  m.TrainedClusters(),
+	})
+}
+
+func (s *server) handleSites(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	out := make([]siteJSON, len(snap))
+	for i, e := range snap {
+		out[i] = siteJSON{
+			Site:             e.Site,
+			Version:          e.Version,
+			Threshold:        e.Model.Threshold(),
+			TemplateClusters: e.Model.TemplateClusters(),
+			TrainedClusters:  e.Model.TrainedClusters(),
+			TrainPages:       e.Model.TrainPages(),
+		}
+	}
+	s.reply(w, http.StatusOK, out)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.reply(w, http.StatusOK, map[string]any{"status": "ok", "sites": s.reg.Len()})
+}
+
+// helpers ---------------------------------------------------------------
+
+// statusOf maps service errors onto HTTP statuses. Context errors are not
+// server faults: the client went away, or gave up waiting for an inflight
+// slot — 503 keeps load-shedding out of the 5xx-error signal operators
+// alert on.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ceres.ErrUnknownSite):
+		return http.StatusNotFound
+	case errors.Is(err, ceres.ErrNotTrained):
+		return http.StatusConflict
+	case errors.Is(err, ceres.ErrNoPages), errors.Is(err, ceres.ErrInvalidPage):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *server) reply(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		s.log.Printf("writing response: %v", err)
+	}
+}
+
+func (s *server) fail(w http.ResponseWriter, status int, err error) {
+	s.reply(w, status, map[string]string{"error": err.Error()})
+}

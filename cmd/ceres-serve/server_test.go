@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"ceres"
+)
+
+// trainedModelBytes trains a tiny fixed-template film site and returns the
+// model serialized in the WriteTo wire format, plus an unseen page.
+func trainedModelBytes(t *testing.T) ([]byte, ceres.PageSource) {
+	t.Helper()
+	page := func(title, director, year string) string {
+		return `<html><body><h1 class="title">` + title + `</h1>
+<table class="facts">
+<tr><th>Director</th><td>` + director + `</td></tr>
+<tr><th>Year</th><td>` + year + `</td></tr>
+</table></body></html>`
+	}
+	k := ceres.NewKB(ceres.NewOntology(
+		ceres.Predicate{Name: "directedBy", Domain: "film", Range: "person"},
+		ceres.Predicate{Name: "releaseYear", Domain: "film"},
+	))
+	for i, s := range []struct{ title, director, year string }{
+		{"Do the Right Thing", "Spike Lee", "1989"},
+		{"Crooklyn", "Spike Lee", "1994"},
+		{"The Silent Harbor", "Ada Dahl", "2001"},
+	} {
+		fid, pid := fmt.Sprintf("f%d", i+1), fmt.Sprintf("p%d", i+1)
+		k.AddEntity(ceres.Entity{ID: fid, Type: "film", Name: s.title})
+		k.AddEntity(ceres.Entity{ID: pid, Type: "person", Name: s.director})
+		k.AddTriple(ceres.KBTriple{Subject: fid, Predicate: "directedBy", Object: ceres.EntityObject(pid)})
+		k.AddTriple(ceres.KBTriple{Subject: fid, Predicate: "releaseYear", Object: ceres.LiteralObject(s.year)})
+	}
+	train := []ceres.PageSource{
+		{ID: "m1", HTML: page("Do the Right Thing", "Spike Lee", "1989")},
+		{ID: "m2", HTML: page("Crooklyn", "Spike Lee", "1994")},
+		{ID: "m3", HTML: page("The Silent Harbor", "Ada Dahl", "2001")},
+	}
+	model, err := ceres.NewPipeline(k, ceres.WithMinAnnotations(2)).Train(context.Background(), train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := model.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	unseen := ceres.PageSource{ID: "m9", HTML: page("Glass Meridian", "Ada Dahl", "2021")}
+	return buf.Bytes(), unseen
+}
+
+func doJSON(t *testing.T, client *http.Client, method, url string, body []byte, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServeEndToEnd publishes a model over HTTP into a DirStore-backed
+// daemon and extracts from a page the model never saw — the full
+// publish→route→extract round trip of the wire API.
+func TestServeEndToEnd(t *testing.T) {
+	store, err := ceres.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := ceres.NewRegistry()
+	ts := httptest.NewServer(newServer(store, reg, 4, nil))
+	defer ts.Close()
+	client := ts.Client()
+
+	var health struct {
+		Status string `json:"status"`
+		Sites  int    `json:"sites"`
+	}
+	if code := doJSON(t, client, "GET", ts.URL+"/healthz", nil, &health); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	if health.Status != "ok" || health.Sites != 0 {
+		t.Fatalf("healthz = %+v, want ok with 0 sites", health)
+	}
+
+	modelBytes, unseen := trainedModelBytes(t)
+	var pub publishResponseJSON
+	if code := doJSON(t, client, "PUT", ts.URL+"/v1/sites/films.example/model", modelBytes, &pub); code != 200 {
+		t.Fatalf("publish = %d", code)
+	}
+	if pub.Version != 1 || pub.TrainedClusters != 1 {
+		t.Fatalf("publish response = %+v", pub)
+	}
+	// Republishing bumps the version; the store keeps both.
+	if code := doJSON(t, client, "PUT", ts.URL+"/v1/sites/films.example/model", modelBytes, &pub); code != 200 || pub.Version != 2 {
+		t.Fatalf("republish = %d, version %d, want 200 version 2", 0, pub.Version)
+	}
+	if ents, err := store.List(); err != nil || len(ents) != 1 || len(ents[0].Versions) != 2 {
+		t.Fatalf("store.List() = %v, %v, want one site with two versions", ents, err)
+	}
+
+	var sites []siteJSON
+	if code := doJSON(t, client, "GET", ts.URL+"/v1/sites", nil, &sites); code != 200 {
+		t.Fatalf("sites = %d", code)
+	}
+	if len(sites) != 1 || sites[0].Site != "films.example" || sites[0].Version != 2 {
+		t.Fatalf("sites = %+v", sites)
+	}
+
+	extractBody, err := json.Marshal(extractRequestJSON{
+		Pages: []pageJSON{{ID: unseen.ID, HTML: unseen.HTML}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got extractResponseJSON
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/sites/films.example/extract", extractBody, &got); code != 200 {
+		t.Fatalf("extract = %d", code)
+	}
+	if got.Version != 2 || got.Stats.Pages != 1 || got.Stats.RoutedClusters != 1 {
+		t.Fatalf("extract response = %+v", got)
+	}
+	want := map[string]string{"directedBy": "Ada Dahl", "releaseYear": "2021"}
+	if len(got.Triples) != len(want) {
+		t.Fatalf("extracted %d triples (%+v), want %d", len(got.Triples), got.Triples, len(want))
+	}
+	for _, tr := range got.Triples {
+		if tr.Subject != "Glass Meridian" || want[tr.Predicate] != tr.Object {
+			t.Errorf("unexpected triple %+v", tr)
+		}
+		if tr.Confidence <= 0 || tr.Confidence > 1 {
+			t.Errorf("confidence %v out of range", tr.Confidence)
+		}
+	}
+
+	// Concurrent requests with different per-request thresholds each
+	// observe their own cutoff.
+	var wg sync.WaitGroup
+	codes := make([]extractResponseJSON, 8)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			th := 0.99
+			if i%2 == 0 {
+				th = 0.0
+			}
+			body, _ := json.Marshal(extractRequestJSON{
+				Pages:     []pageJSON{{ID: unseen.ID, HTML: unseen.HTML}},
+				Threshold: &th,
+			})
+			doJSON(t, client, "POST", ts.URL+"/v1/sites/films.example/extract", body, &codes[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, resp := range codes {
+		if i%2 == 0 {
+			if resp.Threshold != 0 || len(resp.Triples) < len(got.Triples) {
+				t.Errorf("request %d (threshold 0): %+v", i, resp)
+			}
+		} else if resp.Threshold != 0.99 {
+			t.Errorf("request %d (threshold .99): %+v", i, resp)
+		}
+		for _, tr := range resp.Triples {
+			if tr.Confidence < resp.Threshold {
+				t.Errorf("request %d: triple below its own threshold: %+v", i, tr)
+			}
+		}
+	}
+}
+
+func TestServeErrorPaths(t *testing.T) {
+	ts := httptest.NewServer(newServer(nil, ceres.NewRegistry(), 0, nil))
+	defer ts.Close()
+	client := ts.Client()
+
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	body, _ := json.Marshal(extractRequestJSON{Pages: []pageJSON{{ID: "p", HTML: "<html></html>"}}})
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/sites/nope/extract", body, &errResp); code != http.StatusNotFound {
+		t.Errorf("unknown site = %d (%s), want 404", code, errResp.Error)
+	}
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/sites/nope/extract", []byte("{"), &errResp); code != http.StatusBadRequest {
+		t.Errorf("bad JSON = %d, want 400", code)
+	}
+	if code := doJSON(t, client, "PUT", ts.URL+"/v1/sites/nope/model", []byte("not a model"), &errResp); code != http.StatusBadRequest {
+		t.Errorf("bad model = %d, want 400", code)
+	}
+	if !strings.Contains(errResp.Error, "site model") {
+		t.Errorf("bad-model error %q does not mention the model", errResp.Error)
+	}
+
+	// A registry-only daemon assigns versions itself.
+	modelBytes, unseen := trainedModelBytes(t)
+	var pub publishResponseJSON
+	if code := doJSON(t, client, "PUT", ts.URL+"/v1/sites/mem.example/model", modelBytes, &pub); code != 200 || pub.Version != 1 {
+		t.Fatalf("registry-only publish = %d %+v", 0, pub)
+	}
+	// An empty page set — and a page with an empty ID — are the client's
+	// fault, never a 5xx.
+	body, _ = json.Marshal(extractRequestJSON{})
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/sites/mem.example/extract", body, &errResp); code != http.StatusBadRequest {
+		t.Errorf("no pages = %d, want 400", code)
+	}
+	body, _ = json.Marshal(extractRequestJSON{Pages: []pageJSON{{ID: "", HTML: unseen.HTML}}})
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/sites/mem.example/extract", body, &errResp); code != http.StatusBadRequest {
+		t.Errorf("empty page ID = %d (%s), want 400", code, errResp.Error)
+	}
+}

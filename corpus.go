@@ -24,7 +24,7 @@ type GoldFact struct {
 type Corpus struct {
 	// Name describes the corpus.
 	Name string
-	// Pages are the site's pages, ready for Pipeline.ExtractPages.
+	// Pages are the site's pages, ready for Pipeline.Train.
 	Pages []PageSource
 	// KB is the seed knowledge base aligned with part of the site.
 	KB *KB

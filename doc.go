@@ -1,0 +1,61 @@
+// Package ceres is a from-scratch Go implementation of CERES — distantly
+// supervised relation extraction from semi-structured websites (Lockard,
+// Dong, Einolghozati, Shiralkar; VLDB 2018, arXiv:1804.04635).
+//
+// Given the detail pages of a template-generated website and a seed
+// knowledge base, a Pipeline automatically annotates the pages by aligning
+// them with the KB (topic identification + relation annotation), trains a
+// logistic-regression node classifier over DOM features, and extracts new
+// (subject, predicate, object) triples — including triples about entities
+// the seed KB has never heard of — each with a calibrated confidence.
+//
+// The API splits the lifecycle in two. Training is the expensive,
+// KB-dependent phase and runs once per site; it produces a SiteModel, the
+// cheap, self-contained serving artifact:
+//
+//	k := ceres.NewKB(ceres.NewOntology(
+//	    ceres.Predicate{Name: "directedBy", Domain: "film", Range: "person"},
+//	))
+//	// ... add seed entities and triples ...
+//	p := ceres.NewPipeline(k, ceres.WithThreshold(0.75))
+//	model, err := p.Train(ctx, trainPages)        // parse→cluster→annotate→train
+//	result, err := model.Extract(ctx, newPages)   // serve any pages, no retraining
+//
+// A SiteModel persists across processes (WriteTo / ReadSiteModel), streams
+// extractions with bounded memory (ExtractStream), and routes pages it has
+// never seen to the nearest template cluster learned at training time.
+//
+// # Serving a fleet of sites
+//
+// Production serving is built from three layers. A ModelStore (DirStore on
+// a filesystem) persists models by site and version with atomic publishes;
+// a Registry maps each site to its currently serving model with lock-free
+// lookups and hot-swap publishes; and a Service answers request-scoped
+// extraction calls — per-request threshold and worker overrides instead of
+// model mutation — over whatever the registry holds:
+//
+//	store, _ := ceres.NewDirStore("models")
+//	version, _ := store.Publish("rottentomatoes.com", model)
+//
+//	reg, _ := ceres.OpenRegistry(store) // latest version of every site
+//	svc := ceres.NewService(reg, ceres.WithMaxInflight(64))
+//
+//	strict := 0.75
+//	resp, err := svc.Extract(ctx, ceres.ExtractRequest{
+//	    Site:    "rottentomatoes.com",
+//	    Pages:   unseenPages, // never part of training
+//	    Options: ceres.RequestOptions{Threshold: &strict},
+//	})
+//	// resp.Triples, resp.Version, resp.Stats (pages, triples, latency)
+//
+// The cmd/ceres-serve daemon wraps exactly this stack in an HTTP API. A
+// Harvester is the training front-end of the same stack: it trains and
+// serves many sites concurrently against one seed KB, publishes each model
+// into its Registry, and feeds the fused multi-site view directly
+// (Harvester.Fuse).
+//
+// See examples/ for runnable end-to-end programs, DESIGN.md for the system
+// inventory, serialization format and the serving-stack wire protocol, and
+// EXPERIMENTS.md for the reproduction of every table and figure in the
+// paper.
+package ceres

@@ -98,6 +98,44 @@ func ExampleSiteModel_WriteTo() {
 	// clusters=1 trained=1 threshold=0.5
 }
 
+// ExampleService shows the serving stack answering a request-scoped call:
+// the trained model is published into a Registry and a Service extracts
+// from a page it has never seen, at a threshold chosen by the request —
+// the model itself is never mutated.
+func ExampleService() {
+	ctx := context.Background()
+	model, err := ceres.NewPipeline(demoKB(), ceres.WithMinAnnotations(2)).Train(ctx, demoSite())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reg := ceres.NewRegistry()
+	reg.Publish("films.example", 1, model)
+	svc := ceres.NewService(reg)
+
+	strict := 0.75
+	resp, err := svc.Extract(ctx, ceres.ExtractRequest{
+		Site: "films.example",
+		Pages: []ceres.PageSource{{ID: "m9", HTML: `<html><body><h1 class="title">Glass Meridian</h1>
+<table class="facts">
+<tr><th>Director</th><td>Ada Dahl</td></tr>
+<tr><th>Year</th><td>2021</td></tr>
+</table></body></html>`}},
+		Options: ceres.RequestOptions{Threshold: &strict},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served v%d: %d pages, %d triples\n", resp.Version, resp.Stats.Pages, resp.Stats.Triples)
+	for _, t := range resp.Triples {
+		fmt.Printf("(%s, %s, %s)\n", t.Subject, t.Predicate, t.Object)
+	}
+	// Output:
+	// served v1: 1 pages, 2 triples
+	// (Glass Meridian, directedBy, Ada Dahl)
+	// (Glass Meridian, releaseYear, 2021)
+}
+
 // ExampleSiteModel_ExtractStream streams triples with bounded memory —
 // the serving mode for sites too large to hold in one Result.
 func ExampleSiteModel_ExtractStream() {

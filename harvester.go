@@ -2,6 +2,7 @@ package ceres
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 )
@@ -19,6 +20,17 @@ type SiteInput struct {
 	Pipeline *Pipeline
 }
 
+// DuplicateSiteError reports a Harvest input naming the same site more
+// than once — the two entries would otherwise race to publish the site's
+// model and silently overwrite each other's results.
+type DuplicateSiteError struct {
+	Site string
+}
+
+func (e *DuplicateSiteError) Error() string {
+	return fmt.Sprintf("ceres: duplicate site %q in harvest input", e.Site)
+}
+
 // HarvesterOption configures a Harvester.
 type HarvesterOption func(*Harvester)
 
@@ -33,17 +45,32 @@ func WithSiteConcurrency(n int) HarvesterOption {
 	}
 }
 
-// Harvester trains and serves many sites concurrently against one seed KB
-// — the paper's long-tail setting (§5.5), where 33 sites are harvested
-// and the results fused. It accumulates one SiteModel and one Result per
-// site and feeds them directly into Fuse. All methods are safe for
-// concurrent use.
+// WithHarvesterRegistry makes the harvester publish trained models into an
+// existing registry — e.g. the one a Service or serving daemon reads from
+// — instead of a private one, so every harvested site goes straight into
+// serving.
+func WithHarvesterRegistry(reg *Registry) HarvesterOption {
+	return func(h *Harvester) {
+		if reg != nil {
+			h.reg = reg
+		}
+	}
+}
+
+// Harvester trains many sites concurrently against one seed KB and
+// publishes each trained model into a Registry — the paper's long-tail
+// setting (§5.5), where 33 sites are harvested and the results fused. It
+// is the training front-end of the serving stack: models land in the
+// registry (Registry()) where a Service serves them, while the harvester
+// accumulates one training Result per site and feeds them directly into
+// Fuse. All methods are safe for concurrent use.
 type Harvester struct {
 	p           *Pipeline
 	concurrency int
+	reg         *Registry
+	svc         *Service
 
 	mu      sync.Mutex
-	models  map[string]*SiteModel
 	results map[string]*Result
 	errs    map[string]error
 }
@@ -53,18 +80,29 @@ func NewHarvester(p *Pipeline, opts ...HarvesterOption) *Harvester {
 	h := &Harvester{
 		p:           p,
 		concurrency: 4,
-		models:      map[string]*SiteModel{},
 		results:     map[string]*Result{},
 		errs:        map[string]error{},
 	}
 	for _, o := range opts {
 		o(h)
 	}
+	if h.reg == nil {
+		h.reg = NewRegistry()
+	}
+	h.svc = NewService(h.reg)
 	return h
 }
 
-// Train trains one site with the shared pipeline and registers its model
-// for serving.
+// Registry returns the registry the harvester publishes trained models
+// into.
+func (h *Harvester) Registry() *Registry { return h.reg }
+
+// Service returns a request-scoped extraction service over the
+// harvester's registry.
+func (h *Harvester) Service() *Service { return h.svc }
+
+// Train trains one site with the shared pipeline and publishes its model
+// into the registry for serving.
 func (h *Harvester) Train(ctx context.Context, site string, pages []PageSource) (*SiteModel, error) {
 	return h.trainWith(ctx, h.p, site, pages)
 }
@@ -82,36 +120,37 @@ func (h *Harvester) trainWith(ctx context.Context, p *Pipeline, site string, pag
 		return nil, err
 	}
 	delete(h.errs, site)
-	h.models[site] = m
+	h.reg.PublishNext(site, m)
 	return m, nil
 }
 
 // AddModel registers an already-trained model (e.g. one loaded with
 // ReadSiteModel) so Harvest and Extract can serve the site without
-// retraining.
+// retraining. It publishes into the registry under the next version.
 func (h *Harvester) AddModel(site string, m *SiteModel) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.models[site] = m
+	h.reg.PublishNext(site, m)
 }
 
 // Model returns the registered model of a site.
 func (h *Harvester) Model(site string) (*SiteModel, bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	m, ok := h.models[site]
-	return m, ok
+	e, ok := h.reg.Lookup(site)
+	if !ok {
+		return nil, false
+	}
+	return e.Model, true
 }
 
 // Extract serves pages of a previously trained site and records the
 // result for fusion. It returns ErrNotTrained when the site has no
-// registered model.
+// registered model. The registry is looked up exactly once, so even while
+// a concurrent publish hot-swaps the site, the whole Result — triples and
+// training statistics alike — comes from one model version.
 func (h *Harvester) Extract(ctx context.Context, site string, pages []PageSource) (*Result, error) {
-	m, ok := h.Model(site)
+	e, ok := h.reg.Lookup(site)
 	if !ok {
 		return nil, ErrNotTrained
 	}
-	res, err := m.Extract(ctx, pages)
+	res, err := e.Model.Extract(ctx, pages)
 	if err != nil {
 		return nil, err
 	}
@@ -126,10 +165,19 @@ func (h *Harvester) Extract(ctx context.Context, site string, pages []PageSource
 // multi-site harvest of the paper's CommonCrawl experiment. Sites whose
 // seed-KB overlap is too thin to train (ErrNoAnnotations) are skipped and
 // recorded in Errors() — a long-tail harvest expects some of those — as
-// are sites that fail to serve. Harvest stops early only when ctx is
-// cancelled, returning ctx.Err(); otherwise it returns the per-site
-// results, which are also retained for Fuse.
+// are sites that fail to serve. Inputs naming the same site twice are
+// rejected up front with a DuplicateSiteError, before any site runs.
+// Harvest stops early only when ctx is cancelled, returning ctx.Err();
+// otherwise it returns the per-site results, which are also retained for
+// Fuse.
 func (h *Harvester) Harvest(ctx context.Context, sites []SiteInput) (map[string]*Result, error) {
+	seen := make(map[string]bool, len(sites))
+	for _, in := range sites {
+		if seen[in.Site] {
+			return nil, &DuplicateSiteError{Site: in.Site}
+		}
+		seen[in.Site] = true
+	}
 	workers := h.concurrency
 	if workers > len(sites) {
 		workers = len(sites)

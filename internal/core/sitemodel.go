@@ -123,30 +123,91 @@ func (sm *SiteModel) Route(p *Page) int {
 	return i
 }
 
+// ServeOptions are per-call serving overrides. They apply to exactly one
+// ExtractSourcesOpts / StreamSourcesOpts call, without mutating or copying
+// the model, so concurrent calls with different options never observe each
+// other's settings.
+type ServeOptions struct {
+	// Workers bounds this call's page parallelism; 0 uses the model's
+	// Workers (which itself defaults to NumCPU capped at 8).
+	Workers int
+}
+
+// ServeStats reports what one serve call did.
+type ServeStats struct {
+	// Pages is the number of pages served.
+	Pages int
+	// Extractions counts the unthresholded extractions produced.
+	Extractions int
+	// ClusterPages counts the pages routed to each cluster, aligned with
+	// SiteModel.Clusters. Pages no cluster claimed (route -1) are omitted.
+	ClusterPages []int
+}
+
+// RoutedClusters counts distinct clusters that received at least one page.
+func (s *ServeStats) RoutedClusters() int {
+	n := 0
+	for _, c := range s.ClusterPages {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *ServeStats) addRoute(ci int) {
+	if ci >= 0 && ci < len(s.ClusterPages) {
+		s.ClusterPages[ci]++
+	}
+}
+
+func (sm *SiteModel) workersFor(opts ServeOptions) int {
+	if opts.Workers > 0 {
+		return opts.Workers
+	}
+	return sm.workers()
+}
+
 // ExtractSources parses and extracts pages never seen at training time,
 // routing each to its nearest template cluster. Extractions are pooled in
 // input page order, unthresholded; callers threshold.
 func (sm *SiteModel) ExtractSources(ctx context.Context, sources []PageSource) ([]Extraction, error) {
+	exts, _, err := sm.ExtractSourcesOpts(ctx, sources, ServeOptions{})
+	return exts, err
+}
+
+// ExtractSourcesOpts is ExtractSources with per-call overrides and serve
+// statistics — the request-scoped entry point the Service layer builds on.
+func (sm *SiteModel) ExtractSourcesOpts(ctx context.Context, sources []PageSource, opts ServeOptions) ([]Extraction, *ServeStats, error) {
 	if err := sm.serveable(sources); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	workers := sm.workers()
+	workers := sm.workersFor(opts)
+	// Clamp before sizing the scratch pool: opts.Workers may come from an
+	// untrusted request, and more workers than pages is useless anyway.
+	if workers > len(sources) {
+		workers = len(sources)
+	}
 	scratch := make([]*ServeScratch, workers)
 	for i := range scratch {
 		scratch[i] = NewServeScratch()
 	}
 	perPage := make([][]Extraction, len(sources))
+	routes := make([]int, len(sources))
 	err := parallelForWorker(ctx, len(sources), workers, func(w, i int) {
-		perPage[i] = sm.extractOne(sources[i], scratch[w])
+		routes[i], perPage[i] = sm.extractOne(sources[i], scratch[w])
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	stats := &ServeStats{Pages: len(sources), ClusterPages: make([]int, len(sm.Clusters))}
 	var out []Extraction
-	for _, exts := range perPage {
+	for i, exts := range perPage {
+		stats.addRoute(routes[i])
+		stats.Extractions += len(exts)
 		out = append(out, exts...)
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 // StreamSources extracts pages with bounded memory, invoking emit for each
@@ -155,18 +216,26 @@ func (sm *SiteModel) ExtractSources(ctx context.Context, sources []PageSource) (
 // from emit stops the stream and is returned. Only ~Workers pages are held
 // in memory at once.
 func (sm *SiteModel) StreamSources(ctx context.Context, sources []PageSource, emit func(Extraction) error) error {
+	_, err := sm.StreamSourcesOpts(ctx, sources, ServeOptions{}, emit)
+	return err
+}
+
+// StreamSourcesOpts is StreamSources with per-call overrides; it reports
+// serve statistics once the stream drains (nil when it failed).
+func (sm *SiteModel) StreamSourcesOpts(ctx context.Context, sources []PageSource, opts ServeOptions, emit func(Extraction) error) (*ServeStats, error) {
 	if err := sm.serveable(sources); err != nil {
-		return err
+		return nil, err
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	workers := sm.workers()
+	workers := sm.workersFor(opts)
 	if workers > len(sources) {
 		workers = len(sources)
 	}
+	stats := &ServeStats{Pages: len(sources), ClusterPages: make([]int, len(sm.Clusters))}
 	var (
-		mu      sync.Mutex
+		mu      sync.Mutex // guards emit, emitErr and stats
 		emitErr error
 		wg      sync.WaitGroup
 	)
@@ -180,8 +249,10 @@ func (sm *SiteModel) StreamSources(ctx context.Context, sources []PageSource, em
 				if ctx.Err() != nil {
 					return
 				}
-				exts := sm.extractOne(sources[i], sc)
+				route, exts := sm.extractOne(sources[i], sc)
 				mu.Lock()
+				stats.addRoute(route)
+				stats.Extractions += len(exts)
 				for _, e := range exts {
 					if emitErr != nil || ctx.Err() != nil {
 						break
@@ -207,9 +278,12 @@ feed:
 	close(next)
 	wg.Wait()
 	if emitErr != nil {
-		return emitErr
+		return nil, emitErr
 	}
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return stats, nil
 }
 
 // serveable validates a serve call: a model must exist and have at least
@@ -225,20 +299,21 @@ func (sm *SiteModel) serveable(sources []PageSource) error {
 }
 
 // extractOne parses, routes and extracts a single page through the
-// compiled pipeline, writing intermediates into the worker's scratch. The
+// compiled pipeline, writing intermediates into the worker's scratch. It
+// returns the cluster the page routed to alongside the extractions. The
 // legacy (string-hashing) path remains as fallback for models whose
 // dictionary cannot compile.
-func (sm *SiteModel) extractOne(src PageSource, sc *ServeScratch) []Extraction {
+func (sm *SiteModel) extractOne(src PageSource, sc *ServeScratch) (int, []Extraction) {
 	p := PrepareServePage(src.ID, src.HTML)
 	ci := sm.Route(p)
 	if ci < 0 || !sm.Clusters[ci].Trained {
-		return nil
+		return ci, nil
 	}
 	c := sm.Clusters[ci]
 	if cm := c.Compiled(); cm != nil {
-		return cm.ExtractPage(p, sm.Extract, sc)
+		return ci, cm.ExtractPage(p, sm.Extract, sc)
 	}
-	return ExtractPage(p, c.Model, sm.Extract)
+	return ci, ExtractPage(p, c.Model, sm.Extract)
 }
 
 // ---------------------------------------------------------------- state

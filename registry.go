@@ -1,0 +1,129 @@
+package ceres
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// RegisteredModel pairs a site's serving model with the version it was
+// published under.
+type RegisteredModel struct {
+	Site    string
+	Version int
+	Model   *SiteModel
+}
+
+// Registry is the serving fleet's site → model map. Reads (Lookup, and
+// through it every Service.Extract) are lock-free: the site table lives
+// behind an atomic pointer to an immutable map, so a request never blocks
+// on a publish. Writers (Publish, Drop) copy-on-write the table under a
+// mutex, and a hot-swap becomes visible to in-flight traffic at the next
+// Lookup — requests already holding a model keep serving the version they
+// looked up. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu   sync.Mutex // serializes writers
+	snap atomic.Pointer[map[string]RegisteredModel]
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	empty := map[string]RegisteredModel{}
+	r.snap.Store(&empty)
+	return r
+}
+
+// OpenRegistry loads the latest stored version of every site in the store
+// into a new registry — how a serving process boots its fleet.
+func OpenRegistry(store ModelStore) (*Registry, error) {
+	r := NewRegistry()
+	ents, err := store.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if len(e.Versions) == 0 {
+			continue
+		}
+		v := e.Versions[len(e.Versions)-1] // List sorts versions ascending
+		m, err := store.Open(e.Site, v)
+		if err != nil {
+			return nil, fmt.Errorf("ceres: loading registry: site %q: %w", e.Site, err)
+		}
+		r.Publish(e.Site, v, m)
+	}
+	return r, nil
+}
+
+// Lookup returns the model currently serving a site. It is lock-free and
+// safe to call from any number of goroutines concurrently with Publish.
+func (r *Registry) Lookup(site string) (RegisteredModel, bool) {
+	e, ok := (*r.snap.Load())[site]
+	return e, ok
+}
+
+// Publish hot-swaps the model serving a site. The version is the caller's
+// label for the artifact (typically assigned by a ModelStore); Publish
+// does not enforce monotonicity, so an explicit re-publish of an older
+// version is a rollback. In-flight requests finish on the model they
+// already looked up; the next request serves the new one.
+func (r *Registry) Publish(site string, version int, m *SiteModel) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := r.clone()
+	next[site] = RegisteredModel{Site: site, Version: version, Model: m}
+	r.snap.Store(&next)
+}
+
+// PublishNext publishes m under the site's current version + 1 (1 for a
+// site the registry has not seen) and returns the assigned version. Use it
+// when no ModelStore is assigning durable version numbers.
+func (r *Registry) PublishNext(site string, m *SiteModel) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := r.clone()
+	version := next[site].Version + 1
+	next[site] = RegisteredModel{Site: site, Version: version, Model: m}
+	r.snap.Store(&next)
+	return version
+}
+
+// Drop removes a site from serving, reporting whether it was registered.
+func (r *Registry) Drop(site string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := (*r.snap.Load())[site]; !ok {
+		return false
+	}
+	next := r.clone()
+	delete(next, site)
+	r.snap.Store(&next)
+	return true
+}
+
+// Len returns the number of registered sites.
+func (r *Registry) Len() int { return len(*r.snap.Load()) }
+
+// Snapshot lists the registered models, sorted by site. The slice is the
+// caller's; the registry never mutates a returned snapshot.
+func (r *Registry) Snapshot() []RegisteredModel {
+	cur := *r.snap.Load()
+	out := make([]RegisteredModel, 0, len(cur))
+	for _, e := range cur {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// clone copies the current table for a writer; callers hold r.mu.
+func (r *Registry) clone() map[string]RegisteredModel {
+	cur := *r.snap.Load()
+	next := make(map[string]RegisteredModel, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	return next
+}

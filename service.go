@@ -1,0 +1,217 @@
+package ceres
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"ceres/internal/core"
+)
+
+// ErrUnknownSite reports an extraction request for a site the registry is
+// not serving; test with errors.Is.
+var ErrUnknownSite = errors.New("ceres: site not registered")
+
+// RequestOptions are per-request serving overrides. They replace
+// cross-request model mutation: two concurrent requests with different
+// options each observe exactly their own settings, and the model itself is
+// never touched.
+type RequestOptions struct {
+	// Threshold overrides the model's confidence cutoff for this request
+	// only; nil applies the model's threshold.
+	Threshold *float64
+	// Workers bounds this request's page parallelism; 0 uses the model's
+	// serving default.
+	Workers int
+}
+
+// ExtractRequest asks a Service to extract triples from pages of one site.
+type ExtractRequest struct {
+	// Site selects the registered model that serves the pages.
+	Site string
+	// Pages are the pages to extract from; they need not have been seen
+	// at training time.
+	Pages []PageSource
+	// Options tunes this request only.
+	Options RequestOptions
+}
+
+// ServeStats are the serve-side statistics of one request — what the
+// request did, as opposed to Result's training-run statistics.
+type ServeStats struct {
+	// Pages is the number of pages served.
+	Pages int
+	// Triples counts emitted triples (at or above the effective
+	// threshold).
+	Triples int
+	// RoutedClusters counts the distinct template clusters pages routed
+	// to.
+	RoutedClusters int
+	// Latency is the request's wall-clock serving time.
+	Latency time.Duration
+}
+
+// ExtractResponse is the outcome of one Service extraction request.
+type ExtractResponse struct {
+	// Site and Version identify the model that served the request.
+	Site    string
+	Version int
+	// Threshold is the confidence cutoff the request was served under.
+	Threshold float64
+	// Triples holds the extractions, sorted by descending confidence then
+	// page, predicate, object, subject. Empty for ExtractStream, whose
+	// triples go to the emit callback.
+	Triples []Triple
+	// Stats reports what serving this request did.
+	Stats ServeStats
+}
+
+// ServiceOption configures a Service.
+type ServiceOption func(*Service)
+
+// WithMaxInflight bounds how many extraction requests the service runs at
+// once (default unbounded). Requests beyond the bound wait for a slot,
+// honouring their context's cancellation — the worker-bounded request
+// limiter of a serving daemon.
+func WithMaxInflight(n int) ServiceOption {
+	return func(s *Service) {
+		if n > 0 {
+			s.sem = make(chan struct{}, n)
+		}
+	}
+}
+
+// Service is the request-scoped extraction API over a Registry: stateless,
+// safe for any number of concurrent callers, and tunable per request
+// instead of by mutating models. Models hot-swapped into the registry are
+// picked up by the next request; in-flight requests finish on the model
+// they started with.
+type Service struct {
+	reg *Registry
+	sem chan struct{} // nil = unbounded
+}
+
+// NewService builds a service over a registry.
+func NewService(reg *Registry, opts ...ServiceOption) *Service {
+	s := &Service{reg: reg}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Registry returns the registry the service serves from.
+func (s *Service) Registry() *Registry { return s.reg }
+
+// acquire takes an inflight slot, or fails with ctx's error.
+func (s *Service) acquire(ctx context.Context) error {
+	if s.sem == nil {
+		return ctx.Err()
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Service) release() {
+	if s.sem != nil {
+		<-s.sem
+	}
+}
+
+// resolve looks up the request's model and effective threshold.
+func (s *Service) resolve(req ExtractRequest) (RegisteredModel, float64, error) {
+	e, ok := s.reg.Lookup(req.Site)
+	if !ok {
+		return RegisteredModel{}, 0, fmt.Errorf("%w: %q", ErrUnknownSite, req.Site)
+	}
+	threshold := e.Model.Threshold()
+	if req.Options.Threshold != nil {
+		threshold = *req.Options.Threshold
+	}
+	return e, threshold, nil
+}
+
+// Extract serves one extraction request: route every page of the request
+// to its template cluster, extract, threshold at the request's (or the
+// model's) cutoff, and report serve-side statistics.
+//
+// Extract returns ErrUnknownSite for a site the registry is not serving,
+// ErrNoPages for an empty page set, ErrNotTrained when the registered
+// model has no trained extractor, and ctx.Err() when cancelled.
+func (s *Service) Extract(ctx context.Context, req ExtractRequest) (*ExtractResponse, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	start := time.Now()
+	e, threshold, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	src, err := toSources(req.Pages)
+	if err != nil {
+		return nil, err
+	}
+	exts, stats, err := e.Model.sm.ExtractSourcesOpts(ctx, src, core.ServeOptions{Workers: req.Options.Workers})
+	if err != nil {
+		return nil, err
+	}
+	resp := &ExtractResponse{
+		Site:      e.Site,
+		Version:   e.Version,
+		Threshold: threshold,
+		Triples:   tripleize(exts, threshold),
+	}
+	resp.Stats = ServeStats{
+		Pages:          stats.Pages,
+		Triples:        len(resp.Triples),
+		RoutedClusters: stats.RoutedClusters(),
+		Latency:        time.Since(start),
+	}
+	return resp, nil
+}
+
+// ExtractStream serves one request with bounded memory, calling emit for
+// every triple at or above the request's effective threshold as its page
+// finishes (pages complete in worker order; emit is never called
+// concurrently). A non-nil error from emit stops the stream and is
+// returned. The response carries the serve statistics but no triples.
+func (s *Service) ExtractStream(ctx context.Context, req ExtractRequest, emit func(Triple) error) (*ExtractResponse, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	start := time.Now()
+	e, threshold, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	src, err := toSources(req.Pages)
+	if err != nil {
+		return nil, err
+	}
+	emitted := 0
+	stats, err := e.Model.sm.StreamSourcesOpts(ctx, src, core.ServeOptions{Workers: req.Options.Workers}, func(ex core.Extraction) error {
+		if ex.Confidence < threshold {
+			return nil
+		}
+		emitted++
+		return emit(toTriple(ex))
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := &ExtractResponse{Site: e.Site, Version: e.Version, Threshold: threshold}
+	resp.Stats = ServeStats{
+		Pages:          stats.Pages,
+		Triples:        emitted,
+		RoutedClusters: stats.RoutedClusters(),
+		Latency:        time.Since(start),
+	}
+	return resp, nil
+}

@@ -259,7 +259,7 @@ func TestSentinelErrors(t *testing.T) {
 func TestExtractPagesMatchesTrainPlusExtract(t *testing.T) {
 	f := getTrainServeFixture(t)
 	p := NewPipeline(f.corpus.KB)
-	oneShot, err := p.ExtractPages(f.train)
+	oneShot, err := p.ExtractPages(context.Background(), f.train)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,6 +313,57 @@ func TestHarvesterMultiSite(t *testing.T) {
 	// Serving an unregistered site fails with the sentinel.
 	if _, err := h.Extract(ctx, "nope", cA.Pages); !errors.Is(err, ErrNotTrained) {
 		t.Errorf("Extract on unregistered site = %v, want ErrNotTrained", err)
+	}
+}
+
+// TestHarvestRejectsDuplicateSites: two inputs naming the same site used
+// to race, the later one silently overwriting the earlier result and model
+// mid-flight; now the harvest refuses up front with a typed error.
+func TestHarvestRejectsDuplicateSites(t *testing.T) {
+	f := getTrainServeFixture(t)
+	h := NewHarvester(NewPipeline(f.corpus.KB))
+	_, err := h.Harvest(context.Background(), []SiteInput{
+		{Site: "a", Pages: f.train},
+		{Site: "b", Pages: f.train},
+		{Site: "a", Pages: f.serve},
+	})
+	var dup *DuplicateSiteError
+	if !errors.As(err, &dup) {
+		t.Fatalf("duplicate-site harvest = %v, want DuplicateSiteError", err)
+	}
+	if dup.Site != "a" {
+		t.Errorf("duplicate site = %q, want %q", dup.Site, "a")
+	}
+	// Nothing ran: the error precedes any training.
+	if got := h.Sites(); len(got) != 0 {
+		t.Errorf("failed harvest still produced results for %v", got)
+	}
+}
+
+// TestHarvesterPublishesIntoRegistry: the harvester is a training
+// front-end over the serving registry — trained models are immediately
+// servable through its Service.
+func TestHarvesterPublishesIntoRegistry(t *testing.T) {
+	f := getTrainServeFixture(t)
+	reg := NewRegistry()
+	h := NewHarvester(NewPipeline(f.corpus.KB), WithHarvesterRegistry(reg))
+	if _, err := h.Train(context.Background(), "demo", f.train); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := reg.Lookup("demo")
+	if !ok || e.Version != 1 {
+		t.Fatalf("trained site not in shared registry: %+v, %v", e, ok)
+	}
+	resp, err := h.Service().Extract(context.Background(), ExtractRequest{Site: "demo", Pages: f.serve})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := h.Extract(context.Background(), "demo", f.serve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Triples, want.Triples) {
+		t.Fatal("service and harvester extract differently from the same registry")
 	}
 }
 

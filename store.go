@@ -1,0 +1,231 @@
+package ceres
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrModelNotFound reports a site or version absent from a ModelStore.
+var ErrModelNotFound = errors.New("ceres: model not found in store")
+
+// ModelStore persists trained SiteModels by site and monotonically
+// increasing version, so a serving fleet can publish, roll forward and roll
+// back extractors without retraining. Implementations must be safe for
+// concurrent use.
+type ModelStore interface {
+	// Publish persists m as the next version of site and returns the
+	// version it was assigned. Versions start at 1 and only grow.
+	Publish(site string, m *SiteModel) (version int, err error)
+	// Open loads one specific stored version of a site's model.
+	// It returns ErrModelNotFound for a site or version not in the store.
+	Open(site string, version int) (*SiteModel, error)
+	// Latest loads the newest stored version of a site's model.
+	Latest(site string) (*SiteModel, int, error)
+	// List enumerates the stored sites and their versions, sorted by site
+	// (versions ascending).
+	List() ([]StoreEntry, error)
+}
+
+// StoreEntry is one site of a ModelStore listing.
+type StoreEntry struct {
+	Site     string
+	Versions []int
+}
+
+// DirStore is a filesystem ModelStore: one directory per site (its name
+// URL-path-escaped), one `v%06d.json` file per version in the SiteModel
+// WriteTo format. Publish writes to a temporary file in the same
+// directory, then links it into place atomically, so readers — including
+// other processes watching the directory — never observe a torn model,
+// and a version file is never overwritten once it exists. Version numbers
+// are recovered from the directory listing, so a DirStore survives
+// restarts and can be shared by several processes: concurrent publishers
+// of the same site each get their own version (a collision re-assigns the
+// number and retries the link).
+type DirStore struct {
+	root string
+	mu   sync.Mutex // serializes in-process version assignment
+}
+
+// NewDirStore opens (creating if needed) a filesystem model store rooted
+// at dir.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ceres: opening model store: %w", err)
+	}
+	return &DirStore{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *DirStore) Root() string { return s.root }
+
+func (s *DirStore) siteDir(site string) string {
+	return filepath.Join(s.root, url.PathEscape(site))
+}
+
+func versionFile(v int) string { return fmt.Sprintf("v%06d.json", v) }
+
+// parseVersion extracts N from a "vNNNNNN.json" file name, -1 otherwise.
+func parseVersion(name string) int {
+	if !strings.HasPrefix(name, "v") || !strings.HasSuffix(name, ".json") {
+		return -1
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "v"), ".json"))
+	if err != nil || n < 1 {
+		return -1
+	}
+	return n
+}
+
+// versions lists a site's stored versions, ascending; empty when the site
+// has none.
+func (s *DirStore) versions(site string) ([]int, error) {
+	ents, err := os.ReadDir(s.siteDir(site))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("ceres: listing model store: %w", err)
+	}
+	var out []int
+	for _, e := range ents {
+		if v := parseVersion(e.Name()); v > 0 && !e.IsDir() {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Publish implements ModelStore: serialize m, write it to a temp file in
+// the site's directory, fsync, and link it into place as the next version
+// number. Linking (not renaming) makes the final step fail instead of
+// clobber when another process published the same version concurrently;
+// on that collision the version is re-assigned and the link retried, so
+// concurrent publishers each keep their own complete model.
+func (s *DirStore) Publish(site string, m *SiteModel) (int, error) {
+	if site == "" {
+		return 0, fmt.Errorf("ceres: publishing model: empty site name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := s.siteDir(site)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("ceres: publishing model: %w", err)
+	}
+	vs, err := s.versions(site)
+	if err != nil {
+		return 0, err
+	}
+	version := 1
+	if len(vs) > 0 {
+		version = vs[len(vs)-1] + 1
+	}
+	tmp, err := os.CreateTemp(dir, ".publish-*")
+	if err != nil {
+		return 0, fmt.Errorf("ceres: publishing model: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // the published file is a separate link
+	if _, err := m.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("ceres: publishing model: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("ceres: publishing model: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("ceres: publishing model: %w", err)
+	}
+	// CreateTemp makes files 0600; published versions are world-readable
+	// so other processes sharing the store can serve them.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return 0, fmt.Errorf("ceres: publishing model: %w", err)
+	}
+	for {
+		err := os.Link(tmp.Name(), filepath.Join(dir, versionFile(version)))
+		if err == nil {
+			break
+		}
+		if !os.IsExist(err) {
+			return 0, fmt.Errorf("ceres: publishing model: %w", err)
+		}
+		version++ // another process took this version; try the next
+	}
+	// The version is only durable once its directory entry is flushed;
+	// without this a crash could resurrect the number for a different
+	// model.
+	if d, err := os.Open(dir); err == nil {
+		syncErr := d.Sync()
+		d.Close()
+		if syncErr != nil {
+			return 0, fmt.Errorf("ceres: publishing model: %w", syncErr)
+		}
+	}
+	return version, nil
+}
+
+// Open implements ModelStore.
+func (s *DirStore) Open(site string, version int) (*SiteModel, error) {
+	f, err := os.Open(filepath.Join(s.siteDir(site), versionFile(version)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: site %q version %d", ErrModelNotFound, site, version)
+		}
+		return nil, fmt.Errorf("ceres: opening model: %w", err)
+	}
+	defer f.Close()
+	return ReadSiteModel(f)
+}
+
+// Latest implements ModelStore.
+func (s *DirStore) Latest(site string) (*SiteModel, int, error) {
+	vs, err := s.versions(site)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(vs) == 0 {
+		return nil, 0, fmt.Errorf("%w: site %q", ErrModelNotFound, site)
+	}
+	v := vs[len(vs)-1]
+	m, err := s.Open(site, v)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, v, nil
+}
+
+// List implements ModelStore.
+func (s *DirStore) List() ([]StoreEntry, error) {
+	ents, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("ceres: listing model store: %w", err)
+	}
+	var out []StoreEntry
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		site, err := url.PathUnescape(e.Name())
+		if err != nil {
+			continue // not a store directory
+		}
+		vs, err := s.versions(site)
+		if err != nil {
+			return nil, err
+		}
+		if len(vs) == 0 {
+			continue
+		}
+		out = append(out, StoreEntry{Site: site, Versions: vs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out, nil
+}

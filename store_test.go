@@ -1,0 +1,214 @@
+package ceres
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDirStorePublishOpenLatestList(t *testing.T) {
+	f := getTrainServeFixture(t)
+	store, err := NewDirStore(filepath.Join(t.TempDir(), "models"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Versions are assigned monotonically per site.
+	for want := 1; want <= 3; want++ {
+		v, err := store.Publish("films.example/a", f.model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != want {
+			t.Fatalf("publish %d assigned version %d", want, v)
+		}
+	}
+	if _, err := store.Publish("other.example", f.model); err != nil {
+		t.Fatal(err)
+	}
+
+	ents, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []StoreEntry{
+		{Site: "films.example/a", Versions: []int{1, 2, 3}},
+		{Site: "other.example", Versions: []int{1}},
+	}
+	if !reflect.DeepEqual(ents, want) {
+		t.Fatalf("List() = %+v, want %+v", ents, want)
+	}
+
+	// Latest and Open agree, and the loaded model serves identically.
+	m, v, err := store.Latest("films.example/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Fatalf("Latest version = %d, want 3", v)
+	}
+	wantRes, err := f.model.Extract(context.Background(), f.serve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes, err := m.Extract(context.Background(), f.serve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantRes.Triples, gotRes.Triples) {
+		t.Fatal("model loaded from store extracts differently")
+	}
+
+	// Missing sites and versions fail with the sentinel.
+	if _, _, err := store.Latest("nope"); !errors.Is(err, ErrModelNotFound) {
+		t.Errorf("Latest(nope) = %v, want ErrModelNotFound", err)
+	}
+	if _, err := store.Open("films.example/a", 9); !errors.Is(err, ErrModelNotFound) {
+		t.Errorf("Open(v9) = %v, want ErrModelNotFound", err)
+	}
+	if _, err := store.Publish("", f.model); err == nil {
+		t.Error("publishing an empty site name should fail")
+	}
+
+	// No publish temp files may survive, and published versions must be
+	// world-readable (processes under other users share the store).
+	err = filepath.WalkDir(store.Root(), func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if strings.HasPrefix(d.Name(), ".publish-") {
+			t.Errorf("stray temp file %s", path)
+		}
+		if info, ierr := d.Info(); ierr == nil && info.Mode().Perm()&0o044 != 0o044 {
+			t.Errorf("published file %s has mode %v, want world-readable", path, info.Mode().Perm())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirStoreReadsV1Envelope plants a legacy v1-format model file in the
+// store directory (as a pre-upgrade process would have left it) and checks
+// the round trip: Latest reads it with v1 zero-means-default semantics,
+// and republishing it through the store upgrades it to the current format
+// with identical extractions.
+func TestDirStoreReadsV1Envelope(t *testing.T) {
+	f := getTrainServeFixture(t)
+	var buf bytes.Buffer
+	if _, err := f.model.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["format"] = "ceres.sitemodel/1"
+	// v1 never serialized resolved options; a zero NameThreshold meant
+	// "default" there.
+	doc["model"].(map[string]any)["Extract"] = map[string]any{"NameThreshold": 0.0}
+	v1bytes, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(store.Root(), "legacy.example")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "v000001.json"), v1bytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, v, err := store.Latest("legacy.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("legacy version = %d, want 1", v)
+	}
+	want, err := f.model.Extract(context.Background(), f.serve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Extract(context.Background(), f.serve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Triples, got.Triples) {
+		t.Fatal("v1 model loaded through the store extracts differently")
+	}
+
+	// Republish: the store writes the current format as version 2, and it
+	// still extracts identically.
+	if v, err = store.Publish("legacy.example", m); err != nil || v != 2 {
+		t.Fatalf("republish = %d, %v, want version 2", v, err)
+	}
+	reloaded, _, err := store.Latest("legacy.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upgraded, err := os.ReadFile(filepath.Join(dir, "v000002.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(upgraded), `"format":"ceres.sitemodel/2"`) {
+		t.Error("republished model is not in the current format")
+	}
+	got2, err := reloaded.Extract(context.Background(), f.serve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Triples, got2.Triples) {
+		t.Fatal("upgraded model extracts differently")
+	}
+}
+
+// TestReadSiteModelTruncated checks that a model file cut off mid-stream —
+// the torn write the DirStore's write-then-rename publish exists to
+// prevent — fails loudly at read time at any truncation point.
+func TestReadSiteModelTruncated(t *testing.T) {
+	f := getTrainServeFixture(t)
+	var buf bytes.Buffer
+	if _, err := f.model.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		cut := int(float64(len(full)) * frac)
+		if _, err := ReadSiteModel(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("model truncated to %d/%d bytes read without error", cut, len(full))
+		}
+	}
+	// Wrong format strings — including a prefix of the real one — fail.
+	for _, format := range []string{"", "ceres.sitemodel", "ceres.sitemodel/3", "bogus"} {
+		doc := append([]byte(nil), full...)
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(doc, &m); err != nil {
+			t.Fatal(err)
+		}
+		fm, err := json.Marshal(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m["format"] = fm
+		bad, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadSiteModel(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "format") {
+			t.Errorf("format %q: error = %v, want format error", format, err)
+		}
+	}
+}
