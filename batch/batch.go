@@ -1,0 +1,126 @@
+// Package batch runs crawl-scale harvests offline: point a Job at a
+// stored multi-site page corpus and it trains, publishes, extracts and
+// fuses as one bounded-memory, resumable run — the offline counterpart to
+// the serving daemon, and the repository's analogue of the paper's
+// CommonCrawl experiment (§5.5: 33 movie sites, 1.25M triples).
+//
+// The moving parts:
+//
+//   - A PageProvider supplies site-partitioned pages (pagestore.Store for
+//     an on-disk crawl, MemProvider for in-memory page sets).
+//   - PlanJob shards every site's pages into fixed-size ranges.
+//   - A Runner executes shards on a worker pool through the serving
+//     stack's Registry/Service; sites with no published model are trained
+//     first (once, whatever the worker count) and published — through the
+//     configured ceres.ModelStore when one is set, so a crash never loses
+//     a trained model.
+//   - Each shard's triples go to a TripleSink; committed shards are
+//     recorded in an atomically written checkpoint manifest, so a killed
+//     run resumes exactly where it stopped with no duplicate output.
+//   - After the last shard, a streaming fusion stage replays the sink in
+//     plan order through a ceres.Fuser — observations are never
+//     materialized as one list.
+//
+// Memory stays bounded throughout: a worker holds one shard of pages and
+// its triples at a time, never a whole site.
+package batch
+
+import (
+	"fmt"
+	"sort"
+
+	"ceres"
+)
+
+// PageProvider supplies the site-partitioned pages of a harvest.
+// pagestore.Store implements it for on-disk crawls. Implementations must
+// be safe for concurrent readers.
+type PageProvider interface {
+	// Sites lists the available sites, sorted.
+	Sites() ([]string, error)
+	// PageCount returns one site's total page count; it errors for a site
+	// the provider does not hold.
+	PageCount(site string) (int, error)
+	// Pages streams records [start, start+n) of a site in stable order
+	// through fn (n < 0 streams to the end). A non-nil error from fn stops
+	// the scan and is returned. The order must be identical on every call
+	// — shard planning and checkpoint resume depend on it.
+	Pages(site string, start, n int, fn func(ceres.PageSource) error) error
+}
+
+// MemProvider is an in-memory PageProvider, for harvests over page sets
+// already in memory (tests, small corpora, CLI runs over a directory of
+// files). Add sites before handing it to a Runner; it must not be mutated
+// during a run.
+type MemProvider struct {
+	sites map[string][]ceres.PageSource
+}
+
+// NewMemProvider builds an empty in-memory provider.
+func NewMemProvider() *MemProvider {
+	return &MemProvider{sites: map[string][]ceres.PageSource{}}
+}
+
+// Add registers a site's pages, replacing any previous set.
+func (m *MemProvider) Add(site string, pages []ceres.PageSource) {
+	m.sites[site] = pages
+}
+
+// Sites implements PageProvider.
+func (m *MemProvider) Sites() ([]string, error) {
+	out := make([]string, 0, len(m.sites))
+	for s := range m.sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// PageCount implements PageProvider.
+func (m *MemProvider) PageCount(site string) (int, error) {
+	pages, ok := m.sites[site]
+	if !ok {
+		return 0, fmt.Errorf("batch: unknown site %q", site)
+	}
+	return len(pages), nil
+}
+
+// Pages implements PageProvider.
+func (m *MemProvider) Pages(site string, start, n int, fn func(ceres.PageSource) error) error {
+	pages, ok := m.sites[site]
+	if !ok {
+		return fmt.Errorf("batch: unknown site %q", site)
+	}
+	if start < 0 {
+		return fmt.Errorf("batch: negative start %d", start)
+	}
+	if start > len(pages) {
+		start = len(pages)
+	}
+	end := len(pages)
+	if n >= 0 && start+n < end {
+		end = start + n
+	}
+	for _, p := range pages[start:end] {
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readPages materializes one bounded page range from a provider.
+func readPages(p PageProvider, site string, start, n int) ([]ceres.PageSource, error) {
+	var out []ceres.PageSource
+	if n > 0 {
+		out = make([]ceres.PageSource, 0, n)
+	}
+	err := p.Pages(site, start, n, func(pg ceres.PageSource) error {
+		out = append(out, pg)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

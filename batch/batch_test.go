@@ -1,0 +1,355 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ceres"
+	"ceres/internal/websim"
+	"ceres/pagestore"
+)
+
+// crawlFixture is a scaled-down websim crawl ingested into a page store.
+type crawlFixture struct {
+	store    *pagestore.Store
+	kb       *ceres.KB
+	pipeline *ceres.Pipeline
+	sites    []string
+	pages    map[string][]ceres.PageSource
+}
+
+// fixtureSites mixes trainable long-tail sites with boxofficemojo.com,
+// whose chart-only pages must produce a skip, not triples (§5.5.1).
+var fixtureSites = []string{"blaxploitation.com", "kinobox.cz", "laborfilms.com", "boxofficemojo.com"}
+
+func newCrawlFixture(t testing.TB, dir string, sites []string) *crawlFixture {
+	t.Helper()
+	crawl := websim.GenerateCrawl(websim.CrawlConfig{Seed: 1, Scale: 0.02, MaxSitePages: 60, Sites: sites})
+	store, err := pagestore.Open(filepath.Join(dir, "pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &crawlFixture{
+		store: store,
+		kb:    crawl.SeedKB,
+		pages: map[string][]ceres.PageSource{},
+	}
+	for i, site := range crawl.Sites {
+		var pages []ceres.PageSource
+		for _, p := range site.Pages {
+			pages = append(pages, ceres.PageSource{ID: p.ID, HTML: p.HTML})
+		}
+		name := crawl.Specs[i].Name
+		w, werr := store.Writer(name)
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		w.SegmentPages = 10 // force multi-segment partitions
+		if err := w.AppendAll(pages); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		f.sites = append(f.sites, name)
+		f.pages[name] = pages
+	}
+	f.pipeline = ceres.NewPipeline(f.kb, ceres.WithThreshold(0.5))
+	return f
+}
+
+func TestPlanJob(t *testing.T) {
+	p := NewMemProvider()
+	p.Add("a", make([]ceres.PageSource, 10))
+	p.Add("b", make([]ceres.PageSource, 25))
+	p.Add("c", nil)
+	for i := range 10 {
+		p.sites["a"][i] = ceres.PageSource{ID: "x", HTML: ""}
+	}
+	plan, err := PlanJob(Job{ShardPages: 10}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSites := []SitePlan{{Site: "a", Pages: 10, Shards: 1}, {Site: "b", Pages: 25, Shards: 3}, {Site: "c"}}
+	if !reflect.DeepEqual(plan.Sites, wantSites) {
+		t.Fatalf("Sites = %+v", plan.Sites)
+	}
+	wantShards := []Shard{
+		{Site: "a", Index: 0, Start: 0, Pages: 10},
+		{Site: "b", Index: 0, Start: 0, Pages: 10},
+		{Site: "b", Index: 1, Start: 10, Pages: 10},
+		{Site: "b", Index: 2, Start: 20, Pages: 5},
+	}
+	if !reflect.DeepEqual(plan.Shards, wantShards) {
+		t.Fatalf("Shards = %+v", plan.Shards)
+	}
+	if plan.TotalPages() != 35 {
+		t.Fatalf("TotalPages = %d", plan.TotalPages())
+	}
+
+	if _, err := PlanJob(Job{Sites: []string{"a", "a"}}, p); err == nil {
+		t.Fatal("duplicate site accepted")
+	}
+	if _, err := PlanJob(Job{Sites: []string{"nosuch"}}, p); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+}
+
+// TestRunnerMatchesDirectServe proves the sharded batch path extracts
+// exactly what a direct train-then-extract over each full site does:
+// sharding, parallelism and the Service layer add no drift.
+func TestRunnerMatchesDirectServe(t *testing.T) {
+	f := newCrawlFixture(t, t.TempDir(), fixtureSites)
+	sink := NewCollectSink()
+	r, err := NewRunner(Config{Provider: f.store, Sink: sink, Pipeline: f.pipeline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background(), Job{ShardPages: 7, Workers: 4, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild per-site triple sets by replaying the committed shards in
+	// plan order (skipped sites — at least the chart-only one — have
+	// none).
+	harvested := map[string]bool{}
+	for _, sr := range rep.Sites {
+		if !sr.Skipped && sr.Err == "" {
+			harvested[sr.Site] = true
+		}
+	}
+	if len(harvested) < 2 {
+		t.Fatalf("fixture too thin: only %v harvested", harvested)
+	}
+	plan, err := PlanJob(Job{ShardPages: 7}, f.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done []Shard
+	for _, sh := range plan.Shards {
+		if harvested[sh.Site] {
+			done = append(done, sh)
+		}
+	}
+	got := map[string][]ceres.Triple{}
+	if err := sink.Replay(done, func(site string, tr ceres.Triple) error {
+		got[site] = append(got[site], tr)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, site := range f.sites {
+		if !harvested[site] {
+			continue
+		}
+		model, err := f.pipeline.Train(context.Background(), f.pages[site])
+		if err != nil {
+			t.Fatalf("direct train %s: %v", site, err)
+		}
+		res, err := model.Extract(context.Background(), f.pages[site])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSite := append([]ceres.Triple(nil), got[site]...)
+		ceres.SortTriples(gotSite)
+		if !reflect.DeepEqual(gotSite, res.Triples) {
+			t.Errorf("site %s: batch %d triples, direct %d", site, len(gotSite), len(res.Triples))
+		}
+	}
+
+	// The chart-only site is skipped with a recorded reason, not failed.
+	var bomojo *SiteReport
+	for i := range rep.Sites {
+		if rep.Sites[i].Site == "boxofficemojo.com" {
+			bomojo = &rep.Sites[i]
+		}
+	}
+	if bomojo == nil || !bomojo.Skipped || bomojo.Err == "" {
+		t.Fatalf("boxofficemojo report = %+v, want skipped", bomojo)
+	}
+	if len(rep.Facts) == 0 {
+		t.Fatal("fusion produced no facts")
+	}
+}
+
+// TestRunnerBoundedReads proves extraction never asks the provider for
+// more than one shard of pages at a time (training may read up to
+// TrainPages), so site size never enters memory.
+func TestRunnerBoundedReads(t *testing.T) {
+	f := newCrawlFixture(t, t.TempDir(), []string{"kinobox.cz"})
+	bp := &boundedProvider{PageProvider: f.store, maxRange: map[string]int{}}
+	sink := NewCountingSink()
+	r, err := NewRunner(Config{Provider: bp, Sink: sink, Pipeline: f.pipeline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shardPages, trainPages = 6, 20
+	if _, err := r.Run(context.Background(), Job{ShardPages: shardPages, Workers: 3, TrainPages: trainPages}); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := f.store.PageCount("kinobox.cz")
+	if n <= trainPages {
+		t.Fatalf("fixture too small for the bound to mean anything: %d pages", n)
+	}
+	if max := bp.max(); max > trainPages {
+		t.Fatalf("runner read %d pages in one range, want <= %d", max, trainPages)
+	}
+	if sink.Counts().Triples == 0 {
+		t.Fatal("no triples extracted")
+	}
+}
+
+type boundedProvider struct {
+	PageProvider
+	mu       sync.Mutex
+	maxRange map[string]int
+}
+
+func (b *boundedProvider) Pages(site string, start, n int, fn func(ceres.PageSource) error) error {
+	total, err := b.PageCount(site)
+	if err == nil {
+		want := n
+		if n < 0 || start+n > total {
+			want = total - start
+		}
+		b.mu.Lock()
+		if want > b.maxRange[site] {
+			b.maxRange[site] = want
+		}
+		b.mu.Unlock()
+	}
+	return b.PageProvider.Pages(site, start, n, fn)
+}
+
+func (b *boundedProvider) max() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := 0
+	for _, v := range b.maxRange {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// TestRunnerUsesRegisteredModel proves a site already in the registry is
+// served without retraining, and that no pipeline is needed then.
+func TestRunnerUsesRegisteredModel(t *testing.T) {
+	f := newCrawlFixture(t, t.TempDir(), []string{"blaxploitation.com"})
+	site := "blaxploitation.com"
+	model, err := f.pipeline.Train(context.Background(), f.pages[site])
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := ceres.NewRegistry()
+	reg.Publish(site, 9, model)
+	sink := NewCollectSink()
+	r, err := NewRunner(Config{Provider: f.store, Sink: sink, Registry: reg}) // no Pipeline
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background(), Job{ShardPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := rep.Sites[0]
+	if sr.Trained || sr.Version != 9 || sr.Skipped {
+		t.Fatalf("report = %+v, want untrained version 9", sr)
+	}
+	if len(sink.Triples()) == 0 {
+		t.Fatal("no triples served")
+	}
+}
+
+// TestRunnerWithoutModelOrPipeline proves a site with no model anywhere
+// is skipped with ErrNotTrained, not crashed on.
+func TestRunnerWithoutModelOrPipeline(t *testing.T) {
+	f := newCrawlFixture(t, t.TempDir(), []string{"blaxploitation.com"})
+	sink := NewCountingSink()
+	r, err := NewRunner(Config{Provider: f.store, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background(), Job{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sites[0].Skipped || rep.Sites[0].Err != ceres.ErrNotTrained.Error() {
+		t.Fatalf("report = %+v", rep.Sites[0])
+	}
+}
+
+func TestRunnerFuseNeedsReplayer(t *testing.T) {
+	f := newCrawlFixture(t, t.TempDir(), []string{"blaxploitation.com"})
+	r, err := NewRunner(Config{Provider: f.store, Sink: NewCountingSink(), Pipeline: f.pipeline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background(), Job{Fuse: true}); !errors.Is(err, ErrSinkNotReplayable) {
+		t.Fatalf("err = %v, want ErrSinkNotReplayable", err)
+	}
+}
+
+func TestJSONLSinkReplay(t *testing.T) {
+	sink, err := NewJSONLSink(filepath.Join(t.TempDir(), "triples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := []Shard{{Site: "a/b", Index: 0, Start: 0, Pages: 2}, {Site: "a/b", Index: 1, Start: 2, Pages: 2}}
+	want := [][]ceres.Triple{
+		{{Subject: "s1", Predicate: "p", Object: "o", Confidence: 0.75, Page: "pg1", Path: "/x"}},
+		{}, // empty shards still commit a (zero-triple) file
+	}
+	for i, sh := range shards {
+		w, err := sink.OpenShard(sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range want[i] {
+			if err := w.Write(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []ceres.Triple
+	if err := sink.Replay(shards, func(site string, tr ceres.Triple) error {
+		if site != "a/b" {
+			t.Fatalf("site = %q", site)
+		}
+		got = append(got, tr)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want[0]) {
+		t.Fatalf("replay = %+v, want %+v", got, want[0])
+	}
+	// A missing shard errors instead of silently under-replaying.
+	if err := sink.Replay([]Shard{{Site: "a/b", Index: 7}}, func(string, ceres.Triple) error { return nil }); err == nil {
+		t.Fatal("missing shard replayed silently")
+	}
+	// Aborted shards leave nothing behind.
+	w, err := sink.OpenShard(Shard{Site: "a/b", Index: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(ceres.Triple{Subject: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Replay([]Shard{{Site: "a/b", Index: 3}}, func(string, ceres.Triple) error { return nil }); err == nil {
+		t.Fatal("aborted shard left output")
+	}
+}

@@ -1,0 +1,51 @@
+package batch
+
+import (
+	"context"
+	"testing"
+
+	"ceres"
+)
+
+// BenchmarkBatchHarvest measures batch extraction throughput (pages/sec)
+// over a scaled websim crawl: pagestore streaming, shard planning,
+// Service extraction, sink commits and the streaming fusion stage.
+// Models are trained once outside the timed loop — the steady-state cost
+// of a harvest is serving, not training.
+func BenchmarkBatchHarvest(b *testing.B) {
+	f := newCrawlFixture(b, b.TempDir(), []string{"blaxploitation.com", "kinobox.cz", "laborfilms.com"})
+	job := Job{ShardPages: 16, Workers: 4, Fuse: true}
+
+	// Warm-up run trains and publishes every trainable site into the
+	// shared registry.
+	reg := ceres.NewRegistry()
+	warm, err := NewRunner(Config{Provider: f.store, Sink: NewCountingSink(), Registry: reg, Pipeline: f.pipeline})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := warm.Run(context.Background(), Job{ShardPages: 16, Workers: 4}); err != nil {
+		b.Fatal(err)
+	}
+
+	pages := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewRunner(Config{Provider: f.store, Sink: NewCollectSink(), Registry: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := r.Run(context.Background(), job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Triples == 0 {
+			b.Fatal("harvest extracted nothing")
+		}
+		pages += rep.Pages
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(pages)/secs, "pages/s")
+	}
+}

@@ -1,0 +1,199 @@
+package batch
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"ceres/internal/fsatomic"
+)
+
+// ErrCheckpointMismatch reports a checkpoint manifest written by a
+// different plan — the corpus or shard size changed under a resumed job;
+// test with errors.Is. Delete the manifest (and the sink's output) to
+// start over.
+var ErrCheckpointMismatch = errors.New("batch: checkpoint does not match the job plan")
+
+// manifestFormat versions the checkpoint file.
+const manifestFormat = "ceres.batch/1"
+
+// manifest is the on-disk checkpoint: which shards have committed their
+// output, which model version serves each site, and which sites were
+// skipped (with the reason). It is the resume contract — a run that
+// crashes after any atomic manifest write restarts exactly after the last
+// committed shard.
+type manifest struct {
+	Format     string            `json:"format"`
+	ShardPages int               `json:"shard_pages"`
+	// Sites records each planned site's page count, pinning the plan the
+	// checkpoint belongs to.
+	Sites map[string]int `json:"sites"`
+	// Models records the model version each site's shards were served
+	// with, so a resume extracts with the same artifact even if the store
+	// has since published newer versions.
+	Models map[string]int `json:"models,omitempty"`
+	// Skipped records sites that could not be harvested (e.g. training
+	// found no seed-KB alignment), by reason; a resume skips them without
+	// retraining.
+	Skipped map[string]string `json:"skipped,omitempty"`
+	// Done records committed shard indices per site, sorted.
+	Done map[string][]int `json:"done,omitempty"`
+}
+
+func newManifest(plan *Plan) *manifest {
+	m := &manifest{
+		Format:     manifestFormat,
+		ShardPages: plan.ShardPages,
+		Sites:      map[string]int{},
+		Models:     map[string]int{},
+		Skipped:    map[string]string{},
+		Done:       map[string][]int{},
+	}
+	for _, sp := range plan.Sites {
+		m.Sites[sp.Site] = sp.Pages
+	}
+	return m
+}
+
+// checkpoint wraps a manifest with its path and write lock. A checkpoint
+// with an empty path is in-memory only (checkpointing disabled).
+type checkpoint struct {
+	path string
+	mu   sync.Mutex
+	m    *manifest
+}
+
+// loadCheckpoint opens (or initializes) the manifest at path and verifies
+// it matches the plan. Sites new to the plan are added; a site whose page
+// count or the shard size changed fails with ErrCheckpointMismatch.
+func loadCheckpoint(path string, plan *Plan) (*checkpoint, error) {
+	ck := &checkpoint{path: path, m: newManifest(plan)}
+	if path == "" {
+		return ck, nil
+	}
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return ck, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("batch: reading checkpoint: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("batch: reading checkpoint %s: %w", path, err)
+	}
+	if m.Format != manifestFormat {
+		return nil, fmt.Errorf("batch: checkpoint %s has unknown format %q", path, m.Format)
+	}
+	if m.ShardPages != plan.ShardPages {
+		return nil, fmt.Errorf("%w: shard size %d, plan wants %d", ErrCheckpointMismatch, m.ShardPages, plan.ShardPages)
+	}
+	for _, sp := range plan.Sites {
+		if pages, ok := m.Sites[sp.Site]; ok && pages != sp.Pages {
+			return nil, fmt.Errorf("%w: site %q has %d pages, checkpoint recorded %d", ErrCheckpointMismatch, sp.Site, sp.Pages, pages)
+		}
+		m.Sites[sp.Site] = sp.Pages
+	}
+	if m.Models == nil {
+		m.Models = map[string]int{}
+	}
+	if m.Skipped == nil {
+		m.Skipped = map[string]string{}
+	}
+	if m.Done == nil {
+		m.Done = map[string][]int{}
+	}
+	ck.m = &m
+	return ck, nil
+}
+
+// save writes the manifest atomically (temp file, fsync, rename).
+// Callers hold ck.mu.
+func (ck *checkpoint) save() error {
+	if ck.path == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(ck.m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("batch: writing checkpoint: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(ck.path), 0o755); err != nil {
+		return fmt.Errorf("batch: writing checkpoint: %w", err)
+	}
+	if err := fsatomic.WriteFile(ck.path, append(b, '\n')); err != nil {
+		return fmt.Errorf("batch: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// isDone reports whether a shard's output is already committed.
+func (ck *checkpoint) isDone(site string, index int) bool {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	for _, i := range ck.m.Done[site] {
+		if i == index {
+			return true
+		}
+	}
+	return false
+}
+
+// markDone records a committed shard and persists the manifest.
+func (ck *checkpoint) markDone(site string, index int) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	done := ck.m.Done[site]
+	for _, i := range done {
+		if i == index {
+			return nil
+		}
+	}
+	done = append(done, index)
+	sort.Ints(done)
+	ck.m.Done[site] = done
+	return ck.save()
+}
+
+// doneCount returns how many of a site's shards have committed.
+func (ck *checkpoint) doneCount(site string) int {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return len(ck.m.Done[site])
+}
+
+// modelVersion returns the pinned model version of a site, if any.
+func (ck *checkpoint) modelVersion(site string) (int, bool) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	v, ok := ck.m.Models[site]
+	return v, ok
+}
+
+// setModelVersion pins the model version serving a site and persists the
+// manifest.
+func (ck *checkpoint) setModelVersion(site string, v int) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.m.Models[site] = v
+	return ck.save()
+}
+
+// skippedSite returns the recorded skip reason of a site, if any.
+func (ck *checkpoint) skippedSite(site string) (string, bool) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	r, ok := ck.m.Skipped[site]
+	return r, ok
+}
+
+// setSkipped records a site as unharvestable and persists the manifest.
+func (ck *checkpoint) setSkipped(site, reason string) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.m.Skipped[site] = reason
+	return ck.save()
+}

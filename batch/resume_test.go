@@ -1,0 +1,335 @@
+package batch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ceres"
+)
+
+// killSink commits through to the wrapped sink and cancels the run's
+// context after a fixed number of commits — simulating a process killed
+// while later shards are still mid-extraction.
+type killSink struct {
+	inner  TripleSink
+	cancel context.CancelFunc
+	after  int
+
+	mu      sync.Mutex
+	commits int
+}
+
+func (k *killSink) OpenShard(s Shard) (ShardWriter, error) {
+	w, err := k.inner.OpenShard(s)
+	if err != nil {
+		return nil, err
+	}
+	return &killShard{sink: k, ShardWriter: w}, nil
+}
+
+type killShard struct {
+	sink *killSink
+	ShardWriter
+}
+
+func (w *killShard) Commit() error {
+	err := w.ShardWriter.Commit()
+	w.sink.mu.Lock()
+	w.sink.commits++
+	if w.sink.commits == w.sink.after {
+		w.sink.cancel()
+	}
+	w.sink.mu.Unlock()
+	return err
+}
+
+// harvestDirs is one complete set of run artifacts.
+type harvestDirs struct {
+	models, triples, checkpoint string
+}
+
+func newHarvestDirs(t *testing.T, base, name string) harvestDirs {
+	t.Helper()
+	root := filepath.Join(base, name)
+	return harvestDirs{
+		models:     filepath.Join(root, "models"),
+		triples:    filepath.Join(root, "triples"),
+		checkpoint: filepath.Join(root, "checkpoint.json"),
+	}
+}
+
+// runHarvest executes one Run over the fixture into dirs, reopening every
+// store the way a fresh process would. A non-nil cancelAfter kills the
+// run after that many shard commits.
+func runHarvest(t *testing.T, f *crawlFixture, dirs harvestDirs, job Job, killAfter int) (*Report, error) {
+	t.Helper()
+	store, err := ceres.NewDirStore(dirs.models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonl, err := NewJSONLSink(dirs.triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var sink TripleSink = jsonl
+	if killAfter > 0 {
+		kctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ctx = kctx
+		sink = &killSink{inner: jsonl, cancel: cancel, after: killAfter}
+	}
+	reg, err := ceres.OpenRegistry(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{
+		Provider:       f.store,
+		Sink:           sink,
+		Registry:       reg,
+		Store:          store,
+		Pipeline:       f.pipeline,
+		CheckpointPath: dirs.checkpoint,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Run(ctx, job)
+}
+
+func factsJSON(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	b, err := json.Marshal(rep.Facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// dirContents maps file name to contents for every regular file in dir.
+func dirContents(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = b
+	}
+	return out
+}
+
+// TestCheckpointResumeByteIdentical is the subsystem's acceptance test:
+// kill a batch run mid-shard, resume it in a "fresh process", and the
+// fused output — and every committed shard file — is byte-identical to an
+// uninterrupted run, at any worker count. Runs under -race in CI.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	job := Job{
+		ShardPages: 4,
+		Fuse:       true,
+		Fusion:     ceres.FusionOptions{Functional: map[string]bool{"releaseYear": true}},
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			base := t.TempDir()
+			f := newCrawlFixture(t, base, fixtureSites)
+			job := job
+			job.Workers = workers
+
+			// Reference: one uninterrupted run.
+			full := newHarvestDirs(t, base, "full")
+			wantRep, err := runHarvest(t, f, full, job, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantRep.Triples == 0 || len(wantRep.Facts) == 0 {
+				t.Fatalf("uninterrupted run extracted nothing: %+v", wantRep)
+			}
+			want := factsJSON(t, wantRep)
+
+			// Killed run: cancelled after the first shard commit, while
+			// (at workers > 1) other shards are mid-extraction.
+			res := newHarvestDirs(t, base, "resumed")
+			_, err = runHarvest(t, f, res, job, 1)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("killed run returned %v, want context.Canceled", err)
+			}
+			ck, err := os.ReadFile(res.checkpoint)
+			if err != nil {
+				t.Fatalf("killed run left no checkpoint: %v", err)
+			}
+			var m manifest
+			if err := json.Unmarshal(ck, &m); err != nil {
+				t.Fatal(err)
+			}
+			partial := 0
+			for _, d := range m.Done {
+				partial += len(d)
+			}
+			totalShards := 0
+			for _, sp := range mustPlan(t, job, f).Sites {
+				totalShards += sp.Shards
+			}
+			if partial == 0 || partial >= totalShards {
+				t.Fatalf("kill left %d/%d shards done; need a genuine partial run", partial, totalShards)
+			}
+
+			// Resume in a fresh "process": new runner, reopened stores.
+			gotRep, err := runHarvest(t, f, res, job, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotRep.Resumed == 0 {
+				t.Fatal("resume re-ran every shard; checkpoint was ignored")
+			}
+			if got := factsJSON(t, gotRep); !bytes.Equal(got, want) {
+				t.Fatalf("fused output diverged after resume:\n got %s\nwant %s", got, want)
+			}
+
+			// Every committed shard file matches too — no duplicates, no
+			// gaps, identical bytes.
+			wantFiles := dirContents(t, full.triples)
+			gotFiles := dirContents(t, res.triples)
+			if len(wantFiles) != len(gotFiles) {
+				t.Fatalf("shard files differ: %d vs %d", len(gotFiles), len(wantFiles))
+			}
+			for name, wb := range wantFiles {
+				if !bytes.Equal(gotFiles[name], wb) {
+					t.Fatalf("shard file %s differs after resume", name)
+				}
+			}
+
+			// A third run is pure resume: nothing executes, fusion replays
+			// the same bytes.
+			again, err := runHarvest(t, f, res, job, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Shards != 0 || again.Pages != 0 {
+				t.Fatalf("idempotent re-run executed work: %+v", again)
+			}
+			if got := factsJSON(t, again); !bytes.Equal(got, want) {
+				t.Fatal("pure-replay run diverged")
+			}
+		})
+	}
+}
+
+func mustPlan(t *testing.T, job Job, f *crawlFixture) *Plan {
+	t.Helper()
+	plan, err := PlanJob(job, f.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestCheckpointMismatch proves a manifest from a different plan refuses
+// to resume instead of silently mixing outputs.
+func TestCheckpointMismatch(t *testing.T) {
+	base := t.TempDir()
+	f := newCrawlFixture(t, base, []string{"blaxploitation.com"})
+	dirs := newHarvestDirs(t, base, "run")
+	if _, err := runHarvest(t, f, dirs, Job{ShardPages: 4}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Same corpus, different shard size: the shard space is renumbered, so
+	// the old Done entries are meaningless.
+	if _, err := runHarvest(t, f, dirs, Job{ShardPages: 5}, 0); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+// TestResumePinsModelWithoutTouchingSharedRegistry proves the two sides
+// of the run-scoped registry contract: a resumed run extracts with the
+// checkpoint-pinned model version even when the store and the shared
+// serving registry have moved on to a newer one, and the shared registry
+// is never rolled back to the pin.
+func TestResumePinsModelWithoutTouchingSharedRegistry(t *testing.T) {
+	base := t.TempDir()
+	f := newCrawlFixture(t, base, []string{"kinobox.cz"})
+	const site = "kinobox.cz"
+	job := Job{ShardPages: 8, Workers: 2, Fuse: true}
+
+	// Reference: uninterrupted run, private registry, its own dirs.
+	full := newHarvestDirs(t, base, "full")
+	wantRep, err := runHarvest(t, f, full, job, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := factsJSON(t, wantRep)
+
+	// Killed run: trains v1, commits one shard, dies.
+	res := newHarvestDirs(t, base, "resumed")
+	if _, err := runHarvest(t, f, res, job, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run returned %v", err)
+	}
+
+	// The fleet moves on: a different model (tighter threshold, different
+	// output) becomes v2 in the store and in the serving registry.
+	store, err := ceres.NewDirStore(res.models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := ceres.NewPipeline(f.kb, ceres.WithThreshold(0.99)).Train(context.Background(), f.pages[site])
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := store.Publish(site, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 2 {
+		t.Fatalf("expected version 2, got %d", v2)
+	}
+	shared, err := ceres.OpenRegistry(store) // boots at v2, like a live daemon
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume with the shared registry wired in.
+	jsonl, err := NewJSONLSink(res.triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{
+		Provider:       f.store,
+		Sink:           jsonl,
+		Registry:       shared,
+		Store:          store,
+		Pipeline:       f.pipeline,
+		CheckpointPath: res.checkpoint,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRep, err := r.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep.Sites[0].Version != 1 {
+		t.Fatalf("resume served version %d, want pinned 1", gotRep.Sites[0].Version)
+	}
+	if got := factsJSON(t, gotRep); !bytes.Equal(got, want) {
+		t.Fatal("pinned resume diverged from uninterrupted run")
+	}
+	// The serving fleet still holds v2 — the pin never leaked out.
+	if e, ok := shared.Lookup(site); !ok || e.Version != 2 {
+		t.Fatalf("shared registry rolled back: %+v", e)
+	}
+}

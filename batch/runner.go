@@ -1,0 +1,449 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ceres"
+)
+
+// ErrSinkNotReplayable reports a Job with Fuse set over a sink that
+// cannot stream its output back; test with errors.Is.
+var ErrSinkNotReplayable = errors.New("batch: fusion requires a sink implementing Replayer")
+
+// Config wires a Runner to its collaborators.
+type Config struct {
+	// Provider supplies the pages (required).
+	Provider PageProvider
+	// Sink receives the extracted triples (required).
+	Sink TripleSink
+	// Registry optionally connects the run to a serving fleet: models are
+	// *resolved* from it (a site already registered is served without
+	// retraining) and models the run *trains* are published into it, so a
+	// batch harvest feeds online serving. The run itself extracts through
+	// a private run-scoped table, so neither a checkpoint-pinned older
+	// version nor a mid-run external publish ever rolls back or perturbs
+	// the shared fleet — and the fleet can hot-swap freely without
+	// changing what a resumed run extracts with.
+	Registry *ceres.Registry
+	// Store persists newly trained models (DirStore.Publish) and resolves
+	// the exact checkpointed version on resume; nil keeps models
+	// process-local (a resumed process then retrains deterministically).
+	Store ceres.ModelStore
+	// Pipeline trains sites that have no published model; nil means such
+	// sites fail with ErrNotTrained.
+	Pipeline *ceres.Pipeline
+	// CheckpointPath is the manifest file recording committed shards;
+	// empty disables checkpointing (the run is not resumable).
+	CheckpointPath string
+}
+
+// Runner executes batch harvest jobs: shard-parallel extraction through
+// the serving stack, per-site training with store publish, checkpointed
+// progress and a streaming fusion stage. A Runner is safe for one Run at
+// a time.
+type Runner struct {
+	cfg    Config
+	shared *ceres.Registry // cfg.Registry; may be nil
+	reg    *ceres.Registry // run-scoped serving table
+	svc    *ceres.Service
+}
+
+// NewRunner builds a runner over the configuration.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Provider == nil {
+		return nil, fmt.Errorf("batch: config needs a Provider")
+	}
+	if cfg.Sink == nil {
+		return nil, fmt.Errorf("batch: config needs a Sink")
+	}
+	reg := ceres.NewRegistry()
+	return &Runner{cfg: cfg, shared: cfg.Registry, reg: reg, svc: ceres.NewService(reg)}, nil
+}
+
+// Registry returns the registry the runner resolves models from and
+// publishes trained models into: the configured shared one, or the
+// run-scoped table when none was configured.
+func (r *Runner) Registry() *ceres.Registry {
+	if r.shared != nil {
+		return r.shared
+	}
+	return r.reg
+}
+
+// Service returns a request-scoped extraction service over the models
+// the runner is serving with.
+func (r *Runner) Service() *ceres.Service { return r.svc }
+
+// siteState is the once-per-site model resolution shared by a site's
+// shard workers.
+type siteState struct {
+	once       sync.Once
+	version    int
+	trained    bool
+	skipReason string // non-empty: site cannot be harvested
+	infraErr   error  // non-nil: abort the run
+}
+
+// siteTally accumulates one site's run counters under the runner mutex.
+type siteTally struct {
+	pages, triples, done, resumed int
+	err                           string
+}
+
+// SiteReport is one site's slice of a Report.
+type SiteReport struct {
+	Site string
+	// Pages and Shards describe the plan; Done counts shards committed
+	// across all runs of the job, Resumed the ones this run skipped
+	// because a previous run had already committed them.
+	Pages, Shards, Done, Resumed int
+	// Triples counts this run's written triples — or, when the fusion
+	// stage ran, the all-runs total streamed out of the sink.
+	Triples int
+	// Version is the model version that served the site; Trained reports
+	// whether this run trained it.
+	Version int
+	Trained bool
+	// Skipped marks a site recorded as unharvestable (Err holds the
+	// reason, e.g. no seed-KB alignment).
+	Skipped bool
+	Err     string
+}
+
+// Report is the outcome of one Run.
+type Report struct {
+	// Sites reports per-site outcomes in plan order.
+	Sites []SiteReport
+	// Pages and Triples count this run's extraction work; Shards the
+	// shards it executed; Resumed the shards restored from the
+	// checkpoint.
+	Pages, Triples, Shards, Resumed int
+	// Facts is the fused output (Job.Fuse), aggregated by streaming every
+	// committed shard through a ceres.Fuser in plan order.
+	Facts []ceres.FusedFact
+	// Elapsed is the run's wall-clock time.
+	Elapsed time.Duration
+}
+
+// Run executes one job to completion: plan, resume from the checkpoint,
+// execute remaining shards on Workers goroutines, and (with Job.Fuse)
+// stream the committed output through fusion. It returns ctx.Err() when
+// cancelled — the checkpoint then holds every shard committed before the
+// cancellation, and a later Run of the same job resumes there — and a
+// non-nil error for infrastructure failures (sink, checkpoint, store or
+// provider I/O). Per-site failures (untrainable sites of a long-tail
+// crawl) do not fail the run; they are reported per site.
+func (r *Runner) Run(ctx context.Context, job Job) (*Report, error) {
+	start := time.Now()
+	plan, err := PlanJob(job, r.cfg.Provider)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := loadCheckpoint(r.cfg.CheckpointPath, plan)
+	if err != nil {
+		return nil, err
+	}
+
+	states := make(map[string]*siteState, len(plan.Sites))
+	tallies := make(map[string]*siteTally, len(plan.Sites))
+	for _, sp := range plan.Sites {
+		states[sp.Site] = &siteState{}
+		tallies[sp.Site] = &siteTally{}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		infraErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if infraErr == nil {
+			infraErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	workers := job.workers()
+	if workers > len(plan.Shards) {
+		workers = len(plan.Shards)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shardCh := make(chan Shard)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for shard := range shardCh {
+				r.runShard(runCtx, job, ck, states[shard.Site], tallies[shard.Site], &mu, fail, shard)
+			}
+		}()
+	}
+feed:
+	for _, shard := range plan.Shards {
+		select {
+		case shardCh <- shard:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(shardCh)
+	wg.Wait()
+
+	if infraErr != nil {
+		return nil, infraErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Elapsed: time.Since(start)}
+	fuseTally := map[string]int{}
+	if job.Fuse {
+		replayer, ok := r.cfg.Sink.(Replayer)
+		if !ok {
+			return nil, fmt.Errorf("%w (%T)", ErrSinkNotReplayable, r.cfg.Sink)
+		}
+		// Replay only committed shards, in plan order: the order is what
+		// makes fused beliefs bit-reproducible run over run, interrupted
+		// or not.
+		var done []Shard
+		for _, shard := range plan.Shards {
+			if ck.isDone(shard.Site, shard.Index) {
+				done = append(done, shard)
+			}
+		}
+		fuser := ceres.NewFuser(job.Fusion)
+		err := replayer.Replay(done, func(site string, t ceres.Triple) error {
+			fuser.ObserveTriple(site, t)
+			fuseTally[site]++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Facts = fuser.Facts()
+	}
+
+	for _, sp := range plan.Sites {
+		st, tally := states[sp.Site], tallies[sp.Site]
+		sr := SiteReport{
+			Site:    sp.Site,
+			Pages:   sp.Pages,
+			Shards:  sp.Shards,
+			Done:    ck.doneCount(sp.Site),
+			Resumed: tally.resumed,
+			Triples: tally.triples,
+			Version: st.version,
+			Trained: st.trained,
+			Err:     tally.err,
+		}
+		if reason, ok := ck.skippedSite(sp.Site); ok {
+			sr.Skipped = true
+			sr.Err = reason
+		}
+		if v, ok := ck.modelVersion(sp.Site); ok && sr.Version == 0 {
+			sr.Version = v
+		}
+		if job.Fuse {
+			sr.Triples = fuseTally[sp.Site]
+		}
+		rep.Sites = append(rep.Sites, sr)
+		rep.Pages += tally.pages
+		rep.Triples += tally.triples
+		rep.Shards += tally.done
+		rep.Resumed += tally.resumed
+	}
+	return rep, nil
+}
+
+// runShard executes one shard end to end: resolve the site's model (the
+// first worker to reach a site trains or loads it), stream the shard's
+// pages from the provider, extract through the Service, commit the
+// triples to the sink and record the shard in the checkpoint.
+func (r *Runner) runShard(ctx context.Context, job Job, ck *checkpoint, st *siteState, tally *siteTally, mu *sync.Mutex, fail func(error), shard Shard) {
+	if ctx.Err() != nil {
+		return
+	}
+	if ck.isDone(shard.Site, shard.Index) {
+		mu.Lock()
+		tally.resumed++
+		mu.Unlock()
+		return
+	}
+	st.once.Do(func() { r.ensureModel(ctx, job, ck, st, shard.Site) })
+	if st.infraErr != nil {
+		fail(st.infraErr)
+		return
+	}
+	if st.skipReason != "" {
+		return
+	}
+	pages, err := readPages(r.cfg.Provider, shard.Site, shard.Start, shard.Pages)
+	if err != nil {
+		fail(err)
+		return
+	}
+	resp, err := r.svc.Extract(ctx, ceres.ExtractRequest{
+		Site:    shard.Site,
+		Pages:   pages,
+		Options: job.optionsFor(shard.Site),
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return // cancelled mid-shard: nothing committed, resume re-runs it
+		}
+		mu.Lock()
+		tally.err = err.Error()
+		mu.Unlock()
+		return
+	}
+	w, err := r.cfg.Sink.OpenShard(shard)
+	if err != nil {
+		fail(err)
+		return
+	}
+	for _, t := range resp.Triples {
+		if err := w.Write(t); err != nil {
+			w.Abort()
+			fail(err)
+			return
+		}
+	}
+	if err := w.Commit(); err != nil {
+		fail(err)
+		return
+	}
+	if err := ck.markDone(shard.Site, shard.Index); err != nil {
+		fail(err)
+		return
+	}
+	mu.Lock()
+	tally.pages += resp.Stats.Pages
+	tally.triples += len(resp.Triples)
+	tally.done++
+	mu.Unlock()
+}
+
+// ensureModel resolves the model serving a site, in precedence order: the
+// checkpointed version (reloaded from the store so a resume extracts with
+// the exact artifact), the shared registry's current entry, the store's
+// latest version, and finally training through the pipeline — publishing
+// the new model to the store (durable version number) and the shared
+// registry. Whatever wins lands in the run-scoped table the shards
+// extract through; the shared registry only ever receives newly trained
+// models, never a pinned rollback.
+func (r *Runner) ensureModel(ctx context.Context, job Job, ck *checkpoint, st *siteState, site string) {
+	if reason, ok := ck.skippedSite(site); ok {
+		st.skipReason = reason
+		return
+	}
+	if v, ok := ck.modelVersion(site); ok && r.cfg.Store != nil {
+		if e, ok := r.reg.Lookup(site); ok && e.Version == v {
+			st.version = v
+			return
+		}
+		m, err := r.cfg.Store.Open(site, v)
+		if err != nil {
+			st.infraErr = fmt.Errorf("batch: site %q: checkpointed model version %d: %w", site, v, err)
+			return
+		}
+		r.reg.Publish(site, v, m)
+		st.version = v
+		return
+	}
+	if e, ok := r.reg.Lookup(site); ok {
+		st.version = e.Version
+		if err := ck.setModelVersion(site, e.Version); err != nil {
+			st.infraErr = err
+		}
+		return
+	}
+	if r.shared != nil {
+		if e, ok := r.shared.Lookup(site); ok {
+			r.reg.Publish(site, e.Version, e.Model)
+			st.version = e.Version
+			if err := ck.setModelVersion(site, e.Version); err != nil {
+				st.infraErr = err
+			}
+			return
+		}
+	}
+	if r.cfg.Store != nil {
+		m, v, err := r.cfg.Store.Latest(site)
+		if err == nil {
+			r.reg.Publish(site, v, m)
+			st.version = v
+			if err := ck.setModelVersion(site, v); err != nil {
+				st.infraErr = err
+			}
+			return
+		}
+		if !errors.Is(err, ceres.ErrModelNotFound) {
+			st.infraErr = err
+			return
+		}
+	}
+	if r.cfg.Pipeline == nil {
+		st.skipReason = ceres.ErrNotTrained.Error()
+		if err := ck.setSkipped(site, st.skipReason); err != nil {
+			st.infraErr = err
+		}
+		return
+	}
+	n := job.TrainPages
+	if n <= 0 {
+		n = -1
+	}
+	pages, err := readPages(r.cfg.Provider, site, 0, n)
+	if err != nil {
+		st.infraErr = err
+		return
+	}
+	m, err := r.cfg.Pipeline.Train(ctx, pages)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Cancellation, not a site failure: leave no skip record so a
+			// resume retrains.
+			st.skipReason = "run cancelled"
+			return
+		}
+		// Training failures are deterministic properties of the site and
+		// seed KB (e.g. ErrNoAnnotations on a long-tail site): persist the
+		// skip so resumes don't pay for retraining.
+		st.skipReason = err.Error()
+		if err := ck.setSkipped(site, st.skipReason); err != nil {
+			st.infraErr = err
+		}
+		return
+	}
+	version := 0
+	if r.cfg.Store != nil {
+		version, err = r.cfg.Store.Publish(site, m)
+		if err != nil {
+			st.infraErr = err
+			return
+		}
+		r.reg.Publish(site, version, m)
+	} else {
+		version = r.reg.PublishNext(site, m)
+	}
+	if r.shared != nil {
+		// Freshly trained models go straight into the serving fleet.
+		r.shared.Publish(site, version, m)
+	}
+	st.version = version
+	st.trained = true
+	if err := ck.setModelVersion(site, version); err != nil {
+		st.infraErr = err
+	}
+}

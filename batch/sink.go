@@ -1,0 +1,308 @@
+package batch
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"ceres"
+	"ceres/internal/fsatomic"
+)
+
+// TripleSink receives a harvest's extracted triples, one writer per
+// shard. A sink must tolerate concurrent OpenShard calls (one per
+// in-flight shard) and must make a shard's output visible atomically at
+// Commit: a shard that never commits — crash, cancellation — must leave
+// no partial output, because the checkpoint will re-run it after a
+// resume.
+type TripleSink interface {
+	OpenShard(s Shard) (ShardWriter, error)
+}
+
+// ShardWriter accumulates one shard's triples. Exactly one of Commit or
+// Abort terminates it; Write is never called concurrently on one writer.
+type ShardWriter interface {
+	Write(t ceres.Triple) error
+	// Commit publishes the shard's triples atomically (replacing the
+	// output of any previous attempt at the same shard).
+	Commit() error
+	// Abort discards everything written.
+	Abort() error
+}
+
+// Replayer is implemented by sinks that can stream committed triples
+// back, shard by shard — what the fusion stage and resumed runs consume.
+// Replay must stream in the given shard order and error on a shard whose
+// output is missing.
+type Replayer interface {
+	Replay(shards []Shard, fn func(site string, t ceres.Triple) error) error
+}
+
+// shardFileName is the committed output file of one shard.
+func shardFileName(s Shard) string {
+	return fmt.Sprintf("%s.%05d.jsonl", url.PathEscape(s.Site), s.Index)
+}
+
+// JSONLSink persists each shard as one JSON-lines file
+// (<escaped-site>.<index>.jsonl) in a directory, written to a temp file
+// and renamed into place on Commit — the durable sink of a crawl-scale
+// harvest, and a Replayer, so fusion and resumed runs can stream every
+// committed triple back without holding them in memory.
+type JSONLSink struct {
+	dir string
+}
+
+// NewJSONLSink opens (creating if needed) a sharded JSONL sink rooted at
+// dir. Stale shard temp files — what a killed process's in-flight shards
+// leave behind — are swept on open; only one process may sink into a
+// directory at a time (which the batch checkpoint protocol already
+// assumes).
+func NewJSONLSink(dir string) (*JSONLSink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("batch: opening sink: %w", err)
+	}
+	if ents, err := os.ReadDir(dir); err == nil {
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasPrefix(e.Name(), ".shard-") {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+	return &JSONLSink{dir: dir}, nil
+}
+
+// Dir returns the sink's root directory.
+func (s *JSONLSink) Dir() string { return s.dir }
+
+// OpenShard implements TripleSink.
+func (s *JSONLSink) OpenShard(sh Shard) (ShardWriter, error) {
+	tmp, err := os.CreateTemp(s.dir, ".shard-*")
+	if err != nil {
+		return nil, fmt.Errorf("batch: opening shard output: %w", err)
+	}
+	bw := bufio.NewWriterSize(tmp, 64<<10)
+	return &jsonlShard{
+		f:     tmp,
+		bw:    bw,
+		enc:   json.NewEncoder(bw),
+		final: filepath.Join(s.dir, shardFileName(sh)),
+	}, nil
+}
+
+type jsonlShard struct {
+	f     *os.File
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	final string
+}
+
+func (w *jsonlShard) Write(t ceres.Triple) error {
+	if err := w.enc.Encode(t); err != nil {
+		return fmt.Errorf("batch: writing shard output: %w", err)
+	}
+	return nil
+}
+
+func (w *jsonlShard) Commit() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		os.Remove(w.f.Name())
+		return fmt.Errorf("batch: committing shard output: %w", err)
+	}
+	if err := fsatomic.Commit(w.f, w.final); err != nil {
+		return fmt.Errorf("batch: committing shard output: %w", err)
+	}
+	return nil
+}
+
+func (w *jsonlShard) Abort() error {
+	w.f.Close()
+	return os.Remove(w.f.Name())
+}
+
+// Replay implements Replayer: stream the committed files of the given
+// shards, in order.
+func (s *JSONLSink) Replay(shards []Shard, fn func(site string, t ceres.Triple) error) error {
+	for _, sh := range shards {
+		f, err := os.Open(filepath.Join(s.dir, shardFileName(sh)))
+		if err != nil {
+			return fmt.Errorf("batch: replaying shard %s/%d: %w", sh.Site, sh.Index, err)
+		}
+		dec := json.NewDecoder(bufio.NewReaderSize(f, 64<<10))
+		for {
+			var t ceres.Triple
+			if err := dec.Decode(&t); err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				f.Close()
+				return fmt.Errorf("batch: replaying shard %s/%d: %w", sh.Site, sh.Index, err)
+			}
+			if err := fn(sh.Site, t); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("batch: replaying shard %s/%d: %w", sh.Site, sh.Index, err)
+		}
+	}
+	return nil
+}
+
+// CountingSink tallies committed triples without keeping them — the
+// cheapest sink for dry runs and throughput measurement. It does not
+// implement Replayer, so it cannot feed the fusion stage, and counts
+// reflect only shards executed by this process (resumed shards are not
+// re-counted).
+type CountingSink struct {
+	mu          sync.Mutex
+	triples     int
+	bySite      map[string]int
+	byPredicate map[string]int
+}
+
+// SinkCounts is a CountingSink snapshot.
+type SinkCounts struct {
+	Triples     int
+	BySite      map[string]int
+	ByPredicate map[string]int
+}
+
+// NewCountingSink builds an empty counting sink.
+func NewCountingSink() *CountingSink {
+	return &CountingSink{bySite: map[string]int{}, byPredicate: map[string]int{}}
+}
+
+// Counts snapshots the committed tallies.
+func (s *CountingSink) Counts() SinkCounts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := SinkCounts{Triples: s.triples, BySite: map[string]int{}, ByPredicate: map[string]int{}}
+	for k, v := range s.bySite {
+		out.BySite[k] = v
+	}
+	for k, v := range s.byPredicate {
+		out.ByPredicate[k] = v
+	}
+	return out
+}
+
+// OpenShard implements TripleSink.
+func (s *CountingSink) OpenShard(sh Shard) (ShardWriter, error) {
+	return &countingShard{sink: s, site: sh.Site, byPredicate: map[string]int{}}, nil
+}
+
+type countingShard struct {
+	sink        *CountingSink
+	site        string
+	triples     int
+	byPredicate map[string]int
+}
+
+func (w *countingShard) Write(t ceres.Triple) error {
+	w.triples++
+	w.byPredicate[t.Predicate]++
+	return nil
+}
+
+func (w *countingShard) Commit() error {
+	w.sink.mu.Lock()
+	defer w.sink.mu.Unlock()
+	w.sink.triples += w.triples
+	w.sink.bySite[w.site] += w.triples
+	for p, n := range w.byPredicate {
+		w.sink.byPredicate[p] += n
+	}
+	return nil
+}
+
+func (w *countingShard) Abort() error { return nil }
+
+// CollectSink keeps committed triples in memory, per shard — the sink
+// for in-process harvests whose results are consumed directly (CLI
+// output, tests). It implements Replayer. Being in-memory, it cannot
+// resume a previous process's output: use JSONLSink with a checkpoint for
+// that.
+type CollectSink struct {
+	mu     sync.Mutex
+	shards map[Shard][]ceres.Triple
+}
+
+// NewCollectSink builds an empty collecting sink.
+func NewCollectSink() *CollectSink {
+	return &CollectSink{shards: map[Shard][]ceres.Triple{}}
+}
+
+// OpenShard implements TripleSink.
+func (s *CollectSink) OpenShard(sh Shard) (ShardWriter, error) {
+	return &collectShard{sink: s, shard: sh}, nil
+}
+
+type collectShard struct {
+	sink    *CollectSink
+	shard   Shard
+	triples []ceres.Triple
+}
+
+func (w *collectShard) Write(t ceres.Triple) error {
+	w.triples = append(w.triples, t)
+	return nil
+}
+
+func (w *collectShard) Commit() error {
+	w.sink.mu.Lock()
+	defer w.sink.mu.Unlock()
+	w.sink.shards[w.shard] = w.triples
+	return nil
+}
+
+func (w *collectShard) Abort() error { return nil }
+
+// Replay implements Replayer over the in-memory shards.
+func (s *CollectSink) Replay(shards []Shard, fn func(site string, t ceres.Triple) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range shards {
+		triples, ok := s.shards[sh]
+		if !ok {
+			return fmt.Errorf("batch: replaying shard %s/%d: not collected", sh.Site, sh.Index)
+		}
+		for _, t := range triples {
+			if err := fn(sh.Site, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Triples returns every committed triple in deterministic (site, shard)
+// order.
+func (s *CollectSink) Triples() []ceres.Triple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]Shard, 0, len(s.shards))
+	for sh := range s.shards {
+		keys = append(keys, sh)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Site != keys[j].Site {
+			return keys[i].Site < keys[j].Site
+		}
+		return keys[i].Index < keys[j].Index
+	})
+	var out []ceres.Triple
+	for _, sh := range keys {
+		out = append(out, s.shards[sh]...)
+	}
+	return out
+}

@@ -425,11 +425,7 @@ func toTriple(e core.Extraction) Triple {
 	}
 }
 
-// tripleize thresholds and sorts extractions into the public triple order:
-// descending confidence, then page, predicate, object, subject, path. The
-// subject and path tie-breaks make the order total, so equal-confidence
-// triples — e.g. from multi-topic pages, or an object text repeated at two
-// nodes of one page — come out deterministically.
+// tripleize thresholds and sorts extractions into the public triple order.
 func tripleize(exts []core.Extraction, threshold float64) []Triple {
 	var out []Triple
 	for _, e := range exts {
@@ -438,8 +434,20 @@ func tripleize(exts []core.Extraction, threshold float64) []Triple {
 		}
 		out = append(out, toTriple(e))
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortTriples(out)
+	return out
+}
+
+// SortTriples sorts triples into the canonical output order every
+// extraction API uses: descending confidence, then page, predicate,
+// object, subject, path. The subject and path tie-breaks make the order
+// total, so equal-confidence triples — e.g. from multi-topic pages, or an
+// object text repeated at two nodes of one page — come out
+// deterministically. Use it to restore the canonical order after merging
+// triples from several extractions (e.g. the shards of a batch harvest).
+func SortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
 		if a.Confidence != b.Confidence {
 			return a.Confidence > b.Confidence
 		}
@@ -457,5 +465,4 @@ func tripleize(exts []core.Extraction, threshold float64) []Triple {
 		}
 		return a.Path < b.Path
 	})
-	return out
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ceres"
+	"ceres/batch"
+	"ceres/pagestore"
+)
+
+// TestGenerateAndHarvest wires the command's pieces end to end on a tiny
+// crawl subset: generate into the page store, write the seed KB, run the
+// batch loop, write the fused output — the loop main drives.
+func TestGenerateAndHarvest(t *testing.T) {
+	dir := t.TempDir()
+	store, err := pagestore.Open(filepath.Join(dir, "pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kbPath := filepath.Join(dir, "kb.tsv")
+	if err := generateCrawl(store, kbPath, 1, 0.004, 30); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: a second -gen over a populated store is a no-op.
+	if err := generateCrawl(store, kbPath, 1, 0.004, 30); err != nil {
+		t.Fatal(err)
+	}
+	sites, err := store.Sites()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 33 {
+		t.Fatalf("generated %d sites, want 33", len(sites))
+	}
+
+	kbFile, err := os.Open(kbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := ceres.ReadKB(kbFile)
+	kbFile.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modelStore, err := ceres.NewDirStore(filepath.Join(dir, "models"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := batch.NewJSONLSink(filepath.Join(dir, "triples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := batch.NewRunner(batch.Config{
+		Provider:       store,
+		Sink:           sink,
+		Store:          modelStore,
+		Pipeline:       ceres.NewPipeline(kb),
+		CheckpointPath: filepath.Join(dir, "checkpoint.json"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Harvest a trainable subset to keep the test quick.
+	rep, err := runner.Run(context.Background(), batch.Job{
+		Sites:      []string{"kinobox.cz", "themoviedb.org", "boxofficemojo.com"},
+		ShardPages: 16,
+		Workers:    4,
+		Fuse:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Triples == 0 || len(rep.Facts) == 0 {
+		t.Fatalf("harvest extracted nothing: %+v", rep)
+	}
+	fusedPath := filepath.Join(dir, "fused.jsonl")
+	if err := writeFused(fusedPath, rep.Facts); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(fusedPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("fused output missing: %v", err)
+	}
+}

@@ -4,7 +4,10 @@
 //
 // It exposes the train/serve lifecycle: train an extractor from a seed KB
 // and optionally persist it, or load a previously trained model and serve
-// pages without a KB at all.
+// pages without a KB at all. Since the batch subsystem landed, the command
+// is a thin single-site front-end over ceres/batch: pages run through the
+// same sharded Runner/Service path as a crawl-scale harvest (output is
+// unchanged — the canonical triple order is preserved).
 //
 // Usage:
 //
@@ -23,8 +26,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"ceres"
+	"ceres/batch"
 )
 
 func main() {
@@ -36,6 +41,7 @@ func main() {
 	topicOnly := flag.Bool("topic-only", false, "use the CERES-Topic annotation baseline")
 	stream := flag.Bool("stream", false, "stream triples as pages finish (bounded memory; order follows completion)")
 	stats := flag.Bool("stats", false, "print pipeline statistics to stderr")
+	shardPages := flag.Int("shard-pages", 0, "pages per extraction shard (0 = batch default)")
 	flag.Parse()
 	if *pagesDir == "" || (*kbPath == "" && *modelPath == "") {
 		flag.Usage()
@@ -49,14 +55,22 @@ func main() {
 	defer stop()
 
 	pages := loadPages(*pagesDir)
+	site := filepath.Base(filepath.Clean(*pagesDir))
+	if ceres.CheckSiteName(site) != nil {
+		site = "site"
+	}
 
-	var model *ceres.SiteModel
+	provider := batch.NewMemProvider()
+	provider.Add(site, pages)
+	registry := ceres.NewRegistry()
+
+	var pipeline *ceres.Pipeline
 	if *modelPath != "" {
 		f, err := os.Open(*modelPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		model, err = ceres.ReadSiteModel(f)
+		model, err := ceres.ReadSiteModel(f)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
@@ -68,6 +82,7 @@ func main() {
 				model.SetThreshold(*threshold)
 			}
 		})
+		registry.PublishNext(site, model)
 	} else {
 		kbFile, err := os.Open(*kbPath)
 		if err != nil {
@@ -83,56 +98,103 @@ func main() {
 		if *topicOnly {
 			opts = append(opts, ceres.WithMode(ceres.ModeTopicOnly))
 		}
-		model, err = ceres.NewPipeline(k, opts...).Train(ctx, pages)
-		if err != nil {
-			log.Fatalf("training: %v", err)
-		}
-		if *saveModel != "" {
-			f, err := os.Create(*saveModel)
-			if err != nil {
-				log.Fatal(err)
-			}
-			n, err := model.WriteTo(f)
-			if err == nil {
-				err = f.Close()
-			}
-			if err != nil {
-				log.Fatalf("saving model: %v", err)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *saveModel, n)
-		}
+		pipeline = ceres.NewPipeline(k, opts...)
 	}
 
 	printTriple := func(t ceres.Triple) error {
 		_, err := fmt.Printf("%s\t%s\t%s\t%.4f\t%s\n", t.Subject, t.Predicate, t.Object, t.Confidence, t.Page)
 		return err
 	}
+	var sink batch.TripleSink
+	var collect *batch.CollectSink
 	triples := 0
 	if *stream {
-		err := model.ExtractStream(ctx, pages, func(t ceres.Triple) error {
+		sink = &printSink{print: func(t ceres.Triple) error {
 			triples++
 			return printTriple(t)
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
+		}}
 	} else {
-		res, err := model.Extract(ctx, pages)
+		collect = batch.NewCollectSink()
+		sink = collect
+	}
+
+	runner, err := batch.NewRunner(batch.Config{
+		Provider: provider,
+		Sink:     sink,
+		Registry: registry,
+		Pipeline: pipeline,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := runner.Run(ctx, batch.Job{Sites: []string{site}, ShardPages: *shardPages})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr := report.Sites[0]
+	if sr.Skipped {
+		if pipeline != nil {
+			log.Fatalf("training: %s", sr.Err)
+		}
+		log.Fatalf("serving: %s", sr.Err)
+	}
+	if sr.Err != "" {
+		log.Fatalf("extracting: %s", sr.Err)
+	}
+
+	model, ok := runner.Registry().Lookup(site)
+	if !ok {
+		log.Fatal("no model after run")
+	}
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
 		if err != nil {
 			log.Fatal(err)
 		}
-		triples = len(res.Triples)
-		for _, t := range res.Triples {
+		n, err := model.Model.WriteTo(f)
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			log.Fatalf("saving model: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *saveModel, n)
+	}
+
+	if !*stream {
+		// Merge the shards back into the canonical output order — the
+		// bytes Extract always printed.
+		all := collect.Triples()
+		ceres.SortTriples(all)
+		triples = len(all)
+		for _, t := range all {
 			if err := printTriple(t); err != nil {
 				log.Fatal(err)
 			}
 		}
 	}
 	if *stats {
+		m := model.Model
 		fmt.Fprintf(os.Stderr, "pages=%d trainpages=%d clusters=%d trained=%d triples=%d\n",
-			len(pages), model.TrainPages(), model.TemplateClusters(), model.TrainedClusters(), triples)
+			len(pages), m.TrainPages(), m.TemplateClusters(), m.TrainedClusters(), triples)
 	}
 }
+
+// printSink streams triples to the printer as shards complete; Write
+// calls may come from concurrent shard workers, so they are serialized.
+type printSink struct {
+	mu    sync.Mutex
+	print func(ceres.Triple) error
+}
+
+func (s *printSink) OpenShard(batch.Shard) (batch.ShardWriter, error) { return s, nil }
+func (s *printSink) Write(t ceres.Triple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.print(t)
+}
+func (s *printSink) Commit() error { return nil }
+func (s *printSink) Abort() error  { return nil }
 
 func loadPages(dir string) []ceres.PageSource {
 	entries, err := os.ReadDir(dir)

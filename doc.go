@@ -54,8 +54,18 @@
 // into its Registry, and feeds the fused multi-site view directly
 // (Harvester.Fuse).
 //
+// # Batch harvests
+//
+// The offline counterpart is the batch subsystem: ceres/pagestore holds a
+// site-partitioned crawl on disk, and ceres/batch runs a sharded,
+// checkpointed train→publish→extract→fuse job over it through the same
+// Registry/Service stack — killed runs resume exactly where they stopped,
+// and the streaming fusion side (Fuser, FuseStream) aggregates the output
+// without materializing the observations. cmd/ceres-batch drives the loop
+// from the command line.
+//
 // See examples/ for runnable end-to-end programs, DESIGN.md for the system
-// inventory, serialization format and the serving-stack wire protocol, and
-// EXPERIMENTS.md for the reproduction of every table and figure in the
-// paper.
+// inventory, serialization format, the serving-stack wire protocol and the
+// batch-harvest architecture (§8), and EXPERIMENTS.md for the reproduction
+// of every table and figure in the paper.
 package ceres

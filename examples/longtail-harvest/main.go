@@ -2,26 +2,31 @@
 // (§5.5) in miniature: extract from a long-tail, non-English movie site
 // whose entities only partially overlap the seed KB, and report how many
 // facts concern entities the KB had never seen — the knowledge-base growth
-// loop that motivates CERES. It also demonstrates the serving lifecycle:
-// the trained model is persisted, reloaded as a second process would, and
-// streams its extractions with bounded memory.
+// loop that motivates CERES. It runs through the batch harvest subsystem:
+// the site is trained once, published into a versioned model store (as a
+// separate serving process would load it), and extracted shard by shard
+// with bounded memory.
 package main
 
 import (
-	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/url"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"ceres"
+	"ceres/batch"
 )
 
 func main() {
 	pages := flag.Int("pages", 150, "site size")
 	seed := flag.Int64("seed", 1, "generator seed")
 	threshold := flag.Float64("threshold", 0.75, "extraction confidence threshold")
+	shardPages := flag.Int("shard-pages", 32, "pages per extraction shard")
 	flag.Parse()
 	ctx := context.Background()
 
@@ -32,36 +37,55 @@ func main() {
 	fmt.Printf("site kinobox.cz (synthetic): %d Czech-language pages; seed KB: %d triples\n\n",
 		len(corpus.Pages), corpus.KB.NumTriples())
 
-	// Train once...
-	p := ceres.NewPipeline(corpus.KB, ceres.WithThreshold(*threshold))
-	model, err := p.Train(ctx, corpus.Pages)
+	// The batch runner trains the site once, publishes the model into a
+	// versioned store (where any serving process could load it), and
+	// extracts shard by shard — one shard of pages in memory at a time.
+	tmp, err := os.MkdirTemp("", "longtail-harvest-")
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// ...persist the extractor, and reload it the way a separate serving
-	// process would: no KB, no annotation, no training.
-	var buf bytes.Buffer
-	n, err := model.WriteTo(&buf)
+	defer os.RemoveAll(tmp)
+	store, err := ceres.NewDirStore(filepath.Join(tmp, "models"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	served, err := ceres.ReadSiteModel(&buf)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("site model: %d bytes on disk, %d template clusters (%d trained)\n",
-		n, served.TemplateClusters(), served.TrainedClusters())
-
-	// Stream extractions from the reloaded model.
-	var triples []ceres.Triple
-	err = served.ExtractStream(ctx, corpus.Pages, func(t ceres.Triple) error {
-		triples = append(triples, t)
-		return nil
+	provider := batch.NewMemProvider()
+	provider.Add("kinobox.cz", corpus.Pages)
+	sink := batch.NewCollectSink()
+	runner, err := batch.NewRunner(batch.Config{
+		Provider: provider,
+		Sink:     sink,
+		Store:    store,
+		Pipeline: ceres.NewPipeline(corpus.KB, ceres.WithThreshold(*threshold)),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	report, err := runner.Run(ctx, batch.Job{ShardPages: *shardPages})
+	if err != nil {
+		log.Fatal(err)
+	}
+	site := report.Sites[0]
+	if site.Skipped || site.Err != "" {
+		log.Fatalf("harvest failed: %s", site.Err)
+	}
+
+	// The published artifact is what a separate serving fleet would load.
+	served, version, err := store.Latest("kinobox.cz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(store.Root(), url.PathEscape("kinobox.cz"), fmt.Sprintf("v%06d.json", version)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("site model: %d bytes on disk, %d template clusters (%d trained)\n",
+		fi.Size(), served.TemplateClusters(), served.TrainedClusters())
+	fmt.Printf("harvest: %d shards, %d pages extracted through model v%d\n",
+		site.Shards, report.Pages, site.Version)
+
+	triples := sink.Triples()
+	ceres.SortTriples(triples)
 	prec, rec, _ := corpus.Score(triples)
 
 	// Count triples about subjects absent from the seed KB.

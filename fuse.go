@@ -1,6 +1,7 @@
 package ceres
 
 import (
+	"iter"
 	"sort"
 
 	"ceres/internal/fusion"
@@ -9,10 +10,64 @@ import (
 // FusedFact is a triple aggregated across sites with combined belief.
 type FusedFact = fusion.Fact
 
+// FusionObservation is one extracted triple credited to a source site —
+// the unit streaming fusion consumes.
+type FusionObservation = fusion.Observation
+
 // FusionOptions tunes cross-site aggregation. SourcePriors assigns
 // per-site reliability (default 0.7); Functional marks single-valued
 // predicates whose competing objects must be resolved.
 type FusionOptions = fusion.Options
+
+// Fuser fuses observations one at a time, so a crawl-scale harvest can
+// stream millions of extractions through fusion without materializing
+// them: memory grows with the number of distinct facts, not with the
+// number of observations. Feed observations in a deterministic order when
+// bit-reproducible beliefs matter (belief is a floating-point product over
+// the observations of a fact). Facts may be called at any point and does
+// not consume the accumulated state. A Fuser is not safe for concurrent
+// use.
+type Fuser struct {
+	acc *fusion.Accumulator
+}
+
+// NewFuser builds an empty streaming fuser over the fusion options.
+func NewFuser(opts FusionOptions) *Fuser {
+	return &Fuser{acc: fusion.NewAccumulator(opts)}
+}
+
+// Observe folds one observation into the running aggregates.
+func (f *Fuser) Observe(o FusionObservation) { f.acc.Add(o) }
+
+// ObserveTriple folds one extracted triple, credited to site, into the
+// running aggregates.
+func (f *Fuser) ObserveTriple(site string, t Triple) {
+	f.acc.Add(fusion.Observation{
+		Source:     site,
+		Subject:    t.Subject,
+		Predicate:  t.Predicate,
+		Object:     t.Object,
+		Confidence: t.Confidence,
+	})
+}
+
+// Len returns how many distinct facts have been accumulated.
+func (f *Fuser) Len() int { return f.acc.Len() }
+
+// Facts resolves the aggregates into fused facts, sorted by descending
+// belief then subject/predicate/object.
+func (f *Fuser) Facts() []FusedFact { return f.acc.Facts() }
+
+// FuseStream aggregates a stream of observations into fused facts without
+// materializing the observation list — the bounded-memory form of Fuse for
+// batch harvests. Observations are folded in stream order.
+func FuseStream(obs iter.Seq[FusionObservation], opts FusionOptions) []FusedFact {
+	f := NewFuser(opts)
+	for o := range obs {
+		f.Observe(o)
+	}
+	return f.Facts()
+}
 
 // Fuse aggregates extraction results from multiple sites into fused facts
 // — the knowledge-fusion post-processing step the paper points to for
@@ -27,21 +82,15 @@ func Fuse(results map[string]*Result, opts FusionOptions) []FusedFact {
 		sites = append(sites, site)
 	}
 	sort.Strings(sites)
-	var obs []fusion.Observation
+	f := NewFuser(opts)
 	for _, site := range sites {
 		res := results[site]
 		if res == nil {
 			continue
 		}
 		for _, t := range res.Triples {
-			obs = append(obs, fusion.Observation{
-				Source:     site,
-				Subject:    t.Subject,
-				Predicate:  t.Predicate,
-				Object:     t.Object,
-				Confidence: t.Confidence,
-			})
+			f.ObserveTriple(site, t)
 		}
 	}
-	return fusion.Fuse(obs, opts)
+	return f.Facts()
 }

@@ -1,0 +1,55 @@
+// Package fsatomic is the one implementation of the write-to-temp,
+// fsync, rename publication dance the stores and sinks share: readers
+// (and crash-restarts) observe either the previous file or the complete
+// new one, never a torn write, and a failed publication leaves no temp
+// file behind.
+package fsatomic
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Commit finalizes a temp file the caller has finished writing: fsync,
+// close, make world-readable (CreateTemp files are 0600) and rename over
+// final, which must live in the same directory. On any error the temp
+// file is closed and removed, so failed publications leave nothing
+// behind. The caller must flush any buffering before Commit.
+func Commit(f *os.File, final string) error {
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Chmod(f.Name(), 0o644); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), final); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}
+
+// WriteFile atomically replaces path with data via a temp file in the
+// same directory.
+func WriteFile(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	return Commit(tmp, path)
+}

@@ -1,0 +1,61 @@
+package fsatomic
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "two" {
+		t.Fatalf("read %q, %v", b, err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil || fi.Mode().Perm() != 0o644 {
+		t.Fatalf("mode = %v, %v", fi.Mode(), err)
+	}
+	// No temp droppings.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+}
+
+func TestCommitCleansUpOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	tmp, err := os.CreateTemp(dir, ".x-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.WriteString("data"); err != nil {
+		t.Fatal(err)
+	}
+	// Renaming into a non-existent directory fails after sync/close; the
+	// temp file must be gone afterwards.
+	err = Commit(tmp, filepath.Join(dir, "nosuch", "final"))
+	if err == nil {
+		t.Fatal("commit into missing directory succeeded")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".x-") {
+			t.Fatalf("temp file survived failed commit: %v", ents)
+		}
+	}
+}

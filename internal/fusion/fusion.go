@@ -67,68 +67,124 @@ func (o Options) prior(src string) float64 {
 }
 
 // Fuse aggregates observations into fused facts, sorted by descending
-// belief then subject/predicate/object.
+// belief then subject/predicate/object. It is the one-shot form of
+// Accumulator: Fuse(obs, opts) equals feeding obs in order to an
+// Accumulator and calling Facts.
 func Fuse(obs []Observation, opts Options) []Fact {
-	opts = opts.withDefaults()
-	type key struct{ s, p, o string }
-	type acc struct {
-		fact     Fact
-		oneMinus float64 // Π (1 - prior·confidence)
-		sources  map[string]bool
-	}
-	accs := map[key]*acc{}
+	a := NewAccumulator(opts)
 	for _, ob := range obs {
-		k := key{
-			strmatch.Normalize(ob.Subject),
-			ob.Predicate,
-			strmatch.Normalize(ob.Object),
-		}
-		if k.s == "" || k.o == "" || ob.Predicate == "" {
-			continue
-		}
-		a := accs[k]
-		if a == nil {
-			a = &acc{
-				fact:     Fact{Subject: ob.Subject, Predicate: ob.Predicate, Object: ob.Object},
-				oneMinus: 1,
-				sources:  map[string]bool{},
-			}
-			accs[k] = a
-		}
-		ev := opts.prior(ob.Source) * clamp01(ob.Confidence)
-		a.oneMinus *= 1 - ev
-		a.sources[ob.Source] = true
+		a.Add(ob)
 	}
+	return a.Facts()
+}
 
-	// Collect and resolve functional predicates per (subject, predicate).
-	bySubjPred := map[[2]string][]*acc{}
-	for k, a := range accs {
-		a.fact.Belief = 1 - a.oneMinus
-		for s := range a.sources {
-			a.fact.Sources = append(a.fact.Sources, s)
+// key identifies one fused fact: normalized subject/object, exact
+// predicate.
+type key struct{ s, p, o string }
+
+// acc is the running aggregate of one fact.
+type acc struct {
+	fact     Fact
+	oneMinus float64 // Π (1 - prior·confidence)
+	sources  map[string]bool
+}
+
+// Accumulator fuses observations one at a time, so a crawl-scale harvest
+// can stream its extractions through fusion without ever materializing
+// the observation list. Memory is proportional to the number of distinct
+// (subject, predicate, object) facts, not to the number of observations.
+//
+// Add observations in a deterministic order when reproducible output
+// matters: belief combines floating-point products, so observation order
+// feeds the final bits. Facts does not consume the accumulator — it may
+// be called repeatedly, interleaved with further Adds.
+type Accumulator struct {
+	opts  Options
+	accs  map[key]*acc
+	order []key // insertion order, for deterministic grouping
+}
+
+// NewAccumulator builds an empty accumulator over the fusion options.
+func NewAccumulator(opts Options) *Accumulator {
+	return &Accumulator{opts: opts.withDefaults(), accs: map[key]*acc{}}
+}
+
+// Add folds one observation into the running aggregates. Observations
+// with an empty predicate, or whose subject or object normalize to the
+// empty string, are ignored (they cannot name a fact).
+func (c *Accumulator) Add(ob Observation) {
+	k := key{
+		strmatch.Normalize(ob.Subject),
+		ob.Predicate,
+		strmatch.Normalize(ob.Object),
+	}
+	if k.s == "" || k.o == "" || ob.Predicate == "" {
+		return
+	}
+	a := c.accs[k]
+	if a == nil {
+		a = &acc{
+			fact:     Fact{Subject: ob.Subject, Predicate: ob.Predicate, Object: ob.Object},
+			oneMinus: 1,
+			sources:  map[string]bool{},
 		}
-		sort.Strings(a.fact.Sources)
-		bySubjPred[[2]string{k.s, k.p}] = append(bySubjPred[[2]string{k.s, k.p}], a)
+		c.accs[k] = a
+		c.order = append(c.order, k)
+	}
+	ev := c.opts.prior(ob.Source) * clamp01(ob.Confidence)
+	a.oneMinus *= 1 - ev
+	a.sources[ob.Source] = true
+}
+
+// Len returns how many distinct facts have been accumulated.
+func (c *Accumulator) Len() int { return len(c.accs) }
+
+// Facts resolves the aggregates into fused facts, sorted by descending
+// belief then subject/predicate/object.
+func (c *Accumulator) Facts() []Fact {
+	// Group facts per (subject, predicate) in first-observation order for
+	// functional-predicate resolution.
+	type group struct {
+		sp    [2]string
+		facts []Fact
+	}
+	groupIdx := map[[2]string]int{}
+	var groups []group
+	for _, k := range c.order {
+		a := c.accs[k]
+		f := a.fact
+		f.Belief = 1 - a.oneMinus
+		f.Sources = make([]string, 0, len(a.sources))
+		for s := range a.sources {
+			f.Sources = append(f.Sources, s)
+		}
+		sort.Strings(f.Sources)
+		sp := [2]string{k.s, k.p}
+		i, ok := groupIdx[sp]
+		if !ok {
+			i = len(groups)
+			groupIdx[sp] = i
+			groups = append(groups, group{sp: sp})
+		}
+		groups[i].facts = append(groups[i].facts, f)
 	}
 
 	var out []Fact
-	for sp, group := range bySubjPred {
-		if opts.Functional[sp[1]] && len(group) > 1 {
-			sort.Slice(group, func(i, j int) bool {
-				if group[i].fact.Belief != group[j].fact.Belief {
-					return group[i].fact.Belief > group[j].fact.Belief
+	for _, g := range groups {
+		if c.opts.Functional[g.sp[1]] && len(g.facts) > 1 {
+			sort.Slice(g.facts, func(i, j int) bool {
+				if g.facts[i].Belief != g.facts[j].Belief {
+					return g.facts[i].Belief > g.facts[j].Belief
 				}
-				return group[i].fact.Object < group[j].fact.Object
+				return g.facts[i].Object < g.facts[j].Object
 			})
-			winner := group[0].fact
+			winner := g.facts[0]
 			// Competing evidence discounts the winner.
-			winner.Belief = clamp01(winner.Belief * (1 - group[1].fact.Belief/2))
+			winner.Belief = clamp01(winner.Belief * (1 - g.facts[1].Belief/2))
 			out = append(out, winner)
 			continue
 		}
-		for _, a := range group {
-			out = append(out, a.fact)
-		}
+		out = append(out, g.facts...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

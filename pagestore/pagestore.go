@@ -1,0 +1,456 @@
+// Package pagestore persists a multi-site crawl on disk for batch
+// extraction: the offline page corpus a harvest job reads from, the
+// stand-in for the paper's ClueWeb/CommonCrawl WARC collections (§5.1.3).
+//
+// Layout. A store is a directory of site partitions:
+//
+//	<root>/sites/<url.PathEscape(site)>/seg-000001.gz
+//	                                    seg-000002.gz
+//	                                    site.json
+//
+// Each segment is a single gzip stream of length-prefixed page records
+// (uvarint id length, id bytes, uvarint HTML length, HTML bytes) and is
+// append-only: once a segment is sealed it is never rewritten. site.json
+// is the site's index — the ordered segment list with per-segment page
+// counts — and is replaced atomically (write-to-temp then rename) when a
+// Writer seals its segments, so a reader never observes a torn index and
+// a crash mid-ingest leaves at worst orphan segments the index does not
+// reference (a later Writer numbers past them).
+//
+// Reading is streaming: Pages decodes one record at a time through a
+// reused scratch buffer, so iterating a million-page site costs the two
+// string allocations per page the ceres.PageSource values themselves
+// need, and range reads skip whole segments via the index and discard
+// records without decoding them into strings. A Store therefore serves as
+// the page provider of a batch harvest (ceres/batch.PageProvider) with
+// per-shard bounded memory.
+package pagestore
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"ceres"
+	"ceres/internal/fsatomic"
+)
+
+// ErrSiteNotFound reports a site absent from the store; test with
+// errors.Is.
+var ErrSiteNotFound = errors.New("pagestore: site not found")
+
+// indexFormat versions the site.json index file.
+const indexFormat = "ceres.pagestore/1"
+
+// DefaultSegmentPages is how many pages a Writer packs into one segment
+// before rotating.
+const DefaultSegmentPages = 256
+
+// SegmentInfo describes one sealed segment of a site partition.
+type SegmentInfo struct {
+	// File is the segment file name within the site directory.
+	File string `json:"file"`
+	// Pages is the number of page records in the segment.
+	Pages int `json:"pages"`
+	// Bytes is the compressed size of the segment file.
+	Bytes int64 `json:"bytes"`
+}
+
+// SiteInfo is the index of one site partition.
+type SiteInfo struct {
+	Format string `json:"format"`
+	// Site is the unescaped site name.
+	Site string `json:"site"`
+	// Pages is the total page count across segments.
+	Pages int `json:"pages"`
+	// Segments lists the sealed segments in read order.
+	Segments []SegmentInfo `json:"segments"`
+}
+
+// Store is a site-partitioned page corpus on disk. It is safe for
+// concurrent use within one process: any number of readers may stream
+// while writers ingest, and writers to different sites never contend.
+// Two Writers for the same site must not run concurrently.
+type Store struct {
+	root string
+	mu   sync.Mutex // serializes index rewrites per process
+}
+
+// Open opens (creating if needed) a page store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "sites"), 0o755); err != nil {
+		return nil, fmt.Errorf("pagestore: opening store: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) siteDir(site string) string {
+	return filepath.Join(s.root, "sites", url.PathEscape(site))
+}
+
+// Sites lists the stored sites, sorted. Only sites with a sealed index
+// appear: a partition that crashed before its first Writer.Close is
+// invisible.
+func (s *Store) Sites() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.root, "sites"))
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: listing sites: %w", err)
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		site, err := url.PathUnescape(e.Name())
+		if err != nil {
+			continue // not a store partition
+		}
+		if _, err := os.Stat(filepath.Join(s.siteDir(site), "site.json")); err != nil {
+			continue
+		}
+		out = append(out, site)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Info loads a site's index. It returns ErrSiteNotFound for a site the
+// store does not hold.
+func (s *Store) Info(site string) (SiteInfo, error) {
+	if err := ceres.CheckSiteName(site); err != nil {
+		return SiteInfo{}, fmt.Errorf("pagestore: %w", err)
+	}
+	b, err := os.ReadFile(filepath.Join(s.siteDir(site), "site.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return SiteInfo{}, fmt.Errorf("%w: %q", ErrSiteNotFound, site)
+		}
+		return SiteInfo{}, fmt.Errorf("pagestore: reading index: %w", err)
+	}
+	var info SiteInfo
+	if err := json.Unmarshal(b, &info); err != nil {
+		return SiteInfo{}, fmt.Errorf("pagestore: reading index of %q: %w", site, err)
+	}
+	if info.Format != indexFormat {
+		return SiteInfo{}, fmt.Errorf("pagestore: unknown index format %q for site %q", info.Format, site)
+	}
+	return info, nil
+}
+
+// PageCount returns a site's total page count.
+func (s *Store) PageCount(site string) (int, error) {
+	info, err := s.Info(site)
+	if err != nil {
+		return 0, err
+	}
+	return info.Pages, nil
+}
+
+// Writer ingests pages into one site partition. Append streams records
+// into gzip segment files, rotating every SegmentPages pages; Close seals
+// the open segment and publishes the updated index atomically. Until
+// Close returns, readers see the partition as it was before the Writer
+// started — ingest is all-or-nothing at segment granularity.
+type Writer struct {
+	// SegmentPages caps pages per segment (DefaultSegmentPages when left
+	// zero). Change it before the first Append.
+	SegmentPages int
+
+	store *Store
+	site  string
+	dir   string
+	info  SiteInfo // index as of open, plus sealed segments
+
+	f       *os.File
+	gz      *gzip.Writer
+	bw      *bufio.Writer
+	segPage int // pages in the open segment
+	nextSeg int
+	scratch []byte
+}
+
+// Writer opens a writer that appends pages to a site partition, creating
+// the partition on first use.
+func (s *Store) Writer(site string) (*Writer, error) {
+	if err := ceres.CheckSiteName(site); err != nil {
+		return nil, fmt.Errorf("pagestore: %w", err)
+	}
+	dir := s.siteDir(site)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pagestore: opening writer: %w", err)
+	}
+	info, err := s.Info(site)
+	if err != nil {
+		if !errors.Is(err, ErrSiteNotFound) {
+			return nil, err
+		}
+		info = SiteInfo{Format: indexFormat, Site: site}
+	}
+	// Number new segments past everything on disk — indexed or orphaned by
+	// a crash — so an append never clobbers an existing file.
+	next := 1
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: opening writer: %w", err)
+	}
+	for _, e := range ents {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "seg-%06d.gz", &n); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return &Writer{store: s, site: site, dir: dir, info: info, nextSeg: next}, nil
+}
+
+func segmentFile(n int) string { return fmt.Sprintf("seg-%06d.gz", n) }
+
+// Append adds one page record to the partition.
+func (w *Writer) Append(p ceres.PageSource) error {
+	if p.ID == "" {
+		return fmt.Errorf("pagestore: %w: empty page ID", ceres.ErrInvalidPage)
+	}
+	if w.f == nil {
+		if err := w.openSegment(); err != nil {
+			return err
+		}
+	}
+	w.scratch = binary.AppendUvarint(w.scratch[:0], uint64(len(p.ID)))
+	w.scratch = append(w.scratch, p.ID...)
+	w.scratch = binary.AppendUvarint(w.scratch, uint64(len(p.HTML)))
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		return fmt.Errorf("pagestore: appending page: %w", err)
+	}
+	if _, err := w.bw.WriteString(p.HTML); err != nil {
+		return fmt.Errorf("pagestore: appending page: %w", err)
+	}
+	w.segPage++
+	segCap := w.SegmentPages
+	if segCap <= 0 {
+		segCap = DefaultSegmentPages
+	}
+	if w.segPage >= segCap {
+		return w.seal()
+	}
+	return nil
+}
+
+// AppendAll appends a slice of pages.
+func (w *Writer) AppendAll(pages []ceres.PageSource) error {
+	for _, p := range pages {
+		if err := w.Append(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Writer) openSegment() error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentFile(w.nextSeg)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("pagestore: opening segment: %w", err)
+	}
+	w.f = f
+	w.gz = gzip.NewWriter(f)
+	w.bw = bufio.NewWriterSize(w.gz, 64<<10)
+	w.segPage = 0
+	return nil
+}
+
+// seal flushes and closes the open segment and records it in the pending
+// index.
+func (w *Writer) seal() error {
+	if w.f == nil {
+		return nil
+	}
+	name := segmentFile(w.nextSeg)
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("pagestore: sealing segment: %w", err)
+	}
+	if err := w.gz.Close(); err != nil {
+		return fmt.Errorf("pagestore: sealing segment: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("pagestore: sealing segment: %w", err)
+	}
+	st, err := w.f.Stat()
+	if err != nil {
+		return fmt.Errorf("pagestore: sealing segment: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("pagestore: sealing segment: %w", err)
+	}
+	w.info.Segments = append(w.info.Segments, SegmentInfo{File: name, Pages: w.segPage, Bytes: st.Size()})
+	w.info.Pages += w.segPage
+	w.f, w.gz, w.bw = nil, nil, nil
+	w.nextSeg++
+	w.segPage = 0
+	return nil
+}
+
+// Close seals the open segment and atomically publishes the updated
+// index. The ingested pages become visible to readers only when Close
+// returns nil.
+func (w *Writer) Close() error {
+	if err := w.seal(); err != nil {
+		return err
+	}
+	w.store.mu.Lock()
+	defer w.store.mu.Unlock()
+	b, err := json.MarshalIndent(w.info, "", "  ")
+	if err != nil {
+		return fmt.Errorf("pagestore: writing index: %w", err)
+	}
+	if err := fsatomic.WriteFile(filepath.Join(w.dir, "site.json"), append(b, '\n')); err != nil {
+		return fmt.Errorf("pagestore: writing index: %w", err)
+	}
+	return nil
+}
+
+// Ingest appends a whole page set to a site partition and seals it — the
+// convenience path for loading a generated crawl or an in-memory site.
+func (s *Store) Ingest(site string, pages []ceres.PageSource) error {
+	w, err := s.Writer(site)
+	if err != nil {
+		return err
+	}
+	if err := w.AppendAll(pages); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// Pages streams records [start, start+n) of a site in ingest order
+// through fn, decoding one page at a time: memory stays constant in site
+// size. n < 0 streams to the end. A non-nil error from fn stops the scan
+// and is returned. Whole segments before start are never opened, and
+// records skipped within the first segment are discarded without string
+// allocation.
+func (s *Store) Pages(site string, start, n int, fn func(ceres.PageSource) error) error {
+	if start < 0 {
+		return fmt.Errorf("pagestore: negative start %d", start)
+	}
+	info, err := s.Info(site)
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		n = info.Pages - start
+	}
+	for _, seg := range info.Segments {
+		if n <= 0 {
+			break
+		}
+		if start >= seg.Pages {
+			start -= seg.Pages
+			continue
+		}
+		took, err := s.scanSegment(site, seg, start, n, fn)
+		if err != nil {
+			return err
+		}
+		n -= took
+		start = 0
+	}
+	return nil
+}
+
+// scanSegment streams up to n records of one segment starting at record
+// index start, returning how many records it passed to fn.
+func (s *Store) scanSegment(site string, seg SegmentInfo, start, n int, fn func(ceres.PageSource) error) (int, error) {
+	f, err := os.Open(filepath.Join(s.siteDir(site), seg.File))
+	if err != nil {
+		return 0, fmt.Errorf("pagestore: opening segment: %w", err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(bufio.NewReaderSize(f, 64<<10))
+	if err != nil {
+		return 0, fmt.Errorf("pagestore: reading segment %s: %w", seg.File, err)
+	}
+	defer gz.Close()
+	br := bufio.NewReaderSize(gz, 64<<10)
+
+	var scratch []byte
+	readString := func() (string, error) {
+		ln, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if cap(scratch) < int(ln) {
+			scratch = make([]byte, ln)
+		}
+		buf := scratch[:ln]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	// Skip start records without materializing strings.
+	discard := func() error {
+		for i := 0; i < 2; i++ {
+			ln, err := binary.ReadUvarint(br)
+			if err != nil {
+				return err
+			}
+			for ln > 0 {
+				c := int(ln)
+				if c > 1<<20 {
+					c = 1 << 20
+				}
+				d, err := br.Discard(c)
+				ln -= uint64(d)
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for i := 0; i < start; i++ {
+		if err := discard(); err != nil {
+			return 0, fmt.Errorf("pagestore: reading segment %s: %w", seg.File, err)
+		}
+	}
+	took := 0
+	for ; took < n && start+took < seg.Pages; took++ {
+		id, err := readString()
+		if err != nil {
+			return took, fmt.Errorf("pagestore: reading segment %s: %w", seg.File, err)
+		}
+		html, err := readString()
+		if err != nil {
+			return took, fmt.Errorf("pagestore: reading segment %s: %w", seg.File, err)
+		}
+		if err := fn(ceres.PageSource{ID: id, HTML: html}); err != nil {
+			return took, err
+		}
+	}
+	return took, nil
+}
+
+// ReadAll materializes records [start, start+n) of a site (n < 0 reads to
+// the end) — the loading path for bounded page sets like a training
+// sample or one shard. Crawl-scale scans should stream with Pages
+// instead.
+func (s *Store) ReadAll(site string, start, n int) ([]ceres.PageSource, error) {
+	var out []ceres.PageSource
+	if n > 0 {
+		out = make([]ceres.PageSource, 0, n)
+	}
+	err := s.Pages(site, start, n, func(p ceres.PageSource) error {
+		out = append(out, p)
+		return nil
+	})
+	return out, err
+}

@@ -15,6 +15,29 @@ import (
 // ErrModelNotFound reports a site or version absent from a ModelStore.
 var ErrModelNotFound = errors.New("ceres: model not found in store")
 
+// ErrInvalidSiteName reports a site name a store cannot address safely —
+// empty, or one whose escaped form would resolve outside the store root;
+// test with errors.Is.
+var ErrInvalidSiteName = errors.New("ceres: invalid site name")
+
+// CheckSiteName validates a site name for use as a store partition key.
+// Any non-empty name is acceptable as long as its url.PathEscape form is a
+// real directory name: "." and ".." (which PathEscape leaves untouched,
+// and filepath.Join would resolve out of the store root) are rejected, as
+// is anything that still contains a path separator after escaping. Names
+// with slashes, spaces or non-ASCII letters are fine — they escape to a
+// single safe path segment and unescape back on listing.
+func CheckSiteName(site string) error {
+	if site == "" {
+		return fmt.Errorf("%w: empty", ErrInvalidSiteName)
+	}
+	esc := url.PathEscape(site)
+	if esc == "." || esc == ".." || strings.ContainsAny(esc, `/\`) {
+		return fmt.Errorf("%w: %q", ErrInvalidSiteName, site)
+	}
+	return nil
+}
+
 // ModelStore persists trained SiteModels by site and monotonically
 // increasing version, so a serving fleet can publish, roll forward and roll
 // back extractors without retraining. Implementations must be safe for
@@ -111,8 +134,8 @@ func (s *DirStore) versions(site string) ([]int, error) {
 // on that collision the version is re-assigned and the link retried, so
 // concurrent publishers each keep their own complete model.
 func (s *DirStore) Publish(site string, m *SiteModel) (int, error) {
-	if site == "" {
-		return 0, fmt.Errorf("ceres: publishing model: empty site name")
+	if err := CheckSiteName(site); err != nil {
+		return 0, fmt.Errorf("ceres: publishing model: %w", err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -174,6 +197,9 @@ func (s *DirStore) Publish(site string, m *SiteModel) (int, error) {
 
 // Open implements ModelStore.
 func (s *DirStore) Open(site string, version int) (*SiteModel, error) {
+	if err := CheckSiteName(site); err != nil {
+		return nil, fmt.Errorf("ceres: opening model: %w", err)
+	}
 	f, err := os.Open(filepath.Join(s.siteDir(site), versionFile(version)))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -187,6 +213,9 @@ func (s *DirStore) Open(site string, version int) (*SiteModel, error) {
 
 // Latest implements ModelStore.
 func (s *DirStore) Latest(site string) (*SiteModel, int, error) {
+	if err := CheckSiteName(site); err != nil {
+		return nil, 0, fmt.Errorf("ceres: opening model: %w", err)
+	}
 	vs, err := s.versions(site)
 	if err != nil {
 		return nil, 0, err

@@ -212,3 +212,90 @@ func TestReadSiteModelTruncated(t *testing.T) {
 		}
 	}
 }
+
+// TestDirStoreSiteNameHardening proves hostile or unusual site names
+// cannot address files outside the store root, and that legal-but-odd
+// names round-trip through Publish/List/Latest.
+func TestDirStoreSiteNameHardening(t *testing.T) {
+	f := getTrainServeFixture(t)
+	outer := t.TempDir()
+	root := filepath.Join(outer, "models")
+	store, err := NewDirStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, site := range []string{"", ".", ".."} {
+		if _, err := store.Publish(site, f.model); !errors.Is(err, ErrInvalidSiteName) {
+			t.Errorf("Publish(%q) error = %v, want ErrInvalidSiteName", site, err)
+		}
+		if _, err := store.Open(site, 1); !errors.Is(err, ErrInvalidSiteName) {
+			t.Errorf("Open(%q) error = %v, want ErrInvalidSiteName", site, err)
+		}
+		if _, _, err := store.Latest(site); !errors.Is(err, ErrInvalidSiteName) {
+			t.Errorf("Latest(%q) error = %v, want ErrInvalidSiteName", site, err)
+		}
+	}
+
+	// Slash-containing, dot-leading and unicode names are legal: PathEscape
+	// folds each into a single directory entry under the store root.
+	odd := []string{"../escape.example", "a/b/c", "..hidden", "filmová-databáze.cz", "漢字.example", "sp ace.example"}
+	for _, site := range odd {
+		if _, err := store.Publish(site, f.model); err != nil {
+			t.Fatalf("Publish(%q): %v", site, err)
+		}
+		if _, _, err := store.Latest(site); err != nil {
+			t.Errorf("Latest(%q): %v", site, err)
+		}
+	}
+
+	// Nothing may exist outside the store root.
+	ents, err := os.ReadDir(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "models" {
+		t.Fatalf("store escaped its root: %v", ents)
+	}
+	err = filepath.Walk(root, func(path string, _ os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			t.Fatalf("path %q resolves outside the root", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// List round-trips every odd name.
+	listed, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, e := range listed {
+		got[e.Site] = true
+	}
+	for _, site := range odd {
+		if !got[site] {
+			t.Errorf("List lost site %q: %v", site, listed)
+		}
+	}
+}
+
+func TestCheckSiteName(t *testing.T) {
+	for _, bad := range []string{"", ".", ".."} {
+		if err := CheckSiteName(bad); !errors.Is(err, ErrInvalidSiteName) {
+			t.Errorf("CheckSiteName(%q) = %v, want ErrInvalidSiteName", bad, err)
+		}
+	}
+	for _, ok := range []string{"a", "...", "a/b", "a\\b", "ünïcode", "a.example"} {
+		if err := CheckSiteName(ok); err != nil {
+			t.Errorf("CheckSiteName(%q) = %v, want nil", ok, err)
+		}
+	}
+}
