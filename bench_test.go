@@ -27,7 +27,7 @@ func benchExperiment(b *testing.B, id string) {
 	cfg := bench.QuickConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := e.Run(cfg)
+		r := e.Run(context.Background(), cfg)
 		if r.Text == "" {
 			b.Fatalf("%s produced no report", id)
 		}

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ceres/internal/bench"
@@ -37,6 +40,11 @@ func main() {
 	}
 	cfg.Seed = *seed
 
+	// Experiments at full scale run for minutes; ^C cancels the worker
+	// pools inside the pipeline instead of leaving them to finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = bench.IDs()
@@ -48,7 +56,11 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		r := e.Run(cfg)
+		r := e.Run(ctx, cfg)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "ceres-bench: interrupted")
+			os.Exit(130)
+		}
 		fmt.Print(bench.FormatReport(r))
 		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"ceres/internal/core"
@@ -12,7 +13,7 @@ import (
 // Ablate measures the design choices DESIGN.md §4 calls out, on one SWDE
 // movie site: each variant flips a single knob against the CERES-Full
 // default and reports page-level extraction quality.
-func Ablate(cfg Config) Report {
+func Ablate(ctx context.Context, cfg Config) Report {
 	s := websim.GenerateSWDE(websim.SWDEConfig{Seed: cfg.Seed, PagesPerSite: cfg.SWDEPagesPerSite})
 	v := s.Verticals["Movie"]
 	K := s.SeedKBs["Movie"]
@@ -41,7 +42,7 @@ func Ablate(cfg Config) Report {
 	for _, va := range variants {
 		c := ceresConfig(cfg)
 		va.mod(&c)
-		facts, _, err := runTrainExtract(train, evalSet, K, c)
+		facts, _, err := runTrainExtract(ctx, train, evalSet, K, c)
 		if err != nil {
 			t.add(va.name, "err", "err", "err", "0")
 			continue

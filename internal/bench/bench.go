@@ -146,8 +146,8 @@ func sourcesOf(pages []*websim.Page) []core.PageSource {
 // runTrainExtract trains on the training half and extracts from the
 // evaluation half, returning scored extraction facts (including the name
 // pseudo-fact per page with an identified subject).
-func runTrainExtract(train, evalSet []*websim.Page, K *kb.KB, cfg core.Config) ([]eval.ScoredFact, *core.Result, error) {
-	res, err := core.Run(context.Background(), sourcesOf(train), K, cfg)
+func runTrainExtract(ctx context.Context, train, evalSet []*websim.Page, K *kb.KB, cfg core.Config) ([]eval.ScoredFact, *core.Result, error) {
+	res, err := core.Run(ctx, sourcesOf(train), K, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

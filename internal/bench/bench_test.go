@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -129,7 +130,7 @@ func TestQuickExperimentsRun(t *testing.T) {
 	cfg := QuickConfig()
 	for _, id := range []string{"table1", "table2", "table7", "figure5"} {
 		e, _ := Lookup(id)
-		r := e.Run(cfg)
+		r := e.Run(context.Background(), cfg)
 		if r.Name == "" || !strings.Contains(r.Text, "--") {
 			t.Errorf("%s: malformed report:\n%s", id, r.Text)
 		}
@@ -146,7 +147,7 @@ func TestFigure6MonotonePrecision(t *testing.T) {
 	cfg := QuickConfig()
 	cfg.CrawlScale = 1.0 / 2000.0
 	cfg.CrawlMaxSite = 16
-	run := runCrawl(cfg)
+	run := runCrawl(context.Background(), cfg)
 	var all []eval.ScoredFact
 	correctSet := map[string]bool{}
 	for _, sr := range run.sites {

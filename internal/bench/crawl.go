@@ -40,7 +40,7 @@ type scoredCrawlFact struct {
 // follows the paper's CommonCrawl protocol: a triple is correct if the
 // page it came from asserts it (subject = page topic, (predicate, value)
 // in the page's gold facts).
-func runCrawl(cfg Config) *crawlRun {
+func runCrawl(ctx context.Context, cfg Config) *crawlRun {
 	c := websim.GenerateCrawl(websim.CrawlConfig{Seed: cfg.Seed + 200, Scale: cfg.CrawlScale, MaxSitePages: cfg.CrawlMaxSite})
 	run := &crawlRun{crawl: c}
 	for i, site := range c.Sites {
@@ -57,7 +57,7 @@ func runCrawl(cfg Config) *crawlRun {
 			topicByPage[p.ID] = p.TopicName
 			topicIDByPage[p.ID] = p.TopicID
 		}
-		res, err := core.Run(context.Background(), sourcesOf(site.Pages), c.SeedKB, ceresConfig(cfg))
+		res, err := core.Run(ctx, sourcesOf(site.Pages), c.SeedKB, ceresConfig(cfg))
 		if err == nil {
 			sr.annotatedPages = res.NumAnnotatedPages()
 			sr.annotations = res.NumAnnotations()
@@ -83,8 +83,8 @@ func runCrawl(cfg Config) *crawlRun {
 // Figure6 sweeps the extraction-confidence threshold over the pooled
 // crawl extractions (paper Figure 6: precision vs number of extractions;
 // 0.75 gave 1.25M extractions at 90% precision).
-func Figure6(cfg Config) Report {
-	run := runCrawl(cfg)
+func Figure6(ctx context.Context, cfg Config) Report {
+	run := runCrawl(ctx, cfg)
 	var all []eval.ScoredFact
 	correct := map[string]bool{}
 	for _, sr := range run.sites {
@@ -108,8 +108,8 @@ func Figure6(cfg Config) Report {
 }
 
 // Table8 reports the per-site breakdown at threshold 0.5 (paper Table 8).
-func Table8(cfg Config) Report {
-	run := runCrawl(cfg)
+func Table8(ctx context.Context, cfg Config) Report {
+	run := runCrawl(ctx, cfg)
 	t := &table{header: []string{
 		"Website", "Focus", "#Pages", "#AnnPages", "#Ann", "#Ext",
 		"Ext/AnnPages", "Ext/Ann", "Precision",
@@ -154,8 +154,8 @@ func Table8(cfg Config) Report {
 }
 
 // Table9 reports the ten most-extracted predicates (paper Table 9).
-func Table9(cfg Config) Report {
-	run := runCrawl(cfg)
+func Table9(ctx context.Context, cfg Config) Report {
+	run := runCrawl(ctx, cfg)
 	type agg struct{ ann, ext, corr int }
 	per := map[string]*agg{}
 	var totAnn, totExt, totCorr int

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"ceres/internal/core"
@@ -38,7 +39,7 @@ type imdbDomainResult struct {
 	topicPRF          eval.PRF
 }
 
-func runIMDBDomain(domain string, site *websim.Site, K *kb.KB, cfg Config) *imdbDomainResult {
+func runIMDBDomain(ctx context.Context, domain string, site *websim.Site, K *kb.KB, cfg Config) *imdbDomainResult {
 	train, evalSet := splitHalves(site.Pages)
 	out := &imdbDomainResult{domain: domain}
 
@@ -74,7 +75,7 @@ func runIMDBDomain(domain string, site *websim.Site, K *kb.KB, cfg Config) *imdb
 		annRes := core.Annotate(trainPages, K, c.Topic, c.Relation)
 		annScores := scoreAnnotations(trainPages, train, annRes, K)
 
-		facts, _, err := runTrainExtract(train, evalSet, K, c)
+		facts, _, err := runTrainExtract(ctx, train, evalSet, K, c)
 		extScores := map[string]eval.PRF{}
 		if err == nil {
 			pred := eval.Threshold(facts, cfg.Threshold)
@@ -201,7 +202,7 @@ var imdbFilmPreds = []string{
 
 // Table5 compares extraction quality of CERES-Topic vs CERES-Full on the
 // IMDb-like corpus (paper Table 5).
-func Table5(cfg Config) Report {
+func Table5(ctx context.Context, cfg Config) Report {
 	s := setupIMDB(cfg)
 	t := &table{header: []string{"Domain", "Predicate", "Topic P", "Topic R", "Topic F1", "Full P", "Full R", "Full F1"}}
 	for _, d := range []struct {
@@ -212,7 +213,7 @@ func Table5(cfg Config) Report {
 		{"Person", s.people, imdbPersonPreds},
 		{"Film/TV", s.films, imdbFilmPreds},
 	} {
-		r := runIMDBDomain(d.name, d.site, s.K, cfg)
+		r := runIMDBDomain(ctx, d.name, d.site, s.K, cfg)
 		for _, p := range d.preds {
 			tp, fu := r.extTopic[p], r.extFull[p]
 			t.add(d.name, shortPred(p), f3(tp.P), f3(tp.R), f3(tp.F1), f3(fu.P), f3(fu.R), f3(fu.F1))
@@ -224,7 +225,7 @@ func Table5(cfg Config) Report {
 }
 
 // Table6 compares annotation quality of the two modes (paper Table 6).
-func Table6(cfg Config) Report {
+func Table6(ctx context.Context, cfg Config) Report {
 	s := setupIMDB(cfg)
 	t := &table{header: []string{"Domain", "Predicate", "Topic P", "Topic R", "Topic F1", "Full P", "Full R", "Full F1"}}
 	for _, d := range []struct {
@@ -235,7 +236,7 @@ func Table6(cfg Config) Report {
 		{"Person", s.people, imdbPersonPreds},
 		{"Film/TV", s.films, imdbFilmPreds},
 	} {
-		r := runIMDBDomain(d.name, d.site, s.K, cfg)
+		r := runIMDBDomain(ctx, d.name, d.site, s.K, cfg)
 		for _, p := range d.preds {
 			tp, fu := r.annTopic[p], r.annFull[p]
 			t.add(d.name, shortPred(p), f3(tp.P), f3(tp.R), f3(tp.F1), f3(fu.P), f3(fu.R), f3(fu.F1))
@@ -247,7 +248,7 @@ func Table6(cfg Config) Report {
 }
 
 // Table7 reports topic-identification accuracy (paper Table 7).
-func Table7(cfg Config) Report {
+func Table7(ctx context.Context, cfg Config) Report {
 	s := setupIMDB(cfg)
 	t := &table{header: []string{"Domain", "P", "R", "F1"}}
 	for _, d := range []struct {
@@ -257,7 +258,7 @@ func Table7(cfg Config) Report {
 		{"Person", s.people},
 		{"Film/TV", s.films},
 	} {
-		r := runIMDBDomain(d.name, d.site, s.K, cfg)
+		r := runIMDBDomain(ctx, d.name, d.site, s.K, cfg)
 		t.add(d.name, f3(r.topicPRF.P), f3(r.topicPRF.R), f3(r.topicPRF.F1))
 	}
 	return Report{Name: "Table 7: topic identification accuracy on IMDb", Text: t.String()}

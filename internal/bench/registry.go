@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -8,7 +9,7 @@ import (
 type Experiment struct {
 	ID   string
 	Desc string
-	Run  func(Config) Report
+	Run  func(context.Context, Config) Report
 }
 
 // Experiments lists every experiment, keyed by the paper artifact it
@@ -49,10 +50,10 @@ func IDs() []string {
 }
 
 // RunAll executes every experiment and returns the reports in order.
-func RunAll(cfg Config) []Report {
+func RunAll(ctx context.Context, cfg Config) []Report {
 	out := make([]Report, 0, len(Experiments))
 	for _, e := range Experiments {
-		out = append(out, e.Run(cfg))
+		out = append(out, e.Run(ctx, cfg))
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,7 +15,7 @@ import (
 
 // Table1 reports the composition of the generated SWDE benchmark (paper
 // Table 1: verticals, site counts, page counts, attributes).
-func Table1(cfg Config) Report {
+func Table1(ctx context.Context, cfg Config) Report {
 	s := websim.GenerateSWDE(websim.SWDEConfig{Seed: cfg.Seed, PagesPerSite: cfg.SWDEPagesPerSite})
 	t := &table{header: []string{"Vertical", "#Sites", "#Pages", "Attributes"}}
 	for _, name := range []string{"Book", "Movie", "NBAPlayer", "University"} {
@@ -29,7 +30,7 @@ func Table1(cfg Config) Report {
 }
 
 // Table2 reports the movie seed KB's entity types (paper Table 2).
-func Table2(cfg Config) Report {
+func Table2(ctx context.Context, cfg Config) Report {
 	s := websim.GenerateSWDE(websim.SWDEConfig{Seed: cfg.Seed, PagesPerSite: cfg.SWDEPagesPerSite})
 	t := &table{header: []string{"Entity Type", "#Instances", "#Predicates"}}
 	for _, st := range s.SeedKBs["Movie"].Stats() {
@@ -49,7 +50,7 @@ type swdeSystemResult struct {
 // annotation/training, half for evaluation, threshold 0.5, one prediction
 // per predicate per page, page-hit metric. Paper numbers are quoted
 // alongside for shape comparison.
-func Table3(cfg Config) Report {
+func Table3(ctx context.Context, cfg Config) Report {
 	s := websim.GenerateSWDE(websim.SWDEConfig{Seed: cfg.Seed, PagesPerSite: cfg.SWDEPagesPerSite})
 	verticals := []string{"Movie", "NBAPlayer", "University", "Book"}
 
@@ -81,7 +82,7 @@ func Table3(cfg Config) Report {
 				if mode == "CERES-Topic" {
 					c.Relation.AnnotateAllMentions = true
 				}
-				facts, _, err := runTrainExtract(train, evalSet, K, c)
+				facts, _, err := runTrainExtract(ctx, train, evalSet, K, c)
 				if err != nil {
 					continue
 				}
@@ -208,7 +209,7 @@ func mean(xs []float64) float64 {
 
 // Table4 reports per-predicate precision/recall/F1 of Vertex++ vs
 // CERES-Full across all mentions (paper Table 4).
-func Table4(cfg Config) Report {
+func Table4(ctx context.Context, cfg Config) Report {
 	s := websim.GenerateSWDE(websim.SWDEConfig{Seed: cfg.Seed, PagesPerSite: cfg.SWDEPagesPerSite})
 	t := &table{header: []string{"Vertical", "Predicate", "Vx++ P", "Vx++ R", "Vx++ F1", "CERES P", "CERES R", "CERES F1"}}
 	for _, vname := range []string{"Movie", "NBAPlayer", "University", "Book"} {
@@ -222,7 +223,7 @@ func Table4(cfg Config) Report {
 			goldCeres = append(goldCeres, prefixPages(goldFactsOf(evalSet, evalPreds), site.Name)...)
 			vx := vertexFacts(train, evalSet, 2)
 			vxAll = append(vxAll, prefixPages(filterFacts(eval.Threshold(vx, 0), v.Predicates), site.Name)...)
-			facts, _, err := runTrainExtract(train, evalSet, K, ceresConfig(cfg))
+			facts, _, err := runTrainExtract(ctx, train, evalSet, K, ceresConfig(cfg))
 			if err != nil {
 				continue
 			}
@@ -281,7 +282,7 @@ func shortPred(p string) string {
 // the number of its books (ISBNs) present in the seed KB vs extraction F1
 // (paper Figure 4: "lower overlap typically corresponds to lower
 // recall").
-func Figure4(cfg Config) Report {
+func Figure4(ctx context.Context, cfg Config) Report {
 	s := websim.GenerateSWDE(websim.SWDEConfig{Seed: cfg.Seed, PagesPerSite: cfg.SWDEPagesPerSite})
 	v := s.Verticals["Book"]
 	K := s.SeedKBs["Book"]
@@ -303,7 +304,7 @@ func Figure4(cfg Config) Report {
 			}
 		}
 		train, evalSet := splitHalves(site.Pages)
-		facts, _, err := runTrainExtract(train, evalSet, K, ceresConfig(cfg))
+		facts, _, err := runTrainExtract(ctx, train, evalSet, K, ceresConfig(cfg))
 		f1 := 0.0
 		if err == nil {
 			top := eval.TopPrediction(thresholdScored(facts, cfg.Threshold))
@@ -321,7 +322,7 @@ func Figure4(cfg Config) Report {
 
 // Figure5 caps the number of annotated pages used for training on the
 // Movie vertical (paper Figure 5, log-scaled x axis).
-func Figure5(cfg Config) Report {
+func Figure5(ctx context.Context, cfg Config) Report {
 	s := websim.GenerateSWDE(websim.SWDEConfig{Seed: cfg.Seed, PagesPerSite: cfg.SWDEPagesPerSite})
 	v := s.Verticals["Movie"]
 	K := s.SeedKBs["Movie"]
