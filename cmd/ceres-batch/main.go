@@ -197,15 +197,16 @@ func generateCrawl(store *pagestore.Store, kbPath string, seed int64, scale floa
 		}
 		total += len(site.Pages)
 	}
-	kbFile, err := os.Create(kbPath)
+	kbFile, err := os.CreateTemp(filepath.Dir(kbPath), "."+filepath.Base(kbPath)+"-*")
 	if err != nil {
 		return err
 	}
 	if err := crawl.SeedKB.Write(kbFile); err != nil {
 		kbFile.Close()
+		os.Remove(kbFile.Name())
 		return err
 	}
-	if err := kbFile.Close(); err != nil {
+	if err := fsatomic.Commit(kbFile, kbPath); err != nil {
 		return err
 	}
 	mb, err := json.Marshal(map[string]any{"seed": seed, "scale": scale, "sites": len(crawl.Sites), "pages": total})
@@ -221,7 +222,7 @@ func generateCrawl(store *pagestore.Store, kbPath string, seed int64, scale floa
 }
 
 func writeFused(path string, facts []ceres.FusedFact) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+"-*")
 	if err != nil {
 		return err
 	}
@@ -229,10 +230,11 @@ func writeFused(path string, facts []ceres.FusedFact) error {
 	for _, fact := range facts {
 		if err := enc.Encode(fact); err != nil {
 			f.Close()
+			os.Remove(f.Name())
 			return err
 		}
 	}
-	return f.Close()
+	return fsatomic.Commit(f, path)
 }
 
 // printReport writes the per-site harvest summary — the CLI's analogue of

@@ -15,8 +15,10 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"ceres"
+	"ceres/internal/fsatomic"
 )
 
 func main() {
@@ -35,28 +37,28 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, p := range c.Pages {
-		if err := os.WriteFile(filepath.Join(pagesDir, p.ID+".html"), []byte(p.HTML), 0o644); err != nil {
+		if err := fsatomic.WriteFile(filepath.Join(pagesDir, p.ID+".html"), []byte(p.HTML)); err != nil {
 			log.Fatal(err)
 		}
 	}
-	kbFile, err := os.Create(filepath.Join(*out, "kb.tsv"))
+	kbPath := filepath.Join(*out, "kb.tsv")
+	kbFile, err := os.CreateTemp(*out, ".kb.tsv-*")
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := c.KB.Write(kbFile); err != nil {
+		kbFile.Close()
+		os.Remove(kbFile.Name())
 		log.Fatal(err)
 	}
-	if err := kbFile.Close(); err != nil {
+	if err := fsatomic.Commit(kbFile, kbPath); err != nil {
 		log.Fatal(err)
 	}
-	goldFile, err := os.Create(filepath.Join(*out, "gold.tsv"))
-	if err != nil {
-		log.Fatal(err)
-	}
+	var gold strings.Builder
 	for _, g := range c.Gold {
-		fmt.Fprintf(goldFile, "%s\t%s\t%s\n", g.Page, g.Predicate, g.Value)
+		fmt.Fprintf(&gold, "%s\t%s\t%s\n", g.Page, g.Predicate, g.Value)
 	}
-	if err := goldFile.Close(); err != nil {
+	if err := fsatomic.WriteFile(filepath.Join(*out, "gold.tsv"), []byte(gold.String())); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %d pages, kb.tsv (%d triples), gold.tsv (%d facts) to %s\n",

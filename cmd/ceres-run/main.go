@@ -30,6 +30,7 @@ import (
 
 	"ceres"
 	"ceres/batch"
+	"ceres/internal/fsatomic"
 )
 
 func main() {
@@ -147,15 +148,17 @@ func main() {
 		log.Fatal("no model after run")
 	}
 	if *saveModel != "" {
-		f, err := os.Create(*saveModel)
+		f, err := os.CreateTemp(filepath.Dir(*saveModel), "."+filepath.Base(*saveModel)+"-*")
 		if err != nil {
 			log.Fatal(err)
 		}
 		n, err := model.Model.WriteTo(f)
-		if err == nil {
-			err = f.Close()
-		}
 		if err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			log.Fatalf("saving model: %v", err)
+		}
+		if err := fsatomic.Commit(f, *saveModel); err != nil {
 			log.Fatalf("saving model: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *saveModel, n)

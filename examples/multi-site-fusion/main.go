@@ -10,6 +10,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"maps"
+	"slices"
 
 	"ceres"
 )
@@ -48,8 +50,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for site, serr := range h.Errors() {
-		fmt.Printf("site %-12s failed: %v\n", site, serr)
+	siteErrs := h.Errors()
+	for _, site := range slices.Sorted(maps.Keys(siteErrs)) {
+		fmt.Printf("site %-12s failed: %v\n", site, siteErrs[site])
 	}
 	for i, kind := range kinds {
 		if res, ok := results[kind]; ok {

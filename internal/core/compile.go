@@ -46,6 +46,8 @@ type structTable struct {
 }
 
 // emit appends the IDs of n's structural features at this position.
+//
+//ceres:allocfree
 func (t *structTable) emit(n *dom.Node, vb *mlr.VectorBuilder) {
 	if id, ok := t.tag[n.Tag]; ok {
 		vb.AddID(int(id))
@@ -163,6 +165,8 @@ func cutInt(s string) (int, string, bool) {
 // windows) but reads the parse-time structural caches and resolves
 // features through the integer tables, so it performs no tree re-walks,
 // no string building and no allocation.
+//
+//ceres:allocfree
 func (cf *CompiledFeaturizer) AppendFeatures(vb *mlr.VectorBuilder, f *Field) {
 	elem := f.Node.Parent
 	if elem == nil {

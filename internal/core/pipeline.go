@@ -205,8 +205,11 @@ func TrainSite(ctx context.Context, sources []PageSource, K *kb.KB, cfg Config) 
 	return sm, res, nil
 }
 
-// ParsePages parses page sources concurrently, preserving order.
+// ParsePages parses page sources concurrently, preserving order. It is
+// the uncancellable convenience form; new call sites should prefer
+// threading a context through parsePagesCtx-backed entry points.
 func ParsePages(sources []PageSource, workers int) []*Page {
+	//ceresvet:ignore ctxflow compatibility wrapper; the root context is deliberate here
 	pages, _ := parsePagesCtx(context.Background(), sources, workers)
 	return pages
 }

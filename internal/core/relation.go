@@ -95,6 +95,7 @@ type objGroup struct {
 // worker pool. Output is identical to AnnotateLegacy (the differential
 // tests assert it over every demo corpus).
 func Annotate(pages []*Page, K *kb.KB, topts TopicOptions, ropts RelationOptions) *AnnotationResult {
+	//ceresvet:ignore ctxflow compatibility wrapper; AnnotateCtx is the cancellable form
 	res, _ := AnnotateCtx(context.Background(), pages, K, topts, ropts, 0)
 	return res
 }

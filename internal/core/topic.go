@@ -120,6 +120,7 @@ func jaccardScore(pageSet map[string]bool, entitySet map[string]bool) float64 {
 // Output is identical to IdentifyTopicsLegacy; the differential tests
 // assert it over every demo corpus.
 func IdentifyTopics(pages []*Page, K *kb.KB, opts TopicOptions) []TopicResult {
+	//ceresvet:ignore ctxflow compatibility wrapper; IdentifyTopicsCtx is the cancellable form
 	out, _ := IdentifyTopicsCtx(context.Background(), pages, K, opts, 0)
 	return out
 }

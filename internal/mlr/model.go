@@ -40,6 +40,8 @@ func (m *Model) ClassCount() int { return m.NumClasses }
 // ScoresInto writes the raw linear scores (logits) for each class into
 // out, which must have length NumClasses. This is the dense-weight fast
 // path: no per-call allocation.
+//
+//ceres:allocfree
 func (m *Model) ScoresInto(x Vector, out []float64) {
 	for k := 0; k < m.NumClasses; k++ {
 		row := m.W[k*m.NumFeatures : (k+1)*m.NumFeatures]
@@ -49,6 +51,8 @@ func (m *Model) ScoresInto(x Vector, out []float64) {
 
 // ProbaInto writes the posterior distribution over classes into out, which
 // must have length NumClasses.
+//
+//ceres:allocfree
 func (m *Model) ProbaInto(x Vector, out []float64) {
 	m.ScoresInto(x, out)
 	softmaxInPlace(out)
@@ -82,6 +86,8 @@ func (m *Model) Predict(x Vector) (class int, prob float64) {
 
 // softmaxInPlace converts logits to probabilities with the max-subtraction
 // trick for numerical stability.
+//
+//ceres:allocfree
 func softmaxInPlace(s []float64) {
 	max := s[0]
 	for _, v := range s[1:] {
@@ -101,6 +107,8 @@ func softmaxInPlace(s []float64) {
 }
 
 // logSumExp returns log Σ exp(s_i), stably.
+//
+//ceres:allocfree
 func logSumExp(s []float64) float64 {
 	max := s[0]
 	for _, v := range s[1:] {

@@ -61,6 +61,8 @@ func (nb *NaiveBayes) ClassCount() int { return nb.NumClasses }
 
 // ProbaInto writes the posterior distribution over classes for x into s,
 // which must have length NumClasses. No per-call allocation.
+//
+//ceres:allocfree
 func (nb *NaiveBayes) ProbaInto(x Vector, s []float64) {
 	for k := 0; k < nb.NumClasses; k++ {
 		s[k] = nb.logPrior[k] + nb.logAbsent[k]

@@ -36,6 +36,8 @@ func NewVector(feats []Feature) Vector {
 
 // coalesceSorted merges duplicate indices (summing their values) and drops
 // zero-valued entries from an index-sorted slice, in place.
+//
+//ceres:allocfree
 func coalesceSorted(sorted []Feature) []Feature {
 	out := sorted[:0]
 	for _, f := range sorted {
@@ -65,21 +67,29 @@ type VectorBuilder struct {
 }
 
 // Reset empties the builder, keeping its capacity.
+//
+//ceres:allocfree
 func (b *VectorBuilder) Reset() { b.feats = b.feats[:0] }
 
 // Len returns the number of accumulated (pre-coalesce) entries.
 func (b *VectorBuilder) Len() int { return len(b.feats) }
 
 // Add appends one (index, value) pair.
+//
+//ceres:allocfree
 func (b *VectorBuilder) Add(index int, value float64) {
 	b.feats = append(b.feats, Feature{Index: index, Value: value})
 }
 
 // AddID appends a binary feature (value 1).
+//
+//ceres:allocfree
 func (b *VectorBuilder) AddID(index int) { b.Add(index, 1) }
 
 // Build sorts, coalesces duplicates and drops zeros in place, returning
 // the normalized Vector. Equivalent to NewVector over the same pairs.
+//
+//ceres:allocfree
 func (b *VectorBuilder) Build() Vector {
 	if len(b.feats) == 0 {
 		return nil
@@ -91,6 +101,8 @@ func (b *VectorBuilder) Build() Vector {
 
 // Dot returns the dot product with a dense weight slice. Indices beyond
 // len(w) are ignored, so models can score vectors with unseen features.
+//
+//ceres:allocfree
 func (v Vector) Dot(w []float64) float64 {
 	var s float64
 	for _, f := range v {
@@ -102,6 +114,8 @@ func (v Vector) Dot(w []float64) float64 {
 }
 
 // MaxIndex returns the largest feature index, or -1 for an empty vector.
+//
+//ceres:allocfree
 func (v Vector) MaxIndex() int {
 	if len(v) == 0 {
 		return -1
