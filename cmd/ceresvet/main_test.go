@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		relDir, pat string
+		want        bool
+	}{
+		{"internal/core", "./...", true},
+		{"internal/core", "...", true},
+		{".", "./...", true},
+		{"internal/core", "./internal/core", true},
+		{"internal/core", "internal/core", true},
+		{"internal/core", "./internal", false},
+		{"internal/core", "./internal/...", true},
+		{"internal/corelib", "./internal/core/...", false},
+		{"internal/core/sub", "./internal/core/...", true},
+		{".", ".", true},
+		{"cmd/ceresvet", ".", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.relDir, c.pat); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.relDir, c.pat, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocFreeAnalyzer enforces the //ceres:allocfree contract on the
+// compiled featurize/score hot paths (DESIGN.md §5–6): an annotated
+// function is called per DOM node per page at serve time, and its
+// 0 allocs/op benchmark numbers are part of the repo's perf trajectory.
+// The analyzer rejects the allocation patterns that have actually crept
+// into such code before a benchmark caught them:
+//
+//   - any call into fmt (Sprintf and friends allocate, always);
+//   - string concatenation (+ / += on strings);
+//   - make, new, and slice/map composite literals; taking the address
+//     of a composite literal (&T{} escapes);
+//   - string ⇄ []byte / []rune conversions;
+//   - closures that capture enclosing variables (the capture escapes);
+//   - append whose destination is a local slice not preallocated with a
+//     capacity (append to caller-owned buffers — parameters, struct
+//     fields, make(T, n, cap) locals, x[:0] reslices — is the blessed
+//     amortized pattern and stays silent);
+//   - implicit conversion of a concrete non-pointer value to an
+//     interface parameter (the boxing allocates);
+//   - spawning goroutines.
+//
+// The contract is per-body: callees are checked only if they carry
+// their own annotation. Plain struct literals used by value (e.g.
+// Feature{i, v} appended into a preallocated slice) do not allocate and
+// are allowed.
+var AllocFreeAnalyzer = &Analyzer{
+	Name: "allocfree",
+	Doc:  "allocations inside //ceres:allocfree hot-path functions",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.Pkg.AllocFree(fn) {
+				continue
+			}
+			checkAllocFree(pass, fn)
+		}
+	}
+}
+
+func checkAllocFree(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	label := funcLabel(fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "allocfree %s spawns a goroutine (stack + closure allocation)", label)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isString(typeOf(info, x)) {
+				pass.Reportf(x.Pos(), "allocfree %s concatenates strings: build into a caller-provided buffer instead", label)
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isString(typeOf(info, x.Lhs[0])) {
+				pass.Reportf(x.Pos(), "allocfree %s concatenates strings with +=: build into a caller-provided buffer instead", label)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, isLit := x.X.(*ast.CompositeLit); isLit {
+					pass.Reportf(x.Pos(), "allocfree %s takes the address of a composite literal: the value escapes to the heap", label)
+				}
+			}
+		case *ast.CompositeLit:
+			if t := typeOf(info, x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(x.Pos(), "allocfree %s builds a slice/map literal: allocate once outside the hot path", label)
+				}
+			}
+		case *ast.FuncLit:
+			if capt := captures(info, fn, x); capt != "" {
+				pass.Reportf(x.Pos(), "allocfree %s creates a closure capturing %q: the capture escapes to the heap", label, capt)
+			}
+		case *ast.CallExpr:
+			checkAllocFreeCall(pass, label, x)
+		}
+		return true
+	})
+}
+
+func checkAllocFreeCall(pass *Pass, label string, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	if path, name, ok := pkgCall(info, call); ok && path == "fmt" {
+		pass.Reportf(call.Pos(), "allocfree %s calls fmt.%s, which always allocates", label, name)
+		return
+	}
+	switch {
+	case isBuiltin(info, call, "make"):
+		pass.Reportf(call.Pos(), "allocfree %s calls make: allocate buffers outside the hot path and reuse them", label)
+		return
+	case isBuiltin(info, call, "new"):
+		pass.Reportf(call.Pos(), "allocfree %s calls new: allocate outside the hot path and reuse", label)
+		return
+	case isBuiltin(info, call, "append"):
+		checkAllocFreeAppend(pass, label, call)
+		return
+	}
+	if conv, bad := allocatingConversion(info, call); bad {
+		pass.Reportf(call.Pos(), "allocfree %s converts %s: the copy allocates", label, conv)
+		return
+	}
+	checkInterfaceArgs(pass, label, call)
+}
+
+// allocatingConversion detects string⇄[]byte/[]rune conversions and
+// explicit conversions to interface types.
+func allocatingConversion(info *types.Info, call *ast.CallExpr) (string, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return "", false
+	}
+	dst := tv.Type
+	src := typeOf(info, call.Args[0])
+	if dst == nil || src == nil {
+		return "", false
+	}
+	if isString(dst) && isByteOrRuneSlice(src) {
+		return "[]byte/[]rune to string", true
+	}
+	if isString(src) && isByteOrRuneSlice(dst) {
+		return "string to []byte/[]rune", true
+	}
+	if types.IsInterface(dst.Underlying()) && !types.IsInterface(src.Underlying()) && !isPointerLike(src) {
+		if _, isConst := call.Args[0].(*ast.BasicLit); !isConst {
+			return "a concrete value to an interface", true
+		}
+	}
+	return "", false
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// checkInterfaceArgs flags arguments whose implicit conversion to an
+// interface parameter boxes a concrete non-pointer value.
+func checkInterfaceArgs(pass *Pass, label string, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	sig, ok := typeOfAsSignature(info, call.Fun)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		pt = types.Unalias(pt)
+		if _, isTP := pt.(*types.TypeParam); isTP {
+			continue // a constraint is not a boxing interface parameter
+		}
+		if !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := typeOf(info, arg)
+		if at == nil || types.IsInterface(at.Underlying()) || isPointerLike(at) {
+			continue
+		}
+		if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+			continue // constants can be boxed statically
+		}
+		if id, ok := arg.(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "allocfree %s passes a concrete value where %s expects an interface: the boxing allocates", label, describeCallee(call))
+	}
+}
+
+func typeOfAsSignature(info *types.Info, fun ast.Expr) (*types.Signature, bool) {
+	t := typeOf(info, fun)
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func describeCallee(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "the callee"
+}
+
+// checkAllocFreeAppend flags append calls whose destination is not a
+// caller-owned or capacity-preallocated buffer.
+func checkAllocFreeAppend(pass *Pass, label string, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := call.Args[0]
+	// Reslices of anything (x[:0], sc.buf[:n]) and field/element
+	// destinations are the amortized-reuse pattern: the backing array
+	// survives across calls.
+	switch d := dst.(type) {
+	case *ast.SliceExpr, *ast.SelectorExpr, *ast.IndexExpr:
+		return
+	case *ast.Ident:
+		checkAppendIdentDst(pass, label, call, d)
+	default:
+		pass.Reportf(call.Pos(), "allocfree %s appends to an unrecognized destination: append only to caller-owned or capacity-preallocated buffers", label)
+	}
+}
+
+func checkAppendIdentDst(pass *Pass, label string, call *ast.CallExpr, id *ast.Ident) {
+	info := pass.Pkg.Info
+	obj := info.ObjectOf(id)
+	if _, ok := obj.(*types.Var); !ok {
+		return
+	}
+	fn := enclosingFunc(pass, call.Pos())
+	if fn == nil {
+		return
+	}
+	// Declared in the signature (parameter, receiver or named result):
+	// a caller-owned buffer, whose growth the caller amortizes.
+	if obj.Pos() < fn.Body.Pos() {
+		return
+	}
+	if localPreallocated(info, fn, obj) {
+		return
+	}
+	pass.Reportf(call.Pos(), "allocfree %s appends to local %q, which is not preallocated with a capacity: growth reallocates per call", label, id.Name)
+}
+
+// localPreallocated reports whether obj's initializer inside fn is a
+// 3-arg make or a reslice/alias of an existing buffer.
+func localPreallocated(info *types.Info, fn *ast.FuncDecl, obj types.Object) bool {
+	ok := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		var lhs []ast.Expr
+		var rhs []ast.Expr
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok != token.DEFINE && x.Tok != token.ASSIGN {
+				return true
+			}
+			lhs, rhs = x.Lhs, x.Rhs
+		case *ast.ValueSpec:
+			for _, name := range x.Names {
+				lhs = append(lhs, name)
+			}
+			rhs = x.Values
+		default:
+			return true
+		}
+		if len(lhs) != len(rhs) {
+			return true
+		}
+		for i, l := range lhs {
+			li, okID := l.(*ast.Ident)
+			if !okID || info.ObjectOf(li) != obj {
+				continue
+			}
+			switch r := rhs[i].(type) {
+			case *ast.CallExpr:
+				if isBuiltin(info, r, "make") && len(r.Args) == 3 {
+					ok = true
+				}
+			case *ast.SliceExpr, *ast.SelectorExpr, *ast.IndexExpr, *ast.Ident:
+				// Aliasing an existing buffer (out := sorted[:0]).
+				ok = true
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// enclosingFunc returns the annotated FuncDecl containing pos.
+func enclosingFunc(pass *Pass, pos token.Pos) *ast.FuncDecl {
+	for _, f := range pass.Pkg.Files {
+		if pos < f.FileStart || pos > f.FileEnd {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil && fn.Body.Pos() <= pos && pos <= fn.Body.End() {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// captures returns the name of a variable the closure captures from the
+// enclosing function, or "" when the literal is capture-free (a static
+// function value, which does not allocate).
+func captures(info *types.Info, fn *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing function (params or
+		// body) but outside the literal itself. Package-level vars are
+		// not captures.
+		p := v.Pos()
+		inFn := p >= fn.Pos() && p <= fn.End()
+		inLit := p >= lit.Pos() && p <= lit.End()
+		if inFn && !inLit {
+			name = v.Name()
+		}
+		return name == ""
+	})
+	return name
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestDiagnosticJSON pins the -json wire shape consumed by CI tooling.
+func TestDiagnosticJSON(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "atomicwrite",
+		File:     "cmd/x/main.go",
+		Line:     12,
+		Col:      7,
+		Message:  "raw os.Create",
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"analyzer", "file", "line", "col", "message"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON missing key %q: %s", key, b)
+		}
+	}
+	if len(m) != 5 {
+		t.Errorf("JSON has %d keys, want 5 (token.Position must stay internal): %s", len(m), b)
+	}
+	if d.String() != "cmd/x/main.go:12:7: atomicwrite: raw os.Create" {
+		t.Errorf("String() = %q", d.String())
+	}
+}

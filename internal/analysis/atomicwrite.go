@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AtomicWriteAnalyzer enforces the repo's crash-safety invariant: every
+// file publication goes through internal/fsatomic (Commit / WriteFile),
+// so readers — and crash-restarted processes — observe either the old
+// file or the complete new one, never a torn write, and failed writes
+// leave no temp droppings.
+//
+// Flagged: calls to os.Create, os.WriteFile, os.Rename and
+// io/ioutil.WriteFile. Allowed: os.CreateTemp (the blessed pattern is
+// CreateTemp → stream → fsatomic.Commit), os.OpenFile (append-only
+// segment files are legitimately non-atomic), anything inside the
+// fsatomic package itself (the one place the rename dance may live) and
+// _test.go files (tests write fixtures freely).
+var AtomicWriteAnalyzer = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "raw os.Create/os.WriteFile/os.Rename outside internal/fsatomic",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Path == "ceres/internal/fsatomic" || strings.HasSuffix(pkg.Path, "/fsatomic") {
+		return
+	}
+	for i, f := range pkg.Files {
+		if isTestFile(pkg.Filenames[i]) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgCall(pkg.Info, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case path == "os" && (name == "Create" || name == "WriteFile" || name == "Rename"):
+				pass.Reportf(call.Pos(), "raw os.%s: publish files through internal/fsatomic (WriteFile, or CreateTemp+Commit for streams) so readers never observe torn writes", name)
+			case path == "io/ioutil" && name == "WriteFile":
+				pass.Reportf(call.Pos(), "raw ioutil.WriteFile: publish files through internal/fsatomic so readers never observe torn writes")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ceresvet understands two source annotations:
+//
+//	//ceres:allocfree
+//	    on a function declaration's doc comment: the function body must
+//	    not allocate (enforced by the allocfree analyzer).
+//
+//	//ceresvet:ignore <analyzer> <reason>
+//	    suppresses the named analyzer's diagnostics on the directive's
+//	    own line and on the line directly below it (so both trailing and
+//	    standalone placement work). The analyzer name and a non-empty
+//	    reason are mandatory: an unexplained or unscoped suppression is
+//	    itself a diagnostic.
+//
+// Like all Go directives they bind only when written with no space
+// after the // marker; a spaced variant is almost always a typo and is
+// reported rather than silently ignored.
+
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type malformed struct {
+	pos token.Pos
+	msg string
+}
+
+type fileDirectives struct {
+	fset      *token.FileSet
+	ignores   []ignoreDirective
+	allocFree map[*ast.FuncDecl]bool
+	bad       []malformed
+}
+
+// AllocFree reports whether fn carries a valid //ceres:allocfree
+// annotation.
+func (p *Package) AllocFree(fn *ast.FuncDecl) bool {
+	return p.directives().allocFree[fn]
+}
+
+func (p *Package) directives() *fileDirectives {
+	if p.dirs != nil {
+		return p.dirs
+	}
+	d := &fileDirectives{fset: p.Fset, allocFree: make(map[*ast.FuncDecl]bool)}
+	for i, f := range p.Files {
+		d.parseFile(p.Filenames[i], f)
+	}
+	p.dirs = d
+	return d
+}
+
+func (d *fileDirectives) parseFile(filename string, f *ast.File) {
+	// Map each comment that sits in a function declaration's doc group
+	// to that declaration: that is the only place //ceres:allocfree may
+	// appear.
+	docOf := make(map[*ast.Comment]*ast.FuncDecl)
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Doc == nil {
+			continue
+		}
+		for _, c := range fn.Doc.List {
+			docOf[c] = fn
+		}
+	}
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			d.parseComment(filename, c, docOf[c])
+		}
+	}
+}
+
+func (d *fileDirectives) parseComment(filename string, c *ast.Comment, doc *ast.FuncDecl) {
+	text := c.Text
+	switch {
+	case strings.HasPrefix(text, "//ceres:"):
+		d.parseAllocFree(strings.TrimPrefix(text, "//ceres:"), c, doc)
+	case strings.HasPrefix(text, "//ceresvet:"):
+		d.parseIgnore(filename, strings.TrimPrefix(text, "//ceresvet:"), c)
+	default:
+		// A spaced "// ceres:..." never binds as a directive; that is a
+		// typo worth surfacing, not silence.
+		trimmed := strings.TrimLeft(strings.TrimPrefix(text, "//"), " \t")
+		if strings.HasPrefix(trimmed, "ceres:") || strings.HasPrefix(trimmed, "ceresvet:") {
+			if trimmed != text[2:] {
+				d.bad = append(d.bad, malformed{c.Pos(),
+					"directive comment must have no space after //: " + strings.Fields(trimmed)[0]})
+			}
+		}
+	}
+}
+
+func (d *fileDirectives) parseAllocFree(rest string, c *ast.Comment, doc *ast.FuncDecl) {
+	name, _, _ := strings.Cut(rest, " ")
+	if name != "allocfree" {
+		d.bad = append(d.bad, malformed{c.Pos(), "unknown //ceres: directive " + strconvQuote(name) + " (only //ceres:allocfree exists)"})
+		return
+	}
+	if strings.TrimSpace(rest) != "allocfree" {
+		d.bad = append(d.bad, malformed{c.Pos(), "//ceres:allocfree takes no arguments"})
+		return
+	}
+	if doc == nil {
+		d.bad = append(d.bad, malformed{c.Pos(), "//ceres:allocfree must be in the doc comment of a function declaration"})
+		return
+	}
+	d.allocFree[doc] = true
+}
+
+func (d *fileDirectives) parseIgnore(filename, rest string, c *ast.Comment) {
+	verb, rest, _ := strings.Cut(rest, " ")
+	if verb != "ignore" {
+		d.bad = append(d.bad, malformed{c.Pos(), "unknown //ceresvet: directive " + strconvQuote(verb) + " (only //ceresvet:ignore exists)"})
+		return
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		d.bad = append(d.bad, malformed{c.Pos(), "//ceresvet:ignore must name the analyzer it suppresses"})
+		return
+	}
+	target := fields[0]
+	if !knownAnalyzer(target) || target == annotationsName {
+		d.bad = append(d.bad, malformed{c.Pos(), "//ceresvet:ignore names unknown analyzer " + strconvQuote(target)})
+		return
+	}
+	if len(fields) < 2 {
+		d.bad = append(d.bad, malformed{c.Pos(), "//ceresvet:ignore " + target + " must give a reason"})
+		return
+	}
+	d.ignores = append(d.ignores, ignoreDirective{
+		file:     filename,
+		line:     d.fset.Position(c.Pos()).Line,
+		analyzer: target,
+	})
+}
+
+// suppressed reports whether a diagnostic is covered by an ignore
+// directive in the same file on the same or the directly preceding line.
+// Annotation-grammar diagnostics are never suppressible.
+func (d *fileDirectives) suppressed(diag Diagnostic) bool {
+	if diag.Analyzer == annotationsName {
+		return false
+	}
+	for _, ig := range d.ignores {
+		if ig.analyzer != diag.Analyzer || ig.file != diag.File {
+			continue
+		}
+		if diag.Line == ig.line || diag.Line == ig.line+1 {
+			return true
+		}
+	}
+	return false
+}
+
+func strconvQuote(s string) string { return strconv.Quote(s) }
+
+// AnnotationsAnalyzer validates the directive grammar itself: malformed
+// //ceres:allocfree and //ceresvet:ignore comments are diagnostics, so a
+// typo cannot silently disable (or fail to apply) an invariant.
+const annotationsName = "annotations"
+
+var AnnotationsAnalyzer = &Analyzer{
+	Name: annotationsName,
+	Doc:  "malformed //ceres:allocfree and //ceresvet:ignore directives",
+	Run: func(pass *Pass) {
+		for _, m := range pass.Pkg.directives().bad {
+			pass.Reportf(m.pos, "%s", m.msg)
+		}
+	},
+}

@@ -1,0 +1,132 @@
+// Package a seeds allocfree violations inside //ceres:allocfree
+// functions, alongside the blessed amortized-buffer patterns that must
+// stay silent. Unannotated functions allocate freely.
+package a
+
+import "fmt"
+
+type sink struct {
+	buf []int
+}
+
+//ceres:allocfree
+func sprintfHot(n int) string {
+	return fmt.Sprintf("%d", n) // want "calls fmt.Sprintf"
+}
+
+//ceres:allocfree
+func concatHot(a, b string) string {
+	return a + b // want "concatenates strings"
+}
+
+//ceres:allocfree
+func concatAssignHot(a, b string) string {
+	a += b // want "concatenates strings with"
+	return a
+}
+
+//ceres:allocfree
+func makeHot(n int) []int {
+	return make([]int, n) // want "calls make"
+}
+
+//ceres:allocfree
+func newHot() *sink {
+	return new(sink) // want "calls new"
+}
+
+//ceres:allocfree
+func litHot() []int {
+	return []int{1, 2, 3} // want "slice/map literal"
+}
+
+//ceres:allocfree
+func escapeHot() *sink {
+	return &sink{} // want "address of a composite literal"
+}
+
+//ceres:allocfree
+func goHot(done chan struct{}) {
+	go close(done) // want "spawns a goroutine"
+}
+
+//ceres:allocfree
+func closureHot(n int) func() int {
+	return func() int { return n } // want "closure capturing"
+}
+
+//ceres:allocfree
+func staticClosureHot() func() int {
+	return func() int { return 42 } // capture-free: a static func value
+}
+
+//ceres:allocfree
+func convHot(b []byte) string {
+	return string(b) // want "converts []byte/[]rune to string"
+}
+
+//ceres:allocfree
+func convBackHot(s string) []byte {
+	return []byte(s) // want "string to []byte"
+}
+
+func takeAny(v any) {}
+
+func variadicAny(vs ...any) {}
+
+//ceres:allocfree
+func boxHot(v int) {
+	takeAny(v) // want "expects an interface"
+}
+
+//ceres:allocfree
+func boxVariadicHot(a, b int) {
+	variadicAny(a, b) // want "expects an interface" "expects an interface"
+}
+
+//ceres:allocfree
+func boxPtrOK(p *sink) {
+	takeAny(p) // a pointer fits the interface data word: no boxing allocation
+}
+
+//ceres:allocfree
+func badAppendHot(s *sink, v int) {
+	var grown []int
+	grown = append(grown, v) // want "not preallocated with a capacity"
+	s.buf = grown
+}
+
+//ceres:allocfree
+func fieldAppendHot(s *sink, v int) {
+	s.buf = append(s.buf, v) // amortized caller-owned buffer
+}
+
+//ceres:allocfree
+func paramAppendHot(dst []int, v int) []int {
+	return append(dst, v) // caller-owned buffer
+}
+
+//ceres:allocfree
+func resliceAppendHot(dst []int, v int) []int {
+	out := dst[:0]
+	out = append(out, v)
+	return out
+}
+
+//ceres:allocfree
+func preallocatedHot(n, v int) []int {
+	out := make([]int, 0, n) // want "calls make"
+	out = append(out, v)     // silent: the make diagnostic already covers the allocation
+	return out
+}
+
+//ceres:allocfree
+func ignoredWarmup(n int) []int {
+	return make([]int, n) //ceresvet:ignore allocfree one-time warmup allocation before the serve loop
+}
+
+// unannotated functions are outside the contract.
+func unannotated(a, b string) string {
+	out := []string{a + b, fmt.Sprintf("%s", a)}
+	return out[0]
+}

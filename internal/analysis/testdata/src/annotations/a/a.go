@@ -1,0 +1,55 @@
+// Package a seeds malformed directives: every grammar error must be a
+// diagnostic, so a typo can never silently disable (or fail to apply)
+// an invariant. The want-next marker binds each expectation to the
+// directive comment's own line.
+package a
+
+// want-next "must be in the doc comment of a function declaration"
+//ceres:allocfree
+var notAFunc int
+
+// want-next "unknown //ceres: directive"
+//ceres:allocfre
+func typoDirective() {}
+
+// want-next "takes no arguments"
+//ceres:allocfree because it is hot
+func withArgs() {}
+
+// want-next "must name the analyzer it suppresses"
+//ceresvet:ignore
+func bareIgnore() {}
+
+// want-next "names unknown analyzer"
+//ceresvet:ignore atomicwrites close enough
+func unknownTarget() {}
+
+// want-next "must give a reason"
+//ceresvet:ignore atomicwrite
+func noReason() {}
+
+// want-next "unknown //ceresvet: directive"
+//ceresvet:disable atomicwrite some reason
+func wrongVerb() {}
+
+// The grammar validator cannot be suppressed, so targeting it is
+// rejected as unknown.
+// want-next "names unknown analyzer"
+//ceresvet:ignore annotations sneaky blanket suppression
+func suppressValidator() {}
+
+// want-next "no space after //"
+// ceres:allocfree
+func spacedDirective() {}
+
+// want-next "no space after //"
+// ceresvet:ignore atomicwrite spaced ignores never bind
+func spacedIgnore() {}
+
+//ceres:allocfree
+func validAnnotation() int { return 0 }
+
+func validIgnoreUser() int {
+	//ceresvet:ignore ctxflow well-formed ignores are not diagnostics
+	return 1
+}

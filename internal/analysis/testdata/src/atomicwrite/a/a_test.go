@@ -1,0 +1,11 @@
+package a
+
+import "os"
+
+// Test files write fixtures freely: no diagnostics here.
+func helperForTests(dir string) error {
+	if err := os.WriteFile(dir+"/fixture", nil, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(dir+"/fixture", dir+"/fixture2")
+}

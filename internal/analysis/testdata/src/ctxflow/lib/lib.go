@@ -1,0 +1,94 @@
+// Package lib seeds ctxflow violations: root contexts manufactured in
+// library code and exported fan-out without a threaded context.
+package lib
+
+import (
+	"context"
+	"sync"
+)
+
+func background() context.Context {
+	return context.Background() // want "context.Background"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "context.TODO"
+}
+
+// Fanout spawns workers with no way to cancel them.
+func Fanout(n int) { // want "no context.Context parameter"
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() { wg.Done() }()
+	}
+	wg.Wait()
+}
+
+// FanoutCtx threads its context and stays silent.
+func FanoutCtx(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			select {
+			case <-ctx.Done():
+			default:
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// FanoutDropped accepts a context and then ignores it.
+func FanoutDropped(ctx context.Context, n int) { // want "never uses its context.Context parameter"
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() { wg.Done() }()
+	}
+	wg.Wait()
+}
+
+// FanoutBlank declares and immediately discards its context.
+func FanoutBlank(_ context.Context, n int) { // want "discards its context.Context parameter"
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+		}
+		close(done)
+	}()
+	<-done
+}
+
+// parallelFor stands in for the repo's worker-pool helper.
+func parallelFor(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// Pooled fans out through the worker-pool helper instead of a literal
+// go statement.
+func Pooled(n int) { // want "no context.Context parameter"
+	parallelFor(n, func(int) {})
+}
+
+// internalFanout is unexported: package-internal concurrency plumbing
+// is the enclosing exported API's responsibility.
+func internalFanout(n int) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// LegacyFanout predates the context plumbing and is deliberately
+// grandfathered.
+//
+//ceresvet:ignore ctxflow deprecated compatibility shim, callers migrate to FanoutCtx
+func LegacyFanout(n int) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

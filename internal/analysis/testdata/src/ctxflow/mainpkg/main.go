@@ -1,0 +1,17 @@
+// Command mainpkg proves entry points are exempt: main is where root
+// contexts are legitimately created, and its helpers fan out freely.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	run()
+}
+
+func run() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

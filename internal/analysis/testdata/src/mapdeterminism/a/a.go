@@ -1,0 +1,117 @@
+// Package a seeds mapdeterminism violations: map iteration feeding
+// order-sensitive sinks, with the collect-then-sort idiom and
+// order-independent aggregations staying silent.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// collectUnsorted leaks map order into the returned slice.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "in map iteration order with no subsequent sort"
+	}
+	return keys
+}
+
+// collectSorted is the blessed collect-then-sort idiom.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectSlicesSorted sorts through the slices package instead.
+func collectSlicesSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []string) { sort.Strings(keys) }
+
+func printLoop(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside map iteration"
+	}
+}
+
+func fprintLoop(m map[string]int, w io.Writer) {
+	for k := range m {
+		fmt.Fprintf(w, "%s\n", k) // want "fmt.Fprintf inside map iteration"
+	}
+}
+
+func writeLoop(m map[string]int, w io.Writer) {
+	for k := range m {
+		w.Write([]byte(k)) // want "Write inside map iteration"
+	}
+}
+
+func builderLoop(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want "WriteString inside map iteration"
+	}
+}
+
+func sendLoop(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want "channel send inside map iteration"
+	}
+}
+
+func nested(m map[string]map[string]int) {
+	for _, inner := range m {
+		for k := range inner {
+			fmt.Println(k) // want "fmt.Println inside map iteration"
+		}
+	}
+}
+
+// aggregate is order-independent and stays silent.
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// rekey builds another map: order-independent.
+func rekey(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// perIteration appends to a slice created inside the loop body, which
+// cannot carry order across iterations.
+func perIteration(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// sliceRange ranges over a slice, not a map: deterministic.
+func sliceRange(xs []string, w io.Writer) {
+	for _, x := range xs {
+		io.WriteString(w, x)
+	}
+}
