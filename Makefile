@@ -1,0 +1,42 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; `make lint` is the gate every PR must pass.
+
+GO ?= go
+
+.PHONY: all build test race lint bench bench-json clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint = the stock vet suite plus ceresvet, the repo-invariant analyzers
+# (atomic writes, context flow, map determinism, lock safety, allocfree
+# contracts — see DESIGN.md §9). Any diagnostic fails the build.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/ceresvet ./...
+
+# Headline benchmarks, human-readable.
+bench:
+	$(GO) test -run='^$$' -bench='ServeExtract|ServiceExtract|Featurize|StageTopicIdentification|StageAnnotate' -benchtime=1x -benchmem .
+	$(GO) test -run='^$$' -bench='BatchHarvest' -benchtime=1x -benchmem ./batch
+
+# Machine-readable results for the serving and batch-harvest headliners
+# (pages/s, ns/op, B/op, allocs/op). BENCH_N.json files at the repo root
+# record one PR's numbers each.
+BENCH_OUT ?= BENCH.json
+bench-json:
+	{ $(GO) test -run='^$$' -bench='ServiceExtract' -benchmem . ; \
+	  $(GO) test -run='^$$' -bench='BatchHarvest' -benchmem ./batch ; } \
+	| $(GO) run ./cmd/ceres-benchjson -out $(BENCH_OUT)
+	@echo wrote $(BENCH_OUT)
+
+clean:
+	$(GO) clean ./...

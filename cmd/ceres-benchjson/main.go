@@ -1,0 +1,51 @@
+// Command ceres-benchjson converts `go test -bench -benchmem` output on
+// stdin into a machine-readable JSON results file, so benchmark numbers
+// (ns/op, B/op, allocs/op and custom metrics like pages/s) can be
+// tracked across PRs instead of living in terminal scrollback.
+//
+//	go test -run='^$' -bench='ServiceExtract' -benchmem . ./batch | ceres-benchjson -out BENCH.json
+//
+// `make bench-json` records the serving and batch-harvest headline
+// benchmarks into BENCH_<n>.json at the repo root. Lines that are not
+// benchmark results (PASS, ok, logging) are ignored; goos/goarch/cpu
+// headers are carried into the output.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ceres/internal/fsatomic"
+)
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	res, err := parseBench(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ceres-benchjson:", err)
+		os.Exit(2)
+	}
+	if len(res.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "ceres-benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ceres-benchjson:", err)
+		os.Exit(2)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := fsatomic.WriteFile(*out, b); err != nil {
+		fmt.Fprintln(os.Stderr, "ceres-benchjson:", err)
+		os.Exit(2)
+	}
+}

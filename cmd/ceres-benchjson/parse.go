@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+)
+
+// File is the JSON document: environment headers plus one entry per
+// benchmark result line.
+type File struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Result is one parsed benchmark line. Metrics holds every "<value>
+// <unit>" pair after the iteration count — ns/op and B/op, allocs/op
+// under -benchmem, and custom b.ReportMetric units such as pages/s.
+type Result struct {
+	// Name is the benchmark name without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (0 if absent).
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func parseBench(sc *bufio.Scanner) (*File, error) {
+	f := &File{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseResultLine(line); ok {
+				f.Results = append(f.Results, r)
+			}
+		}
+	}
+	return f, sc.Err()
+}
+
+func parseResultLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	// Name N metric unit [metric unit ...]
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Metrics: map[string]float64{}}
+	// The -N GOMAXPROCS suffix attaches to the last dash; benchmark
+	// names may themselves contain dashes.
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ceres
+cpu: AMD EPYC 7B13
+BenchmarkServiceExtract-8   	     100	  12345678 ns/op	      5678 pages/s	    1234 B/op	      56 allocs/op
+BenchmarkServeExtract    	      50	  23456789 ns/op
+PASS
+ok  	ceres	3.456s
+`
+
+func TestParseBench(t *testing.T) {
+	f, err := parseBench(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" || f.CPU != "AMD EPYC 7B13" {
+		t.Errorf("headers: %+v", f)
+	}
+	if len(f.Results) != 2 {
+		t.Fatalf("want 2 results, got %d: %+v", len(f.Results), f.Results)
+	}
+	r := f.Results[0]
+	if r.Name != "BenchmarkServiceExtract" || r.Procs != 8 || r.Iterations != 100 {
+		t.Errorf("first result: %+v", r)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 12345678, "pages/s": 5678, "B/op": 1234, "allocs/op": 56,
+	} {
+		if r.Metrics[unit] != want {
+			t.Errorf("metric %s = %v, want %v", unit, r.Metrics[unit], want)
+		}
+	}
+	if f.Results[1].Procs != 0 || len(f.Results[1].Metrics) != 1 {
+		t.Errorf("suffix-free result: %+v", f.Results[1])
+	}
+}
+
+func TestParseResultLineRejectsJunk(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX notanumber 12 ns/op",
+		"BenchmarkX 10 oops ns/op extra",
+	} {
+		if _, ok := parseResultLine(line); ok {
+			t.Errorf("accepted junk line %q", line)
+		}
+	}
+}

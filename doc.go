@@ -64,6 +64,14 @@
 // without materializing the observations. cmd/ceres-batch drives the loop
 // from the command line.
 //
+// # Development
+//
+// `make lint` is the gate every change must pass: go vet plus
+// cmd/ceresvet, the repo's own static-analysis suite enforcing the
+// invariants this package's guarantees rest on — atomic file
+// publication, threaded cancellation, deterministic map iteration, lock
+// safety and the //ceres:allocfree hot-path contract (DESIGN.md §9).
+//
 // See examples/ for runnable end-to-end programs, DESIGN.md for the system
 // inventory, serialization format, the serving-stack wire protocol and the
 // batch-harvest architecture (§8), and EXPERIMENTS.md for the reproduction
