@@ -25,16 +25,18 @@ lint:
 
 # Headline benchmarks, human-readable.
 bench:
-	$(GO) test -run='^$$' -bench='ServeExtract|ServiceExtract|Featurize|StageTopicIdentification|StageAnnotate' -benchtime=1x -benchmem .
+	$(GO) test -run='^$$' -bench='ServeExtract|ServiceExtract|Featurize|StageTopicIdentification|StageAnnotate|RegistryBoot' -benchtime=1x -benchmem .
 	$(GO) test -run='^$$' -bench='BatchHarvest' -benchtime=1x -benchmem ./batch
+	$(GO) test -run='^$$' -bench='PagestoreScan' -benchtime=1x -benchmem ./pagestore
 
 # Machine-readable results for the serving and batch-harvest headliners
 # (pages/s, ns/op, B/op, allocs/op). BENCH_N.json files at the repo root
 # record one PR's numbers each.
 BENCH_OUT ?= BENCH.json
 bench-json:
-	{ $(GO) test -run='^$$' -bench='ServiceExtract' -benchmem . ; \
-	  $(GO) test -run='^$$' -bench='BatchHarvest' -benchmem ./batch ; } \
+	{ $(GO) test -run='^$$' -bench='ServiceExtract|RegistryBoot' -benchmem . ; \
+	  $(GO) test -run='^$$' -bench='BatchHarvest' -benchmem ./batch ; \
+	  $(GO) test -run='^$$' -bench='PagestoreScan' -benchmem ./pagestore ; } \
 	| $(GO) run ./cmd/ceres-benchjson -out $(BENCH_OUT)
 	@echo wrote $(BENCH_OUT)
 

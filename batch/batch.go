@@ -26,6 +26,7 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -43,9 +44,11 @@ type PageProvider interface {
 	PageCount(site string) (int, error)
 	// Pages streams records [start, start+n) of a site in stable order
 	// through fn (n < 0 streams to the end). A non-nil error from fn stops
-	// the scan and is returned. The order must be identical on every call
-	// — shard planning and checkpoint resume depend on it.
-	Pages(site string, start, n int, fn func(ceres.PageSource) error) error
+	// the scan and is returned; cancelling ctx may stop it with ctx.Err()
+	// (providers that read ahead concurrently, like pagestore.Store, use
+	// it to abandon in-flight work). The delivery order must be identical
+	// on every call — shard planning and checkpoint resume depend on it.
+	Pages(ctx context.Context, site string, start, n int, fn func(ceres.PageSource) error) error
 }
 
 // MemProvider is an in-memory PageProvider, for harvests over page sets
@@ -85,8 +88,9 @@ func (m *MemProvider) PageCount(site string) (int, error) {
 	return len(pages), nil
 }
 
-// Pages implements PageProvider.
-func (m *MemProvider) Pages(site string, start, n int, fn func(ceres.PageSource) error) error {
+// Pages implements PageProvider. The pages are already in memory, so ctx
+// is never consulted.
+func (m *MemProvider) Pages(_ context.Context, site string, start, n int, fn func(ceres.PageSource) error) error {
 	pages, ok := m.sites[site]
 	if !ok {
 		return fmt.Errorf("batch: unknown site %q", site)
@@ -109,13 +113,23 @@ func (m *MemProvider) Pages(site string, start, n int, fn func(ceres.PageSource)
 	return nil
 }
 
-// readPages materializes one bounded page range from a provider.
-func readPages(p PageProvider, site string, start, n int) ([]ceres.PageSource, error) {
-	var out []ceres.PageSource
-	if n > 0 {
-		out = make([]ceres.PageSource, 0, n)
+// readPages materializes one bounded page range from a provider,
+// appending into buf (which may be nil; pass a pooled slice's [:0] to
+// reuse its capacity across shards). The slice is preallocated to the
+// range size — resolved through PageCount for read-to-end ranges — so
+// the append loop never regrows it.
+func readPages(ctx context.Context, p PageProvider, site string, start, n int, buf []ceres.PageSource) ([]ceres.PageSource, error) {
+	capHint := n
+	if n < 0 {
+		if total, err := p.PageCount(site); err == nil && total > start {
+			capHint = total - start
+		}
 	}
-	err := p.Pages(site, start, n, func(pg ceres.PageSource) error {
+	out := buf
+	if capHint > 0 && cap(out) < capHint {
+		out = make([]ceres.PageSource, 0, capHint)
+	}
+	err := p.Pages(ctx, site, start, n, func(pg ceres.PageSource) error {
 		out = append(out, pg)
 		return nil
 	})

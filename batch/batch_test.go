@@ -211,7 +211,7 @@ type boundedProvider struct {
 	maxRange map[string]int
 }
 
-func (b *boundedProvider) Pages(site string, start, n int, fn func(ceres.PageSource) error) error {
+func (b *boundedProvider) Pages(ctx context.Context, site string, start, n int, fn func(ceres.PageSource) error) error {
 	total, err := b.PageCount(site)
 	if err == nil {
 		want := n
@@ -224,7 +224,7 @@ func (b *boundedProvider) Pages(site string, start, n int, fn func(ceres.PageSou
 		}
 		b.mu.Unlock()
 	}
-	return b.PageProvider.Pages(site, start, n, fn)
+	return b.PageProvider.Pages(ctx, site, start, n, fn)
 }
 
 func (b *boundedProvider) max() int {

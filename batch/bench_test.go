@@ -26,6 +26,18 @@ func BenchmarkBatchHarvest(b *testing.B) {
 	if _, err := warm.Run(context.Background(), Job{ShardPages: 16, Workers: 4}); err != nil {
 		b.Fatal(err)
 	}
+	// One throwaway run of the exact timed configuration (collect sink,
+	// fusion stage) so the measurement starts at steady state: scratch
+	// pools populated, segment files in page cache, fusion path resident.
+	{
+		r, err := NewRunner(Config{Provider: f.store, Sink: NewCollectSink(), Registry: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(context.Background(), job); err != nil {
+			b.Fatal(err)
+		}
+	}
 
 	pages := 0
 	b.ReportAllocs()

@@ -86,7 +86,7 @@ func runHarvest(t *testing.T, f *crawlFixture, dirs harvestDirs, job Job, killAf
 		ctx = kctx
 		sink = &killSink{inner: jsonl, cancel: cancel, after: killAfter}
 	}
-	reg, err := ceres.OpenRegistry(store)
+	reg, err := ceres.OpenRegistry(ctx, store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 		Fuse:       true,
 		Fusion:     ceres.FusionOptions{Functional: map[string]bool{"releaseYear": true}},
 	}
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 8} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			base := t.TempDir()
 			f := newCrawlFixture(t, base, fixtureSites)
@@ -187,6 +187,20 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 			}
 			if partial == 0 || partial >= totalShards {
 				t.Fatalf("kill left %d/%d shards done; need a genuine partial run", partial, totalShards)
+			}
+
+			// The kill/resume cycle must run on binary model artifacts:
+			// DirStore publishes ceres.sitemodel/3 by default, and resume
+			// reloads the checkpointed version from those bytes.
+			binModels := 0
+			filepath.WalkDir(res.models, func(path string, d os.DirEntry, err error) error {
+				if err == nil && !d.IsDir() && filepath.Ext(path) == ".bin" {
+					binModels++
+				}
+				return nil
+			})
+			if binModels == 0 {
+				t.Fatal("killed run published no .bin models; resume would not exercise the binary codec")
 			}
 
 			// Resume in a fresh "process": new runner, reopened stores.
@@ -297,7 +311,7 @@ func TestResumePinsModelWithoutTouchingSharedRegistry(t *testing.T) {
 	if v2 != 2 {
 		t.Fatalf("expected version 2, got %d", v2)
 	}
-	shared, err := ceres.OpenRegistry(store) // boots at v2, like a live daemon
+	shared, err := ceres.OpenRegistry(context.Background(), store) // boots at v2, like a live daemon
 	if err != nil {
 		t.Fatal(err)
 	}

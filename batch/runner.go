@@ -50,6 +50,12 @@ type Runner struct {
 	shared *ceres.Registry // cfg.Registry; may be nil
 	reg    *ceres.Registry // run-scoped serving table
 	svc    *ceres.Service
+	// shardBufs pools per-shard page slices (*[]ceres.PageSource):
+	// a worker borrows one per shard, so steady-state shard reads reuse
+	// capacity instead of growing a fresh slice per shard. The strings
+	// inside are owned by the extraction results, never by the slice, so
+	// reuse is safe.
+	shardBufs sync.Pool
 }
 
 // NewRunner builds a runner over the configuration.
@@ -232,6 +238,7 @@ feed:
 			return nil, err
 		}
 		rep.Facts = fuser.Facts()
+		fuser.Release()
 	}
 
 	for _, sp := range plan.Sites {
@@ -288,7 +295,11 @@ func (r *Runner) runShard(ctx context.Context, job Job, ck *checkpoint, st *site
 	if st.skipReason != "" {
 		return
 	}
-	pages, err := readPages(r.cfg.Provider, shard.Site, shard.Start, shard.Pages)
+	bufp, _ := r.shardBufs.Get().(*[]ceres.PageSource)
+	if bufp == nil {
+		bufp = new([]ceres.PageSource)
+	}
+	pages, err := readPages(ctx, r.cfg.Provider, shard.Site, shard.Start, shard.Pages, (*bufp)[:0])
 	if err != nil {
 		fail(err)
 		return
@@ -298,6 +309,10 @@ func (r *Runner) runShard(ctx context.Context, job Job, ck *checkpoint, st *site
 		Pages:   pages,
 		Options: job.optionsFor(shard.Site),
 	})
+	// The service has deep-copied nothing it still needs from pages —
+	// extraction results own their strings — so the shard slice recycles.
+	*bufp = pages
+	r.shardBufs.Put(bufp)
 	if err != nil {
 		if ctx.Err() != nil {
 			return // cancelled mid-shard: nothing committed, resume re-runs it
@@ -404,7 +419,7 @@ func (r *Runner) ensureModel(ctx context.Context, job Job, ck *checkpoint, st *s
 	if n <= 0 {
 		n = -1
 	}
-	pages, err := readPages(r.cfg.Provider, site, 0, n)
+	pages, err := readPages(ctx, r.cfg.Provider, site, 0, n, nil)
 	if err != nil {
 		st.infraErr = err
 		return

@@ -103,7 +103,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	registry, err := ceres.OpenRegistry(modelStore)
+	registry, err := ceres.OpenRegistry(ctx, modelStore)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -43,6 +43,11 @@ func main() {
 	flag.Parse()
 	logger := log.New(os.Stderr, "ceres-serve: ", log.LstdFlags)
 
+	// The signal context is created before the registry boot so an early
+	// SIGINT cancels the (parallel) model loading too.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var store ceres.ModelStore
 	reg := ceres.NewRegistry()
 	if *storeDir != "" {
@@ -51,7 +56,7 @@ func main() {
 			logger.Fatal(err)
 		}
 		store = ds
-		reg, err = ceres.OpenRegistry(ds)
+		reg, err = ceres.OpenRegistry(ctx, ds)
 		if err != nil {
 			logger.Fatal(err)
 		}
@@ -63,9 +68,6 @@ func main() {
 		Handler:           newServer(store, reg, *maxInflight, logger),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Printf("listening on %s (%d sites)", *addr, reg.Len())

@@ -37,7 +37,7 @@
 //	store, _ := ceres.NewDirStore("models")
 //	version, _ := store.Publish("rottentomatoes.com", model)
 //
-//	reg, _ := ceres.OpenRegistry(store) // latest version of every site
+//	reg, _ := ceres.OpenRegistry(ctx, store) // latest version of every site
 //	svc := ceres.NewService(reg, ceres.WithMaxInflight(64))
 //
 //	strict := 0.75
@@ -63,6 +63,17 @@
 // and the streaming fusion side (Fuser, FuseStream) aggregates the output
 // without materializing the observations. cmd/ceres-batch drives the loop
 // from the command line.
+//
+// # Model serialization
+//
+// Trained models persist in two interchangeable forms: WriteTo emits the
+// versioned JSON envelope (ceres.sitemodel/2), WriteBinary the
+// length-prefixed binary format (ceres.sitemodel/3) that cold registry
+// boots decode several times faster. ReadSiteModel sniffs the first
+// bytes and accepts every version ever published; DirStore publishes
+// binary by default (WithJSONPublish restores JSON artifacts). The wire
+// layout, version-negotiation matrix and the pagestore readahead
+// ordering guarantee are specified in DESIGN.md §10.
 //
 // # Development
 //

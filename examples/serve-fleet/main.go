@@ -49,7 +49,7 @@ func main() {
 	}
 
 	// Serving side: boot the fleet from the store and serve requests.
-	reg, err := ceres.OpenRegistry(store)
+	reg, err := ceres.OpenRegistry(ctx, store)
 	if err != nil {
 		log.Fatal(err)
 	}

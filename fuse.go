@@ -58,6 +58,18 @@ func (f *Fuser) Len() int { return f.acc.Len() }
 // belief then subject/predicate/object.
 func (f *Fuser) Facts() []FusedFact { return f.acc.Facts() }
 
+// Release recycles the fuser's internal storage for future fusers. Facts
+// already resolved remain valid, but the fuser must not be used
+// afterwards. Releasing is optional — an unreleased fuser is ordinary
+// garbage — but a harvest loop that fuses run after run avoids regrowing
+// the aggregate tables from empty by releasing each fuser when done.
+func (f *Fuser) Release() {
+	if f.acc != nil {
+		f.acc.Release()
+		f.acc = nil
+	}
+}
+
 // FuseStream aggregates a stream of observations into fused facts without
 // materializing the observation list — the bounded-memory form of Fuse for
 // batch harvests. Observations are folded in stream order.
@@ -66,7 +78,9 @@ func FuseStream(obs iter.Seq[FusionObservation], opts FusionOptions) []FusedFact
 	for o := range obs {
 		f.Observe(o)
 	}
-	return f.Facts()
+	facts := f.Facts()
+	f.Release()
+	return facts
 }
 
 // Fuse aggregates extraction results from multiple sites into fused facts
@@ -92,5 +106,7 @@ func Fuse(results map[string]*Result, opts FusionOptions) []FusedFact {
 			f.ObserveTriple(site, t)
 		}
 	}
-	return f.Facts()
+	facts := f.Facts()
+	f.Release()
+	return facts
 }

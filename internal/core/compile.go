@@ -32,6 +32,10 @@ type CompiledFeaturizer struct {
 	// text[lvl][off] resolves frequent-string features: off 0 is the
 	// ancestor's own text, off k>0 the k-th preceding element sibling.
 	text [][]map[string]int32
+	// maxText is the longest key across the text tables. Sibling subtree
+	// text longer than this can never match, so serve-time probes walk a
+	// sibling's subtree only up to maxText bytes before giving up.
+	maxText int
 }
 
 // structTable resolves the structural features of one (level, offset)
@@ -39,6 +43,12 @@ type CompiledFeaturizer struct {
 // never match.
 type structTable struct {
 	tag map[string]int32
+	// tagBySym mirrors tag, indexed by the process-wide dom.TagSym of the
+	// key: tagBySym[sym] is the feature ID, or -1 for no feature. Built by
+	// Compile so the per-visit tag lookup on Parse-built nodes is an array
+	// index instead of a string hash; the map stays as the fallback for
+	// unsymbolized nodes (hand-built trees, exhausted symbol space).
+	tagBySym []int32
 	// attr is parallel to structuralAttrs: attr[i] maps attribute values
 	// of structuralAttrs[i] to feature IDs. Allocated lazily to
 	// len(structuralAttrs) when the first attribute feature is indexed.
@@ -49,7 +59,13 @@ type structTable struct {
 //
 //ceres:allocfree
 func (t *structTable) emit(n *dom.Node, vb *mlr.VectorBuilder) {
-	if id, ok := t.tag[n.Tag]; ok {
+	if s := n.TagSymbol(); s > 0 {
+		if int(s) < len(t.tagBySym) {
+			if id := t.tagBySym[s]; id >= 0 {
+				vb.AddID(int(id))
+			}
+		}
+	} else if id, ok := t.tag[n.Tag]; ok {
 		vb.AddID(int(id))
 	}
 	for i, m := range t.attr {
@@ -84,7 +100,46 @@ func (fz *Featurizer) Compile() (*CompiledFeaturizer, error) {
 	for id := 0; id < fz.dict.Len(); id++ {
 		cf.index(fz.dict.Name(id), int32(id))
 	}
+	for _, tables := range cf.text {
+		for _, tbl := range tables {
+			for k := range tbl {
+				if len(k) > cf.maxText {
+					cf.maxText = len(k)
+				}
+			}
+		}
+	}
+	for i := range cf.structural {
+		for j := range cf.structural[i] {
+			cf.structural[i][j].buildSymIndex()
+		}
+	}
 	return cf, nil
+}
+
+// buildSymIndex inverts the tag map into the symbol-indexed array the
+// serve path reads. Keys intern through dom.TagSym — the same symbols
+// Parse assigns — so a key that cannot intern (exhausted symbol space)
+// just stays map-only.
+func (t *structTable) buildSymIndex() {
+	maxSym := int32(0)
+	for k := range t.tag {
+		if s := dom.TagSym(k); s > maxSym {
+			maxSym = s
+		}
+	}
+	if maxSym == 0 {
+		return
+	}
+	t.tagBySym = make([]int32, maxSym+1)
+	for i := range t.tagBySym {
+		t.tagBySym[i] = -1
+	}
+	for k, id := range t.tag {
+		if s := dom.TagSym(k); s > 0 {
+			t.tagBySym[s] = id
+		}
+	}
 }
 
 // index parses one dictionary feature name into the tables. Names that do
@@ -163,14 +218,24 @@ func cutInt(s string) (int, string, bool) {
 // counterpart of Featurizer.Features. It walks the same context the
 // trainer walked (the containing element, its ancestors, their sibling
 // windows) but reads the parse-time structural caches and resolves
-// features through the integer tables, so it performs no tree re-walks,
-// no string building and no allocation.
-//
-//ceres:allocfree
+// features through the integer tables, with no tree re-walks and no
+// string building. Frequent-string probes are bounded by the longest
+// lexicon key, so a huge sibling container costs O(maxText), and its text
+// is cached on the page after the first probe. Serve workers call the
+// scratch-threading appendFeatures instead, which reuses one probe buffer
+// across fields.
 func (cf *CompiledFeaturizer) AppendFeatures(vb *mlr.VectorBuilder, f *Field) {
+	var buf [64]byte
+	cf.appendFeatures(vb, f, buf[:0])
+}
+
+// appendFeatures is AppendFeatures with a caller-owned scratch buffer for
+// the bounded sibling-text probes; it returns the (possibly grown) buffer
+// for reuse.
+func (cf *CompiledFeaturizer) appendFeatures(vb *mlr.VectorBuilder, f *Field, buf []byte) []byte {
 	elem := f.Node.Parent
 	if elem == nil {
-		return
+		return buf
 	}
 	if !cf.opts.DisableStructural {
 		w := cf.opts.SiblingWindow
@@ -201,20 +266,30 @@ func (cf *CompiledFeaturizer) AppendFeatures(vb *mlr.VectorBuilder, f *Field) {
 				if pos-off < 0 {
 					break
 				}
-				if id, ok := tables[off][sibs[pos-off].Text()]; ok {
-					vb.AddID(int(id))
+				tbl := tables[off]
+				if len(tbl) == 0 {
+					continue // no key can match; skip the text walk
+				}
+				var ok bool
+				if buf, ok = sibs[pos-off].TextWithin(buf[:0], cf.maxText); ok {
+					if id, hit := tbl[string(buf)]; hit {
+						vb.AddID(int(id))
+					}
 				}
 			}
 			if lvl > 0 {
-				if own := node.OwnText(); own != "" {
-					if id, ok := tables[0][own]; ok {
-						vb.AddID(int(id))
+				if tbl := tables[0]; len(tbl) > 0 {
+					if own := node.OwnText(); own != "" {
+						if id, ok := tbl[own]; ok {
+							vb.AddID(int(id))
+						}
 					}
 				}
 			}
 			node = node.Parent
 		}
 	}
+	return buf
 }
 
 // CompiledModel bundles a compiled featurizer with its classifier behind
@@ -242,7 +317,9 @@ func (m *Model) Compile() (*CompiledModel, error) {
 	case m.NB != nil:
 		cm.scorer = m.NB
 	case m.LR != nil:
-		cm.scorer = m.LR
+		// Feature-major weights: one pass over the sparse vector scores
+		// all classes, bit-identical to Model.ScoresInto.
+		cm.scorer = m.LR.Transpose()
 	default:
 		return nil, fmt.Errorf("core: model has no classifier to compile")
 	}
@@ -254,8 +331,9 @@ func (m *Model) Compile() (*CompiledModel, error) {
 // probability matrix. Each serve worker owns exactly one; a ServeScratch
 // must never be shared between concurrent goroutines.
 type ServeScratch struct {
-	vb    mlr.VectorBuilder
-	proba []float64
+	vb      mlr.VectorBuilder
+	proba   []float64
+	textBuf []byte // bounded sibling-text probe buffer (frequent strings)
 }
 
 // NewServeScratch allocates an empty scratch; its buffers grow to the
@@ -282,7 +360,7 @@ func (cm *CompiledModel) ExtractPage(p *Page, opts ExtractOptions, sc *ServeScra
 	bestName, bestNameP := -1, 0.0
 	for fi, f := range p.Fields {
 		sc.vb.Reset()
-		cm.fz.AppendFeatures(&sc.vb, f)
+		sc.textBuf = cm.fz.appendFeatures(&sc.vb, f, sc.textBuf[:0])
 		pr := proba[fi*K : (fi+1)*K]
 		cm.scorer.ProbaInto(sc.vb.Build(), pr)
 		if pr[cm.nameClass] > bestNameP {
@@ -295,7 +373,22 @@ func (cm *CompiledModel) ExtractPage(p *Page, opts ExtractOptions, sc *ServeScra
 	subject := p.Fields[bestName].Text
 	subjectPath := p.Fields[bestName].XPath()
 
-	var out []Extraction
+	// Two passes over the cached probabilities: count survivors, then emit
+	// into an exactly sized slice. argmax over K classes is cheap next to
+	// the slice-growth copying a blind append pays.
+	n := 0
+	for fi := range p.Fields {
+		if fi == bestName {
+			continue
+		}
+		if cls, _ := argmax(proba[fi*K : (fi+1)*K]); cls != OtherClass && cls != cm.nameClass {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Extraction, 0, n)
 	for fi := range p.Fields {
 		if fi == bestName {
 			continue

@@ -8,6 +8,8 @@
 package core
 
 import (
+	"sync"
+
 	"ceres/internal/dom"
 	"ceres/internal/strmatch"
 	"ceres/internal/xpath"
@@ -38,7 +40,10 @@ type Field struct {
 // worker at a time.
 func (f *Field) XPath() string {
 	if f.PathString == "" {
-		f.PathString = xpath.FromNode(f.Node).String()
+		// Node.XPath renders the same canonical form xpath.Path.String
+		// would — going through the parsed Path here would build the
+		// string, parse it, and build it again.
+		f.PathString = f.Node.XPath()
 	}
 	return f.PathString
 }
@@ -50,6 +55,39 @@ type Page struct {
 	Doc *dom.Node
 	// Fields lists the non-empty text fields in document order.
 	Fields []*Field
+	// slab is the recyclable storage behind Fields; set by
+	// PrepareServePage, reclaimed by Release.
+	slab *pageSlab
+}
+
+// pageSlab is the recyclable field storage behind a serve-prepared page.
+// Slabs re-enter the pool fully zeroed (see Page.Release), so a pooled
+// slab never pins a released page's nodes or strings and acquisition
+// needs no clearing.
+type pageSlab struct {
+	fields []Field
+	ptrs   []*Field
+}
+
+var pageSlabPool sync.Pool // of *pageSlab, elements zeroed
+
+// Release recycles the page's DOM node storage and field slab for future
+// parses. The caller must be the page's sole owner and must not touch the
+// page — its Doc, Fields, or any node reached through them — afterwards.
+// Strings already copied out (extraction subjects, values, XPaths) stay
+// valid. Release is an optimization, never an obligation: an unreleased
+// page is ordinary garbage.
+func (p *Page) Release() {
+	p.Doc.Release()
+	if sl := p.slab; sl != nil {
+		p.slab = nil
+		p.Fields = nil
+		clear(sl.fields) // drop node and string references before pooling
+		sl.fields = sl.fields[:0]
+		clear(sl.ptrs)
+		sl.ptrs = sl.ptrs[:0]
+		pageSlabPool.Put(sl)
+	}
 }
 
 // PreparePage parses HTML and enumerates its text fields with the full
@@ -72,17 +110,26 @@ func PreparePage(id, html string) *Page {
 func PrepareServePage(id, html string) *Page {
 	doc := dom.Parse(html)
 	nodes := dom.TextFields(doc)
-	p := &Page{
-		ID:     id,
-		Doc:    doc,
-		Fields: make([]*Field, 0, len(nodes)),
+	n := len(nodes)
+	sl, _ := pageSlabPool.Get().(*pageSlab)
+	if sl == nil {
+		sl = new(pageSlab)
 	}
-	fields := make([]Field, len(nodes))
-	for i, n := range nodes {
-		f := &fields[i]
-		f.Node = n
-		f.Text = n.Text() // cached collapsed text from dom.Finalize
-		p.Fields = append(p.Fields, f)
+	if cap(sl.fields) < n {
+		sl.fields = make([]Field, n)
+	} else {
+		sl.fields = sl.fields[:n] // zeroed on release; see pageSlabPool
 	}
-	return p
+	if cap(sl.ptrs) < n {
+		sl.ptrs = make([]*Field, n)
+	} else {
+		sl.ptrs = sl.ptrs[:n]
+	}
+	for i, node := range nodes {
+		f := &sl.fields[i]
+		f.Node = node
+		f.Text = node.Text() // cached collapsed text from dom.Finalize
+		sl.ptrs[i] = f
+	}
+	return &Page{ID: id, Doc: doc, Fields: sl.ptrs, slab: sl}
 }

@@ -190,8 +190,13 @@ func (sm *SiteModel) ExtractSourcesOpts(ctx context.Context, sources []PageSourc
 	}
 	scratch := make([]*ServeScratch, workers)
 	for i := range scratch {
-		scratch[i] = NewServeScratch()
+		scratch[i] = serveScratchPool.Get().(*ServeScratch)
 	}
+	defer func() {
+		for _, sc := range scratch {
+			serveScratchPool.Put(sc)
+		}
+	}()
 	perPage := make([][]Extraction, len(sources))
 	routes := make([]int, len(sources))
 	err := parallelForWorker(ctx, len(sources), workers, func(w, i int) {
@@ -201,7 +206,14 @@ func (sm *SiteModel) ExtractSourcesOpts(ctx context.Context, sources []PageSourc
 		return nil, nil, err
 	}
 	stats := &ServeStats{Pages: len(sources), ClusterPages: make([]int, len(sm.Clusters))}
+	total := 0
+	for _, exts := range perPage {
+		total += len(exts)
+	}
 	var out []Extraction
+	if total > 0 {
+		out = make([]Extraction, 0, total)
+	}
 	for i, exts := range perPage {
 		stats.addRoute(routes[i])
 		stats.Extractions += len(exts)
@@ -209,6 +221,12 @@ func (sm *SiteModel) ExtractSourcesOpts(ctx context.Context, sources []PageSourc
 	}
 	return out, stats, nil
 }
+
+// serveScratchPool recycles per-worker serve scratch across calls, so a
+// steady-state serving process stops re-growing vector builders,
+// probability matrices and text-probe buffers on every request. Scratch
+// never escapes a call: extraction output is freshly allocated.
+var serveScratchPool = sync.Pool{New: func() any { return NewServeScratch() }}
 
 // StreamSources extracts pages with bounded memory, invoking emit for each
 // extraction as its page finishes (pages complete in whatever order the
@@ -244,7 +262,8 @@ func (sm *SiteModel) StreamSourcesOpts(ctx context.Context, sources []PageSource
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			sc := NewServeScratch() // per-worker scratch, never shared
+			sc := serveScratchPool.Get().(*ServeScratch) // per-worker scratch, never shared
+			defer serveScratchPool.Put(sc)
 			for i := range next {
 				if ctx.Err() != nil {
 					return
@@ -305,6 +324,9 @@ func (sm *SiteModel) serveable(sources []PageSource) error {
 // dictionary cannot compile.
 func (sm *SiteModel) extractOne(src PageSource, sc *ServeScratch) (int, []Extraction) {
 	p := PrepareServePage(src.ID, src.HTML)
+	// The page dies with this call — extractions carry their own strings,
+	// never node pointers — so its node slabs recycle into the parse pool.
+	defer p.Release()
 	ci := sm.Route(p)
 	if ci < 0 || !sm.Clusters[ci].Trained {
 		return ci, nil

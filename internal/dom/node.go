@@ -38,18 +38,33 @@ type Node struct {
 	Parent   *Node
 	Children []*Node
 
-	// Structural and text context precomputed by Finalize so the
-	// featurization hot path never re-walks the tree. Parse finalizes
-	// every document it returns; AppendChild invalidates the affected
-	// caches, and the accessors fall back to dynamic recomputation when a
-	// cache is absent.
-	elemKids      []*Node // element children, in order (structCached)
-	elemIndex     int32   // index among parent's element children
-	siblingIndex  int32   // 1-based XPath ordinal among same-kind siblings
-	structCached  bool    // elemKids + children's indices are valid
-	textCached    bool    // cachedText/cachedOwnText are valid
-	cachedText    string  // collapsed subtree text
-	cachedOwnText string  // collapsed direct-child text
+	// Structural context precomputed by Finalize so the featurization hot
+	// path never re-walks the tree. Parse finalizes every document it
+	// returns; AppendChild invalidates the affected caches, and the
+	// accessors fall back to dynamic recomputation when a cache is absent.
+	elemKids     []*Node // element children, in order (structCached)
+	elemIndex    int32   // index among parent's element children
+	siblingIndex int32   // 1-based XPath ordinal among same-kind siblings
+	structCached bool    // elemKids + children's indices are valid
+
+	// Text context cached lazily on first read (not by Finalize: most
+	// elements' joined subtree text is never asked for, and computing it
+	// eagerly duplicates the page's text at every tree level). Lazy
+	// caching writes on read, so a node — in practice, a parsed page —
+	// must be confined to one goroutine at a time.
+	textCached    bool   // cachedText is valid
+	ownCached     bool   // cachedOwnText is valid
+	cachedText    string // collapsed subtree text
+	cachedOwnText string // collapsed direct-child text
+	textMin       int32  // known lower bound on len(Text()), from bounded walks
+
+	// sym is the interned tag symbol (TagSym), set by Parse on element
+	// nodes; 0 elsewhere. See Node.TagSymbol.
+	sym int32
+
+	// arena backs Release: set only on the DocumentNode Parse returns, so
+	// the page's owner can recycle the tree's node slabs when done.
+	arena *nodeArena
 }
 
 // Attr returns the value of the named attribute and whether it is present.
@@ -81,34 +96,43 @@ func (n *Node) AppendChild(c *Node) {
 		n.structCached = false
 		n.elemKids = nil
 	}
-	for p := n; p != nil && p.textCached; p = p.Parent {
+	if n.ownCached {
+		n.ownCached = false
+		n.cachedOwnText = ""
+	}
+	// Subtree-text caches can be filled at any level independently (a
+	// bounded probe caches a node without touching its children), so
+	// every ancestor must be cleared, cached or not.
+	for p := n; p != nil; p = p.Parent {
 		p.textCached = false
-		p.cachedText, p.cachedOwnText = "", ""
+		p.cachedText = ""
+		p.textMin = 0
 	}
 }
 
-// Finalize precomputes the per-node context the extraction hot path reads:
-// each node's element-children slice, its index among its parent's element
-// children, its 1-based same-kind sibling ordinal (the XPath index), and
-// the collapsed OwnText/subtree-text strings. Parse finalizes every
-// document it returns; manually built trees may call Finalize themselves.
-// The caches trade memory (each level of the tree holds its joined subtree
-// text) for never re-walking the tree during featurization.
+// Finalize precomputes the per-node structural context the extraction hot
+// path reads: each node's element-children slice, its index among its
+// parent's element children, and its 1-based same-kind sibling ordinal
+// (the XPath index). Parse finalizes every document it returns; manually
+// built trees may call Finalize themselves. Text caches are not
+// precomputed — Text and OwnText fill them lazily on first read, since
+// eager joins would duplicate the page's text at every tree level.
 func (n *Node) Finalize() {
-	n.finalize(make(map[string]int32, 8))
+	// Parsed trees route elemKids through the arena's pointer slabs;
+	// manually built trees (nil arena) use the heap.
+	n.finalize(make(map[string]int32, 8), n.arena)
 }
 
-func (n *Node) finalize(ordinals map[string]int32) {
+func (n *Node) finalize(ordinals map[string]int32, a *nodeArena) {
 	for _, c := range n.Children {
-		c.finalize(ordinals)
+		c.finalize(ordinals, a)
 	}
-	n.refreshStruct(ordinals)
-	n.refreshText()
+	n.refreshStruct(ordinals, a)
 }
 
 // refreshStruct rebuilds n's child-structure caches: the element-children
 // slice plus each child's element index and same-kind sibling ordinal.
-func (n *Node) refreshStruct(ordinals map[string]int32) {
+func (n *Node) refreshStruct(ordinals map[string]int32, a *nodeArena) {
 	n.elemKids = nil
 	if len(n.Children) > 0 {
 		clear(ordinals)
@@ -119,7 +143,11 @@ func (n *Node) refreshStruct(ordinals map[string]int32) {
 			}
 		}
 		if elems > 0 {
-			n.elemKids = make([]*Node, 0, elems)
+			if a != nil {
+				n.elemKids = a.ptrs(elems)
+			} else {
+				n.elemKids = make([]*Node, 0, elems)
+			}
 		}
 		for _, c := range n.Children {
 			if c.Type == ElementNode {
@@ -148,27 +176,11 @@ func (n *Node) kindKey() string {
 	return kindSentinels[n.Type]
 }
 
-// refreshText rebuilds n's collapsed-text caches from its (already
-// refreshed) children, bottom-up, matching Text/OwnText exactly.
-func (n *Node) refreshText() {
-	switch n.Type {
-	case TextNode:
-		n.cachedText = CollapseSpace(n.Data)
-		n.cachedOwnText = ""
-	case CommentNode:
-		n.cachedText, n.cachedOwnText = "", ""
-	default:
-		n.cachedText = joinChildText(n.Children, false)
-		n.cachedOwnText = joinChildText(n.Children, true)
-	}
-	n.textCached = true
-}
-
-// joinChildText joins the children's cached collapsed text with single
-// spaces, skipping empties. ownOnly restricts to direct text children
-// (OwnText); otherwise element children contribute their subtree text.
-// Children must already be finalized. The single-part case returns the
-// child's string without copying.
+// joinChildText joins the children's collapsed text with single spaces,
+// skipping empties. ownOnly restricts to direct text children (OwnText);
+// otherwise element children contribute their subtree text, computed (and
+// cached) on demand. The single-part case returns the child's string
+// without copying.
 func joinChildText(children []*Node, ownOnly bool) string {
 	first := ""
 	var sb strings.Builder
@@ -177,7 +189,7 @@ func joinChildText(children []*Node, ownOnly bool) string {
 		if ownOnly && c.Type != TextNode {
 			continue
 		}
-		t := c.cachedText
+		t := c.Text()
 		if t == "" {
 			continue
 		}
@@ -260,39 +272,102 @@ func (n *Node) Walk(fn func(*Node) bool) {
 
 // Text returns the concatenation of all text in the subtree, with each text
 // node's content whitespace-collapsed and the pieces joined by single
-// spaces. On finalized trees this is a cached-string read.
+// spaces. The result is computed on first read and cached; a repeat read
+// is a plain string load. Caching writes on read, so concurrent Text calls
+// on one tree require external synchronization (pages are confined to one
+// worker at a time).
 func (n *Node) Text() string {
 	if n.textCached {
 		return n.cachedText
 	}
-	var parts []string
-	n.Walk(func(m *Node) bool {
-		if m.Type == TextNode {
-			if t := CollapseSpace(m.Data); t != "" {
-				parts = append(parts, t)
+	switch n.Type {
+	case TextNode:
+		n.cachedText = CollapseSpace(n.Data)
+	case CommentNode:
+		n.cachedText = ""
+	default:
+		n.cachedText = joinChildText(n.Children, false)
+	}
+	n.textCached = true
+	return n.cachedText
+}
+
+// TextWithin appends n's collapsed subtree text — exactly Text() — to buf
+// when it fits within max bytes, reporting whether it fit. A subtree whose
+// text exceeds the bound is abandoned as soon as the bound is crossed, so
+// probing a huge container for a short string costs O(max), not
+// O(subtree); the overflow is remembered, making repeat probes O(1). buf
+// is the caller's scratch; the appended bytes alias it.
+func (n *Node) TextWithin(buf []byte, max int) ([]byte, bool) {
+	if int(n.textMin) > max {
+		return buf, false
+	}
+	base := len(buf)
+	out, ok := n.appendTextBounded(buf, base, base+max)
+	if !ok {
+		if lo := int32(max + 1); lo > n.textMin {
+			n.textMin = lo
+		}
+		return buf, false
+	}
+	if !n.textCached {
+		// The walk produced the full collapsed text; keep it so later
+		// reads — bounded or not — are cache hits.
+		n.cachedText = string(out[base:])
+		n.textCached = true
+	}
+	return out, true
+}
+
+// appendTextBounded appends the subtree text of n to buf, joining pieces
+// with single spaces (a piece appended after base gets a leading space),
+// failing as soon as the result would pass limit.
+func (n *Node) appendTextBounded(buf []byte, base, limit int) ([]byte, bool) {
+	var t string
+	switch {
+	case n.textCached:
+		t = n.cachedText
+	case n.Type == TextNode:
+		t = n.Text() // collapse once; cached for every later probe
+	case n.Type == CommentNode:
+		return buf, true
+	default:
+		for _, c := range n.Children {
+			var ok bool
+			if buf, ok = c.appendTextBounded(buf, base, limit); !ok {
+				return buf, false
 			}
 		}
-		return true
-	})
-	return strings.Join(parts, " ")
+		return buf, true
+	}
+	if t == "" {
+		return buf, true
+	}
+	need := len(t)
+	if len(buf) > base {
+		need++
+	}
+	if len(buf)+need > limit {
+		return buf, false
+	}
+	if len(buf) > base {
+		buf = append(buf, ' ')
+	}
+	return append(buf, t...), true
 }
 
 // OwnText returns the whitespace-collapsed concatenation of the direct text
-// children of n (not descendants). On finalized trees this is a
-// cached-string read.
+// children of n (not descendants), computed on first read and cached. The
+// same single-owner rule as Text applies.
 func (n *Node) OwnText() string {
-	if n.textCached {
+	if n.ownCached {
 		return n.cachedOwnText
 	}
-	var parts []string
-	for _, c := range n.Children {
-		if c.Type == TextNode {
-			if t := CollapseSpace(c.Data); t != "" {
-				parts = append(parts, t)
-			}
-		}
+	if n.Type != TextNode && n.Type != CommentNode {
+		n.cachedOwnText = joinChildText(n.Children, true)
 	}
-	return strings.Join(parts, " ")
+	n.ownCached = true
+	return n.cachedOwnText
 }
 
 // FindAll returns all descendant elements (including n itself) with the

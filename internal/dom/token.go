@@ -17,7 +17,9 @@ const (
 	tokDoctype
 )
 
-// token is a single lexical unit of an HTML byte stream.
+// token is a single lexical unit of an HTML byte stream. attrs aliases
+// the tokenizer's reusable scratch buffer: it is valid only until the
+// next call to next(), so the consumer must copy it to keep it.
 type token struct {
 	typ   tokenType
 	tag   string // lowercase tag name for tag tokens
@@ -37,6 +39,9 @@ var rawTextTags = map[string]bool{
 type tokenizer struct {
 	src string
 	pos int
+	// attrScratch backs the attrs of the most recent start-tag token,
+	// reused across tags so tokenizing allocates nothing per tag.
+	attrScratch []Attr
 }
 
 func (z *tokenizer) next() (token, bool) {
@@ -80,8 +85,7 @@ func (z *tokenizer) readText() token {
 // (e.g. </script>), returning the raw content. The closing tag itself is
 // consumed.
 func (z *tokenizer) readRawText(tag string) string {
-	lower := strings.ToLower(z.src[z.pos:])
-	end := strings.Index(lower, "</"+tag)
+	end := indexClosingTag(z.src[z.pos:], tag)
 	if end < 0 {
 		out := z.src[z.pos:]
 		z.pos = len(z.src)
@@ -96,6 +100,43 @@ func (z *tokenizer) readRawText(tag string) string {
 		z.pos = len(z.src)
 	}
 	return out
+}
+
+// indexClosingTag returns the offset of the first "</tag" in s, matching
+// the tag name case-insensitively (tag is already lowercase), or -1. This
+// is the raw-text terminator scan; doing it in place keeps tokenizing a
+// page with many <script> blocks from copy-lowercasing the remaining
+// source once per block.
+func indexClosingTag(s, tag string) int {
+	for i := 0; ; {
+		j := strings.IndexByte(s[i:], '<')
+		if j < 0 {
+			return -1
+		}
+		i += j
+		if len(s)-i < 2+len(tag) {
+			return -1
+		}
+		if s[i+1] == '/' && foldEqASCII(s[i+2:i+2+len(tag)], tag) {
+			return i
+		}
+		i++
+	}
+}
+
+// foldEqASCII reports whether s equals lower under ASCII case folding;
+// lower must already be lowercase ASCII (a tag name).
+func foldEqASCII(s, lower string) bool {
+	for i := 0; i < len(lower); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (z *tokenizer) readComment() token {
@@ -147,15 +188,17 @@ func (z *tokenizer) readStartTag() token {
 	}
 	tag := strings.ToLower(z.src[start:z.pos])
 	t := token{typ: tokStartTag, tag: tag}
+	attrs := z.attrScratch[:0]
+loop:
 	for {
 		z.skipSpace()
 		if z.pos >= len(z.src) {
-			return t
+			break
 		}
 		switch z.src[z.pos] {
 		case '>':
 			z.pos++
-			return t
+			break loop
 		case '/':
 			z.pos++
 			z.skipSpace()
@@ -163,7 +206,7 @@ func (z *tokenizer) readStartTag() token {
 				z.pos++
 			}
 			t.typ = tokSelfClosing
-			return t
+			break loop
 		default:
 			key, val, ok := z.readAttr()
 			if !ok {
@@ -171,9 +214,14 @@ func (z *tokenizer) readStartTag() token {
 				z.pos++
 				continue
 			}
-			t.attrs = append(t.attrs, Attr{Key: key, Val: val})
+			attrs = append(attrs, Attr{Key: key, Val: val})
 		}
 	}
+	z.attrScratch = attrs
+	if len(attrs) > 0 {
+		t.attrs = attrs
+	}
+	return t
 }
 
 func isNameByte(c byte) bool {

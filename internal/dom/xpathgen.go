@@ -14,26 +14,35 @@ func (n *Node) XPath() string {
 	if n.Type == DocumentNode {
 		return "/"
 	}
-	var steps []string
+	var stack [32]*Node
+	chain := stack[:0]
+	size := 0
 	for m := n; m != nil && m.Type != DocumentNode; m = m.Parent {
-		steps = append(steps, step(m))
+		chain = append(chain, m)
+		size += len(stepName(m)) + 2 + 4 // '/name[NN]', indices rarely wider
 	}
 	var b strings.Builder
-	for i := len(steps) - 1; i >= 0; i-- {
+	b.Grow(size)
+	var tmp [12]byte
+	for i := len(chain) - 1; i >= 0; i-- {
+		m := chain[i]
 		b.WriteByte('/')
-		b.WriteString(steps[i])
+		b.WriteString(stepName(m))
+		b.WriteByte('[')
+		b.Write(strconv.AppendInt(tmp[:0], int64(m.SiblingIndex()), 10))
+		b.WriteByte(']')
 	}
 	return b.String()
 }
 
-func step(n *Node) string {
-	name := n.Tag
+func stepName(n *Node) string {
 	if n.Type == TextNode {
-		name = "text()"
-	} else if n.Type == CommentNode {
-		name = "comment()"
+		return "text()"
 	}
-	return name + "[" + strconv.Itoa(n.SiblingIndex()) + "]"
+	if n.Type == CommentNode {
+		return "comment()"
+	}
+	return n.Tag
 }
 
 // ResolveXPath walks an absolute XPath (as produced by Node.XPath) from doc

@@ -15,6 +15,7 @@ package fusion
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"ceres/internal/strmatch"
 )
@@ -75,7 +76,9 @@ func Fuse(obs []Observation, opts Options) []Fact {
 	for _, ob := range obs {
 		a.Add(ob)
 	}
-	return a.Facts()
+	facts := a.Facts()
+	a.Release()
+	return facts
 }
 
 // key identifies one fused fact: normalized subject/object, exact
@@ -86,7 +89,10 @@ type key struct{ s, p, o string }
 type acc struct {
 	fact     Fact
 	oneMinus float64 // Π (1 - prior·confidence)
-	sources  map[string]bool
+	// sources holds the distinct sites asserting the fact, in first-seen
+	// order. A fact rarely has more than a handful of sources, so a
+	// linear-scanned slice beats a per-fact map.
+	sources []string
 }
 
 // Accumulator fuses observations one at a time, so a crawl-scale harvest
@@ -99,14 +105,62 @@ type acc struct {
 // feeds the final bits. Facts does not consume the accumulator — it may
 // be called repeatedly, interleaved with further Adds.
 type Accumulator struct {
-	opts  Options
-	accs  map[key]*acc
+	opts Options
+	// accs indexes into pool, which stores the aggregates contiguously:
+	// one slice growth instead of one allocation per distinct fact.
+	accs  map[key]int32
+	pool  []acc
 	order []key // insertion order, for deterministic grouping
+	// norm caches Normalize results keyed by the raw string: harvest
+	// observations repeat the same subjects and objects across pages, and
+	// normalization (rune folding) dominates Add without it. Memory grows
+	// with distinct raw strings — the same order as the fact aggregates.
+	norm map[string]string
 }
+
+// accPool recycles accumulator storage between Release and the next
+// NewAccumulator: the maps keep their buckets and the aggregate pool its
+// capacity, so a harvest that fuses run after run stops paying the
+// grow-from-empty allocations after the first.
+var accPool = sync.Pool{New: func() any {
+	return &Accumulator{accs: map[key]int32{}, norm: map[string]string{}}
+}}
 
 // NewAccumulator builds an empty accumulator over the fusion options.
 func NewAccumulator(opts Options) *Accumulator {
-	return &Accumulator{opts: opts.withDefaults(), accs: map[key]*acc{}}
+	c := accPool.Get().(*Accumulator)
+	c.opts = opts.withDefaults()
+	return c
+}
+
+// Release returns the accumulator's internal storage to a package pool
+// for future NewAccumulator calls. Facts it has already resolved remain
+// valid — they are copies — but the accumulator itself must not be used
+// afterwards. Release is an optimization, never an obligation: an
+// unreleased accumulator is ordinary garbage.
+func (c *Accumulator) Release() {
+	clear(c.pool) // drop string references before pooling
+	c.pool = c.pool[:0]
+	clear(c.order)
+	c.order = c.order[:0]
+	clear(c.accs)
+	// The normalize cache survives reuse — Normalize is pure, so stale
+	// entries stay correct and a steady-state harvest keeps it warm. Cap
+	// it so adversarially distinct strings cannot grow it without bound.
+	if len(c.norm) > 1<<16 {
+		clear(c.norm)
+	}
+	c.opts = Options{}
+	accPool.Put(c)
+}
+
+func (c *Accumulator) normalize(s string) string {
+	if n, ok := c.norm[s]; ok {
+		return n
+	}
+	n := strmatch.Normalize(s)
+	c.norm[s] = n
+	return n
 }
 
 // Add folds one observation into the running aggregates. Observations
@@ -114,26 +168,32 @@ func NewAccumulator(opts Options) *Accumulator {
 // empty string, are ignored (they cannot name a fact).
 func (c *Accumulator) Add(ob Observation) {
 	k := key{
-		strmatch.Normalize(ob.Subject),
+		c.normalize(ob.Subject),
 		ob.Predicate,
-		strmatch.Normalize(ob.Object),
+		c.normalize(ob.Object),
 	}
 	if k.s == "" || k.o == "" || ob.Predicate == "" {
 		return
 	}
-	a := c.accs[k]
-	if a == nil {
-		a = &acc{
+	i, ok := c.accs[k]
+	if !ok {
+		i = int32(len(c.pool))
+		c.pool = append(c.pool, acc{
 			fact:     Fact{Subject: ob.Subject, Predicate: ob.Predicate, Object: ob.Object},
 			oneMinus: 1,
-			sources:  map[string]bool{},
-		}
-		c.accs[k] = a
+		})
+		c.accs[k] = i
 		c.order = append(c.order, k)
 	}
+	a := &c.pool[i]
 	ev := c.opts.prior(ob.Source) * clamp01(ob.Confidence)
 	a.oneMinus *= 1 - ev
-	a.sources[ob.Source] = true
+	for _, s := range a.sources {
+		if s == ob.Source {
+			return
+		}
+	}
+	a.sources = append(a.sources, ob.Source)
 }
 
 // Len returns how many distinct facts have been accumulated.
@@ -142,22 +202,22 @@ func (c *Accumulator) Len() int { return len(c.accs) }
 // Facts resolves the aggregates into fused facts, sorted by descending
 // belief then subject/predicate/object.
 func (c *Accumulator) Facts() []Fact {
+	if len(c.order) == 0 {
+		return nil // preserve nil-vs-empty for callers that serialize
+	}
 	// Group facts per (subject, predicate) in first-observation order for
 	// functional-predicate resolution.
 	type group struct {
 		sp    [2]string
 		facts []Fact
 	}
-	groupIdx := map[[2]string]int{}
-	var groups []group
+	groupIdx := make(map[[2]string]int, len(c.order))
+	groups := make([]group, 0, len(c.order))
 	for _, k := range c.order {
-		a := c.accs[k]
+		a := &c.pool[c.accs[k]]
 		f := a.fact
 		f.Belief = 1 - a.oneMinus
-		f.Sources = make([]string, 0, len(a.sources))
-		for s := range a.sources {
-			f.Sources = append(f.Sources, s)
-		}
+		f.Sources = append(make([]string, 0, len(a.sources)), a.sources...)
 		sort.Strings(f.Sources)
 		sp := [2]string{k.s, k.p}
 		i, ok := groupIdx[sp]
@@ -169,7 +229,7 @@ func (c *Accumulator) Facts() []Fact {
 		groups[i].facts = append(groups[i].facts, f)
 	}
 
-	var out []Fact
+	out := make([]Fact, 0, len(c.order))
 	for _, g := range groups {
 		if c.opts.Functional[g.sp[1]] && len(g.facts) > 1 {
 			sort.Slice(g.facts, func(i, j int) bool {

@@ -58,6 +58,75 @@ func (m *Model) ProbaInto(x Vector, out []float64) {
 	softmaxInPlace(out)
 }
 
+// TransposedModel is the serve-form of Model: the same classifier with
+// its weight matrix stored feature-major, so one pass over a sparse
+// vector scores every class at once — per feature, the per-class weights
+// are one contiguous read instead of NumClasses strided row accesses.
+// Scores are bit-identical to Model's: per class, features accumulate in
+// vector order and the intercept joins last, the exact addition sequence
+// ScoresInto performs.
+type TransposedModel struct {
+	classes int
+	feats   int
+	wt      []float64 // wt[j*classes+k] == W[k*feats+j]
+	b       []float64
+}
+
+// Transpose builds the feature-major serving form of the model.
+func (m *Model) Transpose() *TransposedModel {
+	t := &TransposedModel{
+		classes: m.NumClasses,
+		feats:   m.NumFeatures,
+		wt:      make([]float64, m.NumClasses*m.NumFeatures),
+		b:       m.B,
+	}
+	for k := 0; k < m.NumClasses; k++ {
+		row := m.W[k*m.NumFeatures : (k+1)*m.NumFeatures]
+		for j, w := range row {
+			t.wt[j*m.NumClasses+k] = w
+		}
+	}
+	return t
+}
+
+// ClassCount returns the number of classes the model scores.
+func (t *TransposedModel) ClassCount() int { return t.classes }
+
+// ScoresInto writes the raw linear scores (logits) for each class into
+// out, which must have length ClassCount.
+//
+//ceres:allocfree
+func (t *TransposedModel) ScoresInto(x Vector, out []float64) {
+	for k := range out {
+		out[k] = 0
+	}
+	C := t.classes
+	for _, f := range x {
+		if f.Index >= t.feats {
+			continue // unseen feature, as Vector.Dot ignores it
+		}
+		col := t.wt[f.Index*C : f.Index*C+C]
+		v := f.Value
+		for k, w := range col {
+			out[k] += v * w
+		}
+	}
+	for k := range out {
+		out[k] += t.b[k]
+	}
+}
+
+// ProbaInto writes the posterior distribution over classes into out,
+// which must have length ClassCount.
+//
+//ceres:allocfree
+func (t *TransposedModel) ProbaInto(x Vector, out []float64) {
+	t.ScoresInto(x, out)
+	softmaxInPlace(out)
+}
+
+var _ Scorer = (*TransposedModel)(nil)
+
 // Scores returns the raw linear scores (logits) for each class.
 func (m *Model) Scores(x Vector) []float64 {
 	out := make([]float64, m.NumClasses)

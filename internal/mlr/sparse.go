@@ -7,11 +7,7 @@
 // classifiers").
 package mlr
 
-import (
-	"cmp"
-	"slices"
-	"sort"
-)
+import "sort"
 
 // Feature is one (index, value) component of a sparse vector.
 type Feature struct {
@@ -94,9 +90,61 @@ func (b *VectorBuilder) Build() Vector {
 	if len(b.feats) == 0 {
 		return nil
 	}
-	slices.SortFunc(b.feats, func(a, c Feature) int { return cmp.Compare(a.Index, c.Index) })
+	sortFeatures(b.feats)
 	b.feats = coalesceSorted(b.feats)
 	return Vector(b.feats)
+}
+
+// sortFeatures orders feats by ascending Index. Build runs once per
+// classified node, and a generic comparator sort spends a measurable
+// share of serve CPU in closure calls; this direct version sorts the
+// small, flat Feature pairs without indirection. Entries with equal
+// indices end up in unspecified relative order, which coalesceSorted then
+// sums — order-independent for the value-1 features the featurizers emit.
+//
+//ceres:allocfree
+func sortFeatures(f []Feature) {
+	for len(f) > 24 {
+		lo, hi, mid := 0, len(f)-1, len(f)/2
+		if f[mid].Index < f[lo].Index {
+			f[mid], f[lo] = f[lo], f[mid]
+		}
+		if f[hi].Index < f[lo].Index {
+			f[hi], f[lo] = f[lo], f[hi]
+		}
+		if f[hi].Index < f[mid].Index {
+			f[hi], f[mid] = f[mid], f[hi]
+		}
+		pivot := f[mid].Index
+		i, j := lo, hi
+		for i <= j {
+			for f[i].Index < pivot {
+				i++
+			}
+			for f[j].Index > pivot {
+				j--
+			}
+			if i <= j {
+				f[i], f[j] = f[j], f[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half, loop on the larger: stack depth
+		// stays logarithmic regardless of pivot quality.
+		if j+1 < len(f)-i {
+			sortFeatures(f[:j+1])
+			f = f[i:]
+		} else {
+			sortFeatures(f[i:])
+			f = f[:j+1]
+		}
+	}
+	for i := 1; i < len(f); i++ {
+		for k := i; k > 0 && f[k].Index < f[k-1].Index; k-- {
+			f[k], f[k-1] = f[k-1], f[k]
+		}
+	}
 }
 
 // Dot returns the dot product with a dense weight slice. Indices beyond

@@ -84,7 +84,29 @@ func Normalize(s string) string {
 func NormalizeInto(dst []byte, s string) []byte {
 	start := len(dst)
 	lastSpace := true // suppress leading spaces
-	for _, r := range s {
+	for i := 0; i < len(s); {
+		// ASCII bytes — the overwhelming share of harvest text — skip
+		// the rune decode and the Unicode tables: foldRune is identity
+		// below 0x80 and case/class checks are two comparisons.
+		if c := s[i]; c < utf8.RuneSelf {
+			i++
+			switch {
+			case 'a' <= c && c <= 'z' || '0' <= c && c <= '9':
+				dst = append(dst, c)
+				lastSpace = false
+			case 'A' <= c && c <= 'Z':
+				dst = append(dst, c+('a'-'A'))
+				lastSpace = false
+			default:
+				if !lastSpace {
+					dst = append(dst, ' ')
+					lastSpace = true
+				}
+			}
+			continue
+		}
+		r, sz := utf8.DecodeRuneInString(s[i:])
+		i += sz
 		r = unicode.ToLower(r)
 		r = foldRune(r)
 		switch {

@@ -1,0 +1,117 @@
+package pagestore
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ceres"
+)
+
+// scanFixture builds a multi-segment site partition: pages wide enough
+// that decompression dominates framing, segment counts high enough that
+// the readahead plane has real work to overlap.
+func scanFixture(tb testing.TB, dir string, pages, segPages int) *Store {
+	tb.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w, err := s.Writer("scan.example.com")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w.SegmentPages = segPages
+	body := strings.Repeat("<tr><td>cell</td><td>value</td></tr>", 40)
+	for i := 0; i < pages; i++ {
+		err := w.Append(ceres.PageSource{
+			ID:   fmt.Sprintf("p%06d", i),
+			HTML: fmt.Sprintf("<html><body><h1>page %d</h1><table>%s</table></body></html>", i, body),
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkPagestoreScan measures the concurrent segment read plane:
+// a full sequential scan of a multi-segment partition through Pages,
+// reported as pages/s. This is the harvest runner's supply side — the
+// rate at which shards can be fed before extraction cost enters.
+func BenchmarkPagestoreScan(b *testing.B) {
+	const pages, segPages = 2048, 64
+	s := scanFixture(b, filepath.Join(b.TempDir(), "pages"), pages, segPages)
+	ctx := context.Background()
+	scanned := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := s.Pages(ctx, "scan.example.com", 0, pages, func(p ceres.PageSource) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != pages {
+			b.Fatalf("scan saw %d pages, want %d", n, pages)
+		}
+		scanned += n
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(scanned)/secs, "pages/s")
+	}
+}
+
+// TestConcurrentPagesReaders runs many readers over one Store at once —
+// full scans and offset windows — and requires every reader to observe
+// exactly the ordered subsequence it asked for. Run under -race, this is
+// the proof that the readahead plane (shared Store, pooled gzip readers
+// and buffers) keeps readers fully isolated.
+func TestConcurrentPagesReaders(t *testing.T) {
+	const pages, segPages = 300, 17
+	s := scanFixture(t, filepath.Join(t.TempDir(), "pages"), pages, segPages)
+	ctx := context.Background()
+
+	type window struct{ start, n int }
+	windows := []window{
+		{0, pages}, {0, pages}, // two identical full scans
+		{0, 1}, {pages - 1, 1}, // edges
+		{5, 40}, {16, 18}, {17, 170}, {250, 50}, // segment-straddling slices
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(windows))
+	for i, win := range windows {
+		wg.Add(1)
+		go func(i int, win window) {
+			defer wg.Done()
+			want := win.start
+			err := s.Pages(ctx, "scan.example.com", win.start, win.n, func(p ceres.PageSource) error {
+				if id := fmt.Sprintf("p%06d", want); p.ID != id {
+					return fmt.Errorf("reader %d: got page %q at position %d, want %q", i, p.ID, want, id)
+				}
+				want++
+				return nil
+			})
+			if err == nil && want != win.start+win.n {
+				err = fmt.Errorf("reader %d: saw %d pages, want %d", i, want-win.start, win.n)
+			}
+			errs[i] = err
+		}(i, win)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -17,18 +17,23 @@
 // a crash mid-ingest leaves at worst orphan segments the index does not
 // reference (a later Writer numbers past them).
 //
-// Reading is streaming: Pages decodes one record at a time through a
-// reused scratch buffer, so iterating a million-page site costs the two
-// string allocations per page the ceres.PageSource values themselves
-// need, and range reads skip whole segments via the index and discard
-// records without decoding them into strings. A Store therefore serves as
-// the page provider of a batch harvest (ceres/batch.PageProvider) with
-// per-shard bounded memory.
+// Reading is segment-granular: Pages plans which segments a range
+// touches (whole segments before the range are never opened), inflates
+// each through a pooled gzip reader into a pooled buffer, and frames
+// records out of that buffer with an allocation-free cursor — skipped
+// records never materialize strings, delivered ones cost exactly the two
+// string allocations their ceres.PageSource needs. A range spanning
+// several segments is read ahead by a bounded worker pool that
+// decompresses segments in parallel while the callback consumes them in
+// deterministic ingest order; memory stays bounded by the readahead
+// window (a few segments), never the site. A Store therefore serves as
+// the page provider of a batch harvest (ceres/batch.PageProvider).
 package pagestore
 
 import (
 	"bufio"
 	"compress/gzip"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -37,8 +42,10 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ceres"
 	"ceres/internal/fsatomic"
@@ -331,13 +338,51 @@ func (s *Store) Ingest(site string, pages []ceres.PageSource) error {
 	return w.Close()
 }
 
+// maxReadahead caps how many segments a multi-segment scan decompresses
+// concurrently (and therefore how many inflated segments can be in
+// memory at once); GOMAXPROCS bounds it further on small machines.
+const maxReadahead = 8
+
+// segRead is one planned segment read: skip records at the front of the
+// segment, then deliver take records.
+type segRead struct {
+	seg        SegmentInfo
+	skip, take int
+}
+
+// planReads maps a record range [start, start+n) onto the segments it
+// touches. Segments wholly before or after the range do not appear.
+func planReads(info SiteInfo, start, n int) []segRead {
+	var reads []segRead
+	for _, seg := range info.Segments {
+		if n <= 0 {
+			break
+		}
+		if start >= seg.Pages {
+			start -= seg.Pages
+			continue
+		}
+		take := seg.Pages - start
+		if take > n {
+			take = n
+		}
+		reads = append(reads, segRead{seg: seg, skip: start, take: take})
+		n -= take
+		start = 0
+	}
+	return reads
+}
+
 // Pages streams records [start, start+n) of a site in ingest order
-// through fn, decoding one page at a time: memory stays constant in site
-// size. n < 0 streams to the end. A non-nil error from fn stops the scan
-// and is returned. Whole segments before start are never opened, and
-// records skipped within the first segment are discarded without string
-// allocation.
-func (s *Store) Pages(site string, start, n int, fn func(ceres.PageSource) error) error {
+// through fn. n < 0 streams to the end. A non-nil error from fn stops
+// the scan and is returned; cancelling ctx stops it with ctx.Err().
+// Whole segments before start are never opened, and records skipped
+// within the first touched segment are framed but never decoded into
+// strings. When the range spans several segments they are decompressed
+// in parallel by a bounded worker pool while fn consumes them strictly
+// in order, so the callback sequence is byte-identical to a sequential
+// scan; memory is bounded by the readahead window, never the site.
+func (s *Store) Pages(ctx context.Context, site string, start, n int, fn func(ceres.PageSource) error) error {
 	if start < 0 {
 		return fmt.Errorf("pagestore: negative start %d", start)
 	}
@@ -348,107 +393,215 @@ func (s *Store) Pages(site string, start, n int, fn func(ceres.PageSource) error
 	if n < 0 {
 		n = info.Pages - start
 	}
-	for _, seg := range info.Segments {
-		if n <= 0 {
-			break
-		}
-		if start >= seg.Pages {
-			start -= seg.Pages
-			continue
-		}
-		took, err := s.scanSegment(site, seg, start, n, fn)
+	reads := planReads(info, start, n)
+	if len(reads) == 0 {
+		return nil
+	}
+	if len(reads) == 1 {
+		pages, err := s.decodeSegment(site, reads[0])
 		if err != nil {
 			return err
 		}
-		n -= took
-		start = 0
-	}
-	return nil
-}
-
-// scanSegment streams up to n records of one segment starting at record
-// index start, returning how many records it passed to fn.
-func (s *Store) scanSegment(site string, seg SegmentInfo, start, n int, fn func(ceres.PageSource) error) (int, error) {
-	f, err := os.Open(filepath.Join(s.siteDir(site), seg.File))
-	if err != nil {
-		return 0, fmt.Errorf("pagestore: opening segment: %w", err)
-	}
-	defer f.Close()
-	gz, err := gzip.NewReader(bufio.NewReaderSize(f, 64<<10))
-	if err != nil {
-		return 0, fmt.Errorf("pagestore: reading segment %s: %w", seg.File, err)
-	}
-	defer gz.Close()
-	br := bufio.NewReaderSize(gz, 64<<10)
-
-	var scratch []byte
-	readString := func() (string, error) {
-		ln, err := binary.ReadUvarint(br)
-		if err != nil {
-			return "", err
-		}
-		if cap(scratch) < int(ln) {
-			scratch = make([]byte, ln)
-		}
-		buf := scratch[:ln]
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
-	}
-	// Skip start records without materializing strings.
-	discard := func() error {
-		for i := 0; i < 2; i++ {
-			ln, err := binary.ReadUvarint(br)
-			if err != nil {
+		for _, p := range pages {
+			if err := fn(p); err != nil {
 				return err
-			}
-			for ln > 0 {
-				c := int(ln)
-				if c > 1<<20 {
-					c = 1 << 20
-				}
-				d, err := br.Discard(c)
-				ln -= uint64(d)
-				if err != nil {
-					return err
-				}
 			}
 		}
 		return nil
 	}
-	for i := 0; i < start; i++ {
-		if err := discard(); err != nil {
-			return 0, fmt.Errorf("pagestore: reading segment %s: %w", seg.File, err)
+	return s.readAhead(ctx, site, reads, fn)
+}
+
+// readAhead fans the planned segment reads out to a worker pool and
+// feeds fn in plan order. Workers may run ahead of the consumer by at
+// most the pool size (the semaphore doubles as the memory bound: one
+// slot per inflated segment until fn has consumed it).
+func (s *Store) readAhead(ctx context.Context, site string, reads []segRead, fn func(ceres.PageSource) error) error {
+	workers := min(runtime.GOMAXPROCS(0), len(reads), maxReadahead)
+	type result struct {
+		pages []ceres.PageSource
+		err   error
+	}
+	results := make([]chan result, len(reads))
+	for i := range results {
+		results[i] = make(chan result, 1) // sends never block
+	}
+	sem := make(chan struct{}, workers)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	// Deferred LIFO: done closes first, releasing the workers the Wait
+	// then joins — an early return never leaks a decompressing goroutine.
+	defer wg.Wait()
+	defer close(done)
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case sem <- struct{}{}: // a readahead slot; the consumer frees it
+				case <-done:
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(reads) || ctx.Err() != nil {
+					return
+				}
+				pages, err := s.decodeSegment(site, reads[i])
+				results[i] <- result{pages, err}
+			}
+		}()
+	}
+	for i := range reads {
+		var res result
+		select {
+		case res = <-results[i]:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		<-sem // the segment is ours; free its readahead slot
+		if res.err != nil {
+			return res.err
+		}
+		for _, p := range res.pages {
+			if err := fn(p); err != nil {
+				return err
+			}
 		}
 	}
-	took := 0
-	for ; took < n && start+took < seg.Pages; took++ {
-		id, err := readString()
-		if err != nil {
-			return took, fmt.Errorf("pagestore: reading segment %s: %w", seg.File, err)
+	return nil
+}
+
+// Pools for the segment decode path: gzip readers (Reset-able, each
+// carries a ~32KiB window), the bufio readers in front of segment files,
+// and the inflated-segment buffers. All three grow to the working set of
+// the readahead pool and then stop allocating, whatever the corpus size.
+var (
+	gzipPool  sync.Pool // *gzip.Reader
+	bufioPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 64<<10) }}
+	inflPool  sync.Pool // *[]byte
+)
+
+// decodeSegment opens, inflates and frames one planned segment read,
+// returning the materialized records. The inflated bytes live in a
+// pooled buffer that is returned before decodeSegment does — record
+// strings are copied out by the framing loop.
+func (s *Store) decodeSegment(site string, sr segRead) ([]ceres.PageSource, error) {
+	f, err := os.Open(filepath.Join(s.siteDir(site), sr.seg.File))
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: opening segment: %w", err)
+	}
+	defer f.Close()
+	br := bufioPool.Get().(*bufio.Reader)
+	br.Reset(f)
+	defer bufioPool.Put(br)
+	var gz *gzip.Reader
+	if pooled := gzipPool.Get(); pooled != nil {
+		gz = pooled.(*gzip.Reader)
+		err = gz.Reset(br)
+	} else {
+		gz, err = gzip.NewReader(br)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: reading segment %s: %w", sr.seg.File, err)
+	}
+	defer gzipPool.Put(gz)
+
+	bufp, _ := inflPool.Get().(*[]byte)
+	if bufp == nil {
+		bufp = new([]byte)
+	}
+	defer inflPool.Put(bufp)
+	data, err := readAllInto((*bufp)[:0], gz)
+	*bufp = data // keep the grown capacity pooled even on error
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: reading segment %s: %w", sr.seg.File, err)
+	}
+	if err := gz.Close(); err != nil {
+		return nil, fmt.Errorf("pagestore: reading segment %s: %w", sr.seg.File, err)
+	}
+
+	pages := make([]ceres.PageSource, 0, sr.take)
+	off := 0
+	for i := 0; i < sr.skip+sr.take; i++ {
+		idLo, idHi, htmlLo, htmlHi, next, ok := frameRecord(data, off)
+		if !ok {
+			return nil, fmt.Errorf("pagestore: reading segment %s: truncated record %d", sr.seg.File, i)
 		}
-		html, err := readString()
-		if err != nil {
-			return took, fmt.Errorf("pagestore: reading segment %s: %w", seg.File, err)
+		if i >= sr.skip { // skipped records never become strings
+			pages = append(pages, ceres.PageSource{
+				ID:   string(data[idLo:idHi]),
+				HTML: string(data[htmlLo:htmlHi]),
+			})
 		}
-		if err := fn(ceres.PageSource{ID: id, HTML: html}); err != nil {
-			return took, err
+		off = next
+	}
+	return pages, nil
+}
+
+// readAllInto reads r to EOF appending to buf (reusing its capacity),
+// like io.ReadAll but into a caller-owned buffer.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
 		}
 	}
-	return took, nil
+}
+
+// frameRecord parses the record frame at off — uvarint id length, id
+// bytes, uvarint HTML length, HTML bytes — returning the two payload
+// ranges and the offset after the record. It never allocates: callers
+// decide which payloads become strings, so skipping is free.
+//
+//ceres:allocfree
+func frameRecord(b []byte, off int) (idLo, idHi, htmlLo, htmlHi, next int, ok bool) {
+	idLen, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return 0, 0, 0, 0, 0, false
+	}
+	idLo = off + n
+	if idLen > uint64(len(b)-idLo) {
+		return 0, 0, 0, 0, 0, false
+	}
+	idHi = idLo + int(idLen)
+	htmlLen, n := binary.Uvarint(b[idHi:])
+	if n <= 0 {
+		return 0, 0, 0, 0, 0, false
+	}
+	htmlLo = idHi + n
+	if htmlLen > uint64(len(b)-htmlLo) {
+		return 0, 0, 0, 0, 0, false
+	}
+	htmlHi = htmlLo + int(htmlLen)
+	return idLo, idHi, htmlLo, htmlHi, htmlHi, true
 }
 
 // ReadAll materializes records [start, start+n) of a site (n < 0 reads to
 // the end) — the loading path for bounded page sets like a training
 // sample or one shard. Crawl-scale scans should stream with Pages
 // instead.
-func (s *Store) ReadAll(site string, start, n int) ([]ceres.PageSource, error) {
-	var out []ceres.PageSource
-	if n > 0 {
-		out = make([]ceres.PageSource, 0, n)
+func (s *Store) ReadAll(ctx context.Context, site string, start, n int) ([]ceres.PageSource, error) {
+	capHint := n
+	if n < 0 {
+		if total, err := s.PageCount(site); err == nil && total > start {
+			capHint = total - start
+		}
 	}
-	err := s.Pages(site, start, n, func(p ceres.PageSource) error {
+	var out []ceres.PageSource
+	if capHint > 0 {
+		out = make([]ceres.PageSource, 0, capHint)
+	}
+	err := s.Pages(ctx, site, start, n, func(p ceres.PageSource) error {
 		out = append(out, p)
 		return nil
 	})

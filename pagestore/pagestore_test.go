@@ -1,6 +1,7 @@
 package pagestore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -44,7 +45,7 @@ func TestStoreRoundTrip(t *testing.T) {
 	if want := []string{"alpha.example", "beta.example/films"}; !reflect.DeepEqual(sites, want) {
 		t.Fatalf("Sites() = %v, want %v", sites, want)
 	}
-	got, err := s.ReadAll("alpha.example", 0, -1)
+	got, err := s.ReadAll(context.Background(), "alpha.example", 0, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestSegmentRotationAndRanges(t *testing.T) {
 		{0, -1}, {0, 47}, {0, 10}, {5, 10}, {9, 2}, {10, 1}, {17, 25}, {40, 7}, {40, -1}, {46, 1}, {47, 5}, {100, -1}, {12, 0},
 	} {
 		var got []ceres.PageSource
-		if err := s.Pages("multi.example", r.start, r.n, func(p ceres.PageSource) error {
+		if err := s.Pages(context.Background(), "multi.example", r.start, r.n, func(p ceres.PageSource) error {
 			got = append(got, p)
 			return nil
 		}); err != nil {
@@ -145,7 +146,7 @@ func TestWriterAppendsAcrossSessions(t *testing.T) {
 	if info2.Pages != 17 || len(info2.Segments) != len(info1.Segments)+1 {
 		t.Fatalf("append merged wrong: %+v", info2)
 	}
-	got, err := s2.ReadAll("site.example", 0, -1)
+	got, err := s2.ReadAll(context.Background(), "site.example", 0, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestCrashOrphanInvisible(t *testing.T) {
 	if err := w2.Close(); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.ReadAll("site.example", 0, -1)
+	got, err := s.ReadAll(context.Background(), "site.example", 0, -1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,9 @@
 package ceres
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -36,24 +38,65 @@ func NewRegistry() *Registry {
 }
 
 // OpenRegistry loads the latest stored version of every site in the store
-// into a new registry — how a serving process boots its fleet.
-func OpenRegistry(store ModelStore) (*Registry, error) {
+// into a new registry — how a serving process boots its fleet. Model
+// loads run on a GOMAXPROCS-wide worker pool (deserialization dominates a
+// cold boot, and models are independent), but the outcome is
+// deterministic: on failure the error reported is always the
+// first-failing site in List (site-sorted) order, regardless of which
+// worker hit it first. Cancelling ctx abandons the boot with ctx.Err().
+func OpenRegistry(ctx context.Context, store ModelStore) (*Registry, error) {
 	r := NewRegistry()
 	ents, err := store.List()
 	if err != nil {
 		return nil, err
 	}
+	type job struct {
+		site    string
+		version int
+	}
+	jobs := make([]job, 0, len(ents))
 	for _, e := range ents {
 		if len(e.Versions) == 0 {
 			continue
 		}
-		v := e.Versions[len(e.Versions)-1] // List sorts versions ascending
-		m, err := store.Open(e.Site, v)
-		if err != nil {
-			return nil, fmt.Errorf("ceres: loading registry: site %q: %w", e.Site, err)
-		}
-		r.Publish(e.Site, v, m)
+		// List sorts versions ascending; the last is the latest.
+		jobs = append(jobs, job{e.Site, e.Versions[len(e.Versions)-1]})
 	}
+	workers := min(runtime.GOMAXPROCS(0), len(jobs))
+	models := make([]*SiteModel, len(jobs))
+	errs := make([]error, len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || ctx.Err() != nil {
+					return
+				}
+				models[i], errs[i] = store.Open(jobs[i].site, jobs[i].version)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ceres: loading registry: site %q: %w", jobs[i].site, err)
+		}
+	}
+	// Install the whole fleet as one snapshot: publishing per site would
+	// copy-on-write the table once per model (quadratic over a large
+	// store), and nothing can be serving mid-boot anyway.
+	table := make(map[string]RegisteredModel, len(jobs))
+	for i, j := range jobs {
+		table[j.site] = RegisteredModel{Site: j.site, Version: j.version, Model: models[i]}
+	}
+	r.snap.Store(&table)
 	return r, nil
 }
 

@@ -1,0 +1,127 @@
+package ceres
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestOpenRegistryDeterministicFailure: the boot loads models on a worker
+// pool, but a failure must be reported deterministically — always the
+// first-failing site in List (site-sorted) order, however the workers
+// interleave.
+func TestOpenRegistryDeterministicFailure(t *testing.T) {
+	f := getTrainServeFixture(t)
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, site := range []string{"a.example", "b.example", "c.example", "d.example"} {
+		if _, err := store.Publish(site, f.model); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt two sites; the first in site order is the one that must be
+	// reported, every run.
+	for _, site := range []string{"b.example", "d.example"} {
+		if err := os.WriteFile(filepath.Join(store.Root(), site, "v000001.bin"), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		_, err := OpenRegistry(context.Background(), store)
+		if err == nil {
+			t.Fatal("OpenRegistry succeeded over corrupt models")
+		}
+		if !strings.Contains(err.Error(), `site "b.example"`) {
+			t.Fatalf("run %d reported %v, want the first-failing site b.example", i, err)
+		}
+	}
+}
+
+func TestOpenRegistryCancelled(t *testing.T) {
+	f := getTrainServeFixture(t)
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Publish("a.example", f.model); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OpenRegistry(ctx, store); !errors.Is(err, context.Canceled) {
+		t.Fatalf("OpenRegistry on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// BenchmarkRegistryBoot measures a serving fleet's cold boot —
+// OpenRegistry over a store of 1000 single-version models — for the
+// binary `ceres.sitemodel/3` format against the JSON baseline. The store
+// is laid out once per sub-benchmark (the same trained model under 1000
+// site names, written directly rather than through Publish, which would
+// fsync 1000 times); each iteration then boots a fresh registry from it.
+func BenchmarkRegistryBoot(b *testing.B) {
+	const sites = 1000
+	c, err := DemoCorpus("movies", 7, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train := make([]PageSource, 0, len(c.Pages)/2)
+	for i, p := range c.Pages {
+		if i%2 == 0 {
+			train = append(train, p)
+		}
+	}
+	model, err := NewPipeline(c.KB).Train(context.Background(), train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jsonBuf, binBuf strings.Builder
+	if _, err := model.WriteTo(&jsonBuf); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := model.WriteBinary(&binBuf); err != nil {
+		b.Fatal(err)
+	}
+
+	for _, bc := range []struct {
+		name, file string
+		data       string
+	}{
+		{"binary", "v000001.bin", binBuf.String()},
+		{"json", "v000001.json", jsonBuf.String()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			root := b.TempDir()
+			for i := 0; i < sites; i++ {
+				dir := filepath.Join(root, fmt.Sprintf("site-%04d.example", i))
+				if err := os.Mkdir(dir, 0o755); err != nil {
+					b.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(dir, bc.file), []byte(bc.data), 0o644); err != nil {
+					b.Fatal(err)
+				}
+			}
+			store, err := NewDirStore(root)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(sites * len(bc.data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reg, err := OpenRegistry(context.Background(), store)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if reg.Len() != sites {
+					b.Fatalf("booted %d sites, want %d", reg.Len(), sites)
+				}
+			}
+		})
+	}
+}

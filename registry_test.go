@@ -1,6 +1,7 @@
 package ceres
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -66,7 +67,7 @@ func TestOpenRegistryLoadsLatest(t *testing.T) {
 	if _, err := store.Publish("b", f.model); err != nil {
 		t.Fatal(err)
 	}
-	r, err := OpenRegistry(store)
+	r, err := OpenRegistry(context.Background(), store)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -63,27 +64,47 @@ type StoreEntry struct {
 }
 
 // DirStore is a filesystem ModelStore: one directory per site (its name
-// URL-path-escaped), one `v%06d.json` file per version in the SiteModel
-// WriteTo format. Publish writes to a temporary file in the same
-// directory, then links it into place atomically, so readers — including
-// other processes watching the directory — never observe a torn model,
-// and a version file is never overwritten once it exists. Version numbers
-// are recovered from the directory listing, so a DirStore survives
-// restarts and can be shared by several processes: concurrent publishers
-// of the same site each get their own version (a collision re-assigns the
-// number and retries the link).
+// URL-path-escaped), one `v%06d.bin` (binary `ceres.sitemodel/3`
+// WriteBinary format, the publish default) or `v%06d.json` (JSON WriteTo
+// format, behind WithJSONPublish) file per version. Reads sniff the file
+// contents, so a store freely mixes formats and JSON versions published
+// by older builds remain readable forever. Publish writes to a temporary
+// file in the same directory, then links it into place atomically, so
+// readers — including other processes watching the directory — never
+// observe a torn model, and a version file is never overwritten once it
+// exists. Version numbers are recovered from the directory listing, so a
+// DirStore survives restarts and can be shared by several processes:
+// concurrent publishers of the same site each get their own version (a
+// collision re-assigns the number and retries the link).
 type DirStore struct {
-	root string
-	mu   sync.Mutex // serializes in-process version assignment
+	root        string
+	publishJSON bool
+	mu          sync.Mutex // serializes in-process version assignment
+}
+
+// StoreOption configures a DirStore.
+type StoreOption func(*DirStore)
+
+// WithJSONPublish makes the store publish new versions in the JSON
+// `ceres.sitemodel/2` format instead of the binary default — e.g. for a
+// store that older builds, or humans with text tools, still read.
+// Loading always sniffs the file contents, so the option never affects
+// which versions a store can open.
+func WithJSONPublish() StoreOption {
+	return func(s *DirStore) { s.publishJSON = true }
 }
 
 // NewDirStore opens (creating if needed) a filesystem model store rooted
 // at dir.
-func NewDirStore(dir string) (*DirStore, error) {
+func NewDirStore(dir string, opts ...StoreOption) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ceres: opening model store: %w", err)
 	}
-	return &DirStore{root: dir}, nil
+	s := &DirStore{root: dir}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
 }
 
 // Root returns the store's root directory.
@@ -93,14 +114,30 @@ func (s *DirStore) siteDir(site string) string {
 	return filepath.Join(s.root, url.PathEscape(site))
 }
 
-func versionFile(v int) string { return fmt.Sprintf("v%06d.json", v) }
+// Version file extensions: binary is the publish default, JSON the
+// compatibility format. parseVersion accepts both.
+const (
+	extBinary = ".bin"
+	extJSON   = ".json"
+)
 
-// parseVersion extracts N from a "vNNNNNN.json" file name, -1 otherwise.
+func versionFile(v int, ext string) string { return fmt.Sprintf("v%06d%s", v, ext) }
+
+// parseVersion extracts N from a "vNNNNNN.bin" or "vNNNNNN.json" file
+// name, -1 otherwise.
 func parseVersion(name string) int {
-	if !strings.HasPrefix(name, "v") || !strings.HasSuffix(name, ".json") {
+	if !strings.HasPrefix(name, "v") {
 		return -1
 	}
-	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "v"), ".json"))
+	switch {
+	case strings.HasSuffix(name, extBinary):
+		name = strings.TrimSuffix(name, extBinary)
+	case strings.HasSuffix(name, extJSON):
+		name = strings.TrimSuffix(name, extJSON)
+	default:
+		return -1
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(name, "v"))
 	if err != nil || n < 1 {
 		return -1
 	}
@@ -108,7 +145,8 @@ func parseVersion(name string) int {
 }
 
 // versions lists a site's stored versions, ascending; empty when the site
-// has none.
+// has none. A version present in both formats (possible when publishers
+// with different format options race across processes) lists once.
 func (s *DirStore) versions(site string) ([]int, error) {
 	ents, err := os.ReadDir(s.siteDir(site))
 	if err != nil {
@@ -124,6 +162,7 @@ func (s *DirStore) versions(site string) ([]int, error) {
 		}
 	}
 	sort.Ints(out)
+	out = slices.Compact(out)
 	return out, nil
 }
 
@@ -156,7 +195,14 @@ func (s *DirStore) Publish(site string, m *SiteModel) (int, error) {
 		return 0, fmt.Errorf("ceres: publishing model: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // the published file is a separate link
-	if _, err := m.WriteTo(tmp); err != nil {
+	ext := extBinary
+	if s.publishJSON {
+		ext = extJSON
+		_, err = m.WriteTo(tmp)
+	} else {
+		_, err = m.WriteBinary(tmp)
+	}
+	if err != nil {
 		tmp.Close()
 		return 0, fmt.Errorf("ceres: publishing model: %w", err)
 	}
@@ -173,7 +219,13 @@ func (s *DirStore) Publish(site string, m *SiteModel) (int, error) {
 		return 0, fmt.Errorf("ceres: publishing model: %w", err)
 	}
 	for {
-		err := os.Link(tmp.Name(), filepath.Join(dir, versionFile(version)))
+		// A version number is taken if either format's file exists — a
+		// concurrent publisher may run with the other format option.
+		if _, err := os.Lstat(filepath.Join(dir, versionFile(version, otherExt(ext)))); err == nil {
+			version++
+			continue
+		}
+		err := os.Link(tmp.Name(), filepath.Join(dir, versionFile(version, ext)))
 		if err == nil {
 			break
 		}
@@ -195,20 +247,31 @@ func (s *DirStore) Publish(site string, m *SiteModel) (int, error) {
 	return version, nil
 }
 
-// Open implements ModelStore.
+func otherExt(ext string) string {
+	if ext == extBinary {
+		return extJSON
+	}
+	return extBinary
+}
+
+// Open implements ModelStore. The version's file is located by trying
+// the binary extension first, then JSON; the contents are sniffed by
+// ReadSiteModel regardless, so either file may hold either format.
 func (s *DirStore) Open(site string, version int) (*SiteModel, error) {
 	if err := CheckSiteName(site); err != nil {
 		return nil, fmt.Errorf("ceres: opening model: %w", err)
 	}
-	f, err := os.Open(filepath.Join(s.siteDir(site), versionFile(version)))
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, fmt.Errorf("%w: site %q version %d", ErrModelNotFound, site, version)
+	for _, ext := range []string{extBinary, extJSON} {
+		data, err := os.ReadFile(filepath.Join(s.siteDir(site), versionFile(version, ext)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, fmt.Errorf("ceres: opening model: %w", err)
 		}
-		return nil, fmt.Errorf("ceres: opening model: %w", err)
+		return readSiteModelBytes(data)
 	}
-	defer f.Close()
-	return ReadSiteModel(f)
+	return nil, fmt.Errorf("%w: site %q version %d", ErrModelNotFound, site, version)
 }
 
 // Latest implements ModelStore.

@@ -119,7 +119,9 @@ func TestDirStoreReadsV1Envelope(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	store, err := NewDirStore(t.TempDir())
+	// WithJSONPublish keeps the republish below in the JSON format this
+	// test asserts on; binary-default publishing has its own tests.
+	store, err := NewDirStore(t.TempDir(), WithJSONPublish())
 	if err != nil {
 		t.Fatal(err)
 	}
