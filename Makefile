@@ -23,9 +23,10 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/ceresvet ./...
 
-# Headline benchmarks, human-readable.
+# Headline benchmarks, human-readable. -short skips the 10k-model
+# RegistryBoot/scale case, which only full bench-json runs pay for.
 bench:
-	$(GO) test -run='^$$' -bench='ServeExtract|ServiceExtract|Featurize|StageTopicIdentification|StageAnnotate|RegistryBoot' -benchtime=1x -benchmem .
+	$(GO) test -short -run='^$$' -bench='ServeExtract|ServiceExtract|StreamServe|Featurize|StageTopicIdentification|StageAnnotate|RegistryBoot' -benchtime=1x -benchmem .
 	$(GO) test -run='^$$' -bench='BatchHarvest' -benchtime=1x -benchmem ./batch
 	$(GO) test -run='^$$' -bench='PagestoreScan' -benchtime=1x -benchmem ./pagestore
 
@@ -34,7 +35,7 @@ bench:
 # record one PR's numbers each.
 BENCH_OUT ?= BENCH.json
 bench-json:
-	{ $(GO) test -run='^$$' -bench='ServiceExtract|RegistryBoot' -benchmem . ; \
+	{ $(GO) test -run='^$$' -bench='ServiceExtract|StreamServe|RegistryBoot' -benchmem . ; \
 	  $(GO) test -run='^$$' -bench='BatchHarvest' -benchmem ./batch ; \
 	  $(GO) test -run='^$$' -bench='PagestoreScan' -benchmem ./pagestore ; } \
 	| $(GO) run ./cmd/ceres-benchjson -out $(BENCH_OUT)

@@ -51,6 +51,21 @@ type PageProvider interface {
 	Pages(ctx context.Context, site string, start, n int, fn func(ceres.PageSource) error) error
 }
 
+// RawPageProvider is optionally implemented by providers that can hand a
+// shard's records to the runner as raw bytes. When the configured
+// provider implements it, the runner serves shards through the streaming
+// byte path (Service.ExtractScan): decoded record bytes reach the
+// tokenizer directly, with no intermediate PageSource strings and no DOM.
+// pagestore.Store implements it.
+type RawPageProvider interface {
+	PageProvider
+	// PagesBytes streams records [start, start+n) in the same stable
+	// order as Pages (n < 0 streams to the end). The id and html slices
+	// are only valid during the fn call — the provider may reuse the
+	// backing buffers afterwards.
+	PagesBytes(ctx context.Context, site string, start, n int, fn func(id, html []byte) error) error
+}
+
 // MemProvider is an in-memory PageProvider, for harvests over page sets
 // already in memory (tests, small corpora, CLI runs over a directory of
 // files). Add sites before handing it to a Runner; it must not be mutated

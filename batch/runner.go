@@ -295,24 +295,37 @@ func (r *Runner) runShard(ctx context.Context, job Job, ck *checkpoint, st *site
 	if st.skipReason != "" {
 		return
 	}
-	bufp, _ := r.shardBufs.Get().(*[]ceres.PageSource)
-	if bufp == nil {
-		bufp = new([]ceres.PageSource)
+	var resp *ceres.ExtractResponse
+	var err error
+	if rp, ok := r.cfg.Provider.(RawPageProvider); ok {
+		// Byte path: record bytes flow from the provider straight into
+		// the streaming serve path — no PageSource materialization.
+		resp, err = r.svc.ExtractScan(ctx, shard.Site, job.optionsFor(shard.Site),
+			func(yield func(id string, html []byte) error) error {
+				return rp.PagesBytes(ctx, shard.Site, shard.Start, shard.Pages,
+					func(id, html []byte) error { return yield(string(id), html) })
+			})
+	} else {
+		bufp, _ := r.shardBufs.Get().(*[]ceres.PageSource)
+		if bufp == nil {
+			bufp = new([]ceres.PageSource)
+		}
+		var pages []ceres.PageSource
+		pages, err = readPages(ctx, r.cfg.Provider, shard.Site, shard.Start, shard.Pages, (*bufp)[:0])
+		if err != nil {
+			fail(err)
+			return
+		}
+		resp, err = r.svc.Extract(ctx, ceres.ExtractRequest{
+			Site:    shard.Site,
+			Pages:   pages,
+			Options: job.optionsFor(shard.Site),
+		})
+		// The service has deep-copied nothing it still needs from pages —
+		// extraction results own their strings — so the shard slice recycles.
+		*bufp = pages
+		r.shardBufs.Put(bufp)
 	}
-	pages, err := readPages(ctx, r.cfg.Provider, shard.Site, shard.Start, shard.Pages, (*bufp)[:0])
-	if err != nil {
-		fail(err)
-		return
-	}
-	resp, err := r.svc.Extract(ctx, ceres.ExtractRequest{
-		Site:    shard.Site,
-		Pages:   pages,
-		Options: job.optionsFor(shard.Site),
-	})
-	// The service has deep-copied nothing it still needs from pages —
-	// extraction results own their strings — so the shard slice recycles.
-	*bufp = pages
-	r.shardBufs.Put(bufp)
 	if err != nil {
 		if ctx.Err() != nil {
 			return // cancelled mid-shard: nothing committed, resume re-runs it

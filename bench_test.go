@@ -305,6 +305,40 @@ func BenchmarkServeExtract(b *testing.B) {
 	})
 }
 
+// BenchmarkStreamServe contrasts the zero-DOM streaming serve path with
+// the DOM (tree-building) serve path over one trained site model — the
+// serve-side half of the BENCH_8.json throughput story. Both variants
+// serve the same 60 pages; only the path differs.
+func BenchmarkStreamServe(b *testing.B) {
+	f := getFixture(b)
+	sm, _, err := core.TrainSite(context.Background(), f.sources, f.kb,
+		core.Config{Train: core.TrainOptions{Seed: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		disable bool
+	}{{"Stream", false}, {"DOM", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			sm.DisableStreaming = bc.disable
+			defer func() { sm.DisableStreaming = false }()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				exts, err := sm.ExtractSources(context.Background(), f.sources)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(exts) == 0 {
+					b.Fatal("no extractions")
+				}
+			}
+			b.ReportMetric(float64(len(f.sources))*float64(b.N)/b.Elapsed().Seconds(), "pages/s")
+		})
+	}
+}
+
 // BenchmarkServiceExtract measures the request-scoped serving stack —
 // Registry lookup, per-request threshold, stats — end to end, both for
 // one caller and for many concurrent requests against one hot model (the
@@ -352,5 +386,9 @@ func BenchmarkServiceExtract(b *testing.B) {
 				}
 			}
 		})
+		// Each iteration serves exactly one page, so the page rate is the
+		// iteration rate; reported so benchjson trajectories can compare
+		// the parallel path against Sequential across PRs.
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pages/s")
 	})
 }

@@ -9,7 +9,8 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
+	"strings"
 	"sync/atomic"
 
 	"ceres/internal/binmodel"
@@ -514,23 +515,25 @@ func tripleize(exts []core.Extraction, threshold float64) []Triple {
 // deterministically. Use it to restore the canonical order after merging
 // triples from several extractions (e.g. the shards of a batch harvest).
 func SortTriples(ts []Triple) {
-	sort.Slice(ts, func(i, j int) bool {
-		a, b := ts[i], ts[j]
-		if a.Confidence != b.Confidence {
-			return a.Confidence > b.Confidence
+	slices.SortFunc(ts, func(a, b Triple) int {
+		switch {
+		case a.Confidence > b.Confidence:
+			return -1
+		case a.Confidence < b.Confidence:
+			return 1
 		}
-		if a.Page != b.Page {
-			return a.Page < b.Page
+		if c := strings.Compare(a.Page, b.Page); c != 0 {
+			return c
 		}
-		if a.Predicate != b.Predicate {
-			return a.Predicate < b.Predicate
+		if c := strings.Compare(a.Predicate, b.Predicate); c != 0 {
+			return c
 		}
-		if a.Object != b.Object {
-			return a.Object < b.Object
+		if c := strings.Compare(a.Object, b.Object); c != 0 {
+			return c
 		}
-		if a.Subject != b.Subject {
-			return a.Subject < b.Subject
+		if c := strings.Compare(a.Subject, b.Subject); c != 0 {
+			return c
 		}
-		return a.Path < b.Path
+		return strings.Compare(a.Path, b.Path)
 	})
 }

@@ -54,6 +54,22 @@
 // into its Registry, and feeds the fused multi-site view directly
 // (Harvester.Fuse).
 //
+// # The streaming serve path
+//
+// Serving does not build a DOM. When every trained cluster of a
+// SiteModel has compiled, Extract and its siblings run each page through
+// a single forward pass of the HTML tokenizer that maintains only the
+// open-element stack, routes the page by its template signature, and
+// classifies text fields as they are seen — no node tree, no per-field
+// re-walk. The output is bit-identical to the tree-building path (same
+// triples, confidences, order and XPaths, enforced by differential
+// tests); SiteModel.DisableStreaming forces the DOM path for debugging.
+// Service.ExtractScan is the raw-bytes entry point batch harvests use to
+// feed pagestore records straight into the tokenizer without a
+// per-page string copy. The field-emission contract, the
+// SignatureWatermark routing semantics, and the cases that still
+// require the DOM path are specified in DESIGN.md §11.
+//
 // # Batch harvests
 //
 // The offline counterpart is the batch subsystem: ceres/pagestore holds a

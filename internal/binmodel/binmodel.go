@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"ceres/internal/core"
 	"ceres/internal/mlr"
@@ -845,8 +846,30 @@ func parseModel(b []byte) (*core.ModelState, error) {
 	return ms, nil
 }
 
+// featurizerScratch is the pooled decode-side scratch for
+// parseFeaturizer. A featurizer message is dominated by thousands of
+// dict-name strings; converting each with string(b[lo:hi]) made registry
+// boot pay one allocation per feature name (~500k for a 1000-model
+// store). Instead the parse gathers every name and frequent-string
+// payload into one reusable byte arena, converts the arena to a string
+// once, and hands out substrings — three allocations per featurizer in
+// place of one per name. The span slices record (start, end) pairs in
+// arena coordinates.
+type featurizerScratch struct {
+	arena []byte
+	names []int32 // dict-name spans, (start, end) pairs
+	freq  []int32 // frequent-string spans, (start, end) pairs
+}
+
+var featurizerScratchPool = sync.Pool{New: func() any { return new(featurizerScratch) }}
+
 func parseFeaturizer(b []byte) (core.FeaturizerState, error) {
 	var fs core.FeaturizerState
+	sc := featurizerScratchPool.Get().(*featurizerScratch)
+	sc.arena = sc.arena[:0]
+	sc.names = sc.names[:0]
+	sc.freq = sc.freq[:0]
+	defer featurizerScratchPool.Put(sc)
 	err := parseFields(b, func(tag, wire, off int) (int, error) {
 		switch tag {
 		case tagFzOpts:
@@ -871,7 +894,9 @@ func parseFeaturizer(b []byte) (core.FeaturizerState, error) {
 			if !ok {
 				return off, fmt.Errorf("%w: dict name", ErrTruncated)
 			}
-			fs.Dict.Names = append(fs.Dict.Names, string(b[lo:hi]))
+			sc.names = append(sc.names, int32(len(sc.arena)))
+			sc.arena = append(sc.arena, b[lo:hi]...)
+			sc.names = append(sc.names, int32(len(sc.arena)))
 			return hi, nil
 		case tagFzFrozen:
 			if err := want(tag, wire, wireVarint); err != nil {
@@ -891,12 +916,33 @@ func parseFeaturizer(b []byte) (core.FeaturizerState, error) {
 			if !ok {
 				return off, fmt.Errorf("%w: frequent string", ErrTruncated)
 			}
-			fs.Frequent = append(fs.Frequent, string(b[lo:hi]))
+			sc.freq = append(sc.freq, int32(len(sc.arena)))
+			sc.arena = append(sc.arena, b[lo:hi]...)
+			sc.freq = append(sc.freq, int32(len(sc.arena)))
 			return hi, nil
 		}
 		return off, nil
 	})
-	return fs, err
+	if err != nil {
+		return fs, err
+	}
+	// One bulk copy owns every string; the substrings alias it. The whole
+	// arena is live data (it is exactly the names and frequent strings),
+	// so the shared backing pins nothing extra.
+	all := string(sc.arena)
+	if n := len(sc.names) / 2; n > 0 {
+		fs.Dict.Names = make([]string, n)
+		for i := range fs.Dict.Names {
+			fs.Dict.Names[i] = all[sc.names[2*i]:sc.names[2*i+1]]
+		}
+	}
+	if n := len(sc.freq) / 2; n > 0 {
+		fs.Frequent = make([]string, n)
+		for i := range fs.Frequent {
+			fs.Frequent[i] = all[sc.freq[2*i]:sc.freq[2*i+1]]
+		}
+	}
+	return fs, nil
 }
 
 func parseFeatureOpts(b []byte) (core.FeatureOptions, error) {

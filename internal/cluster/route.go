@@ -116,3 +116,70 @@ func RouteSorted(sig SortedSignature, exemplars []SortedSignature) (int, float64
 	}
 	return best, bestSim
 }
+
+// JaccardSortedBytes is JaccardSorted where the page side is sorted,
+// duplicate-free byte views (the streaming serve path's signature form);
+// it equals JaccardSorted over the converted strings exactly, without
+// materializing them.
+func JaccardSortedBytes(a [][]byte, b SortedSignature) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch c := compareBytesString(a[i], b[j]); {
+		case c == 0:
+			inter++
+			i++
+			j++
+		case c < 0:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// RouteSortedBytes is RouteSorted for a byte-view page signature, with
+// identical tie-breaking (earliest exemplar wins).
+func RouteSortedBytes(sig [][]byte, exemplars []SortedSignature) (int, float64) {
+	best, bestSim := -1, -1.0
+	for i, ex := range exemplars {
+		if sim := JaccardSortedBytes(sig, ex); sim > bestSim {
+			best, bestSim = i, sim
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bestSim
+}
+
+// compareBytesString is bytes.Compare against a string, avoiding the
+// []byte(string) conversion on the routing hot path.
+func compareBytesString(b []byte, s string) int {
+	n := len(b)
+	if len(s) < n {
+		n = len(s)
+	}
+	for i := 0; i < n; i++ {
+		if b[i] != s[i] {
+			if b[i] < s[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(b) < len(s):
+		return -1
+	case len(b) > len(s):
+		return 1
+	}
+	return 0
+}

@@ -334,6 +334,43 @@ type ServeScratch struct {
 	vb      mlr.VectorBuilder
 	proba   []float64
 	textBuf []byte // bounded sibling-text probe buffer (frequent strings)
+
+	// Streaming serve path state (streamserve.go).
+	stream   *dom.StreamScratch
+	htmlBuf  []byte   // page bytes when the source arrives as a string
+	sig      [][]byte // sorted routing-signature views
+	memoRow  []int32  // per-element first-scored-field memo
+	xpathBuf []byte   // lazily rendered XPath scratch
+
+	// Per-page memo of the ancestor half of the feature walk: the
+	// features a walk emits for an element at ancestor level L (and
+	// everything above it) depend only on that (element, L) pair, so the
+	// walk records each pair's ID run once and replays it — cells of one
+	// table row share their whole ancestor chain, rows share everything
+	// from the table up. Validity is epoch-marked, so a new page costs an
+	// increment, not a clear.
+	upEpoch    []int32 // (lvl-1)*upStride+node → epoch the span was recorded in
+	upOff      []int32 // parallel span starts into upperIDs
+	upEnd      []int32 // parallel span ends
+	upStride   int     // element count of the page the memo is keyed for
+	upEpochCur int32   // current page's epoch
+	upVB       mlr.VectorBuilder // transient per-level emission buffer
+	upperIDs   []int32           // recorded upper-walk feature IDs, page-local arena
+
+	// Cross-page probability caches (streamserve.go): template pages
+	// repeat structural contexts, and an identical raw feature sequence
+	// deterministically yields identical class probabilities, so repeat
+	// contexts skip sort/coalesce and the scorer entirely. One cache per
+	// compiled model — the pooled scratch serves many sites over its
+	// lifetime, and a harvest interleaves their shards.
+	cacheKey []byte // encoded feature sequence of the current probe
+	caches   map[*CompiledModel]*probCache
+}
+
+// probCache is one model's cached probability rows inside a ServeScratch.
+type probCache struct {
+	idx   map[string]int32 // feature-sequence key → row in probs
+	probs []float64        // cached rows, ClassCount floats each
 }
 
 // NewServeScratch allocates an empty scratch; its buffers grow to the

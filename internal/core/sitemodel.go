@@ -24,11 +24,26 @@ type SiteModel struct {
 	Workers int
 	// TrainPages is the number of pages the model was trained on.
 	TrainPages int
+	// DisableStreaming forces serve calls down the DOM (tree-building)
+	// path even when every cluster compiled — the differential-testing
+	// and debugging escape hatch.
+	DisableStreaming bool
+	// SignatureWatermark, when > 0, routes streamed pages on the first N
+	// signature keys in document order, falling back to the full-page
+	// signature when the prefix match is inconclusive (see DESIGN.md
+	// §11). 0 routes on the full page, bit-identical to the DOM path.
+	SignatureWatermark int
 
 	// exOnce/ex cache the pre-sorted exemplar signatures for the per-page
 	// routing hot path; Clusters is immutable after training/restore.
 	exOnce sync.Once
 	ex     []cluster.SortedSignature
+
+	// streamOnce caches whether the site can serve through the streaming
+	// path and the text bound streams must capture (streamserve.go).
+	streamOnce    sync.Once
+	streamOK      bool
+	streamMaxText int
 }
 
 // ClusterModel is the serving-side artifact of one template cluster.
@@ -323,6 +338,15 @@ func (sm *SiteModel) serveable(sources []PageSource) error {
 // legacy (string-hashing) path remains as fallback for models whose
 // dictionary cannot compile.
 func (sm *SiteModel) extractOne(src PageSource, sc *ServeScratch) (int, []Extraction) {
+	if !sm.DisableStreaming {
+		if ok, maxText := sm.streamInfo(); ok {
+			// One copy into the worker's reusable buffer buys the
+			// zero-DOM pass; byte-native callers use extractBytes
+			// directly and skip even that.
+			sc.htmlBuf = append(sc.htmlBuf[:0], src.HTML...)
+			return sm.extractBytes(src.ID, sc.htmlBuf, sc, maxText)
+		}
+	}
 	p := PrepareServePage(src.ID, src.HTML)
 	// The page dies with this call — extractions carry their own strings,
 	// never node pointers — so its node slabs recycle into the parse pool.

@@ -1,0 +1,300 @@
+package dom
+
+import (
+	"bytes"
+	"unicode"
+	"unicode/utf8"
+)
+
+// This file holds the byte-level lexical helpers behind the streaming
+// serve path (stream.go): entity decoding, whitespace collapsing, tag-name
+// folding and raw-text scanning that operate on []byte without converting
+// to string. Each helper mirrors a string-path counterpart in token.go /
+// node.go byte-for-byte — the streaming differential tests assert the two
+// paths agree on every output — so behavioural changes must land in both.
+
+// appendDecodeEntities appends s with named and numeric character
+// references resolved — the []byte counterpart of DecodeEntities.
+//
+//ceres:allocfree
+func appendDecodeEntities(dst, s []byte) []byte {
+	for {
+		amp := bytes.IndexByte(s, '&')
+		if amp < 0 {
+			return append(dst, s...)
+		}
+		dst = append(dst, s[:amp]...)
+		s = s[amp:]
+		r, n := decodeOneEntityBytes(s)
+		if n == 0 {
+			dst = append(dst, '&')
+			s = s[1:]
+		} else {
+			dst = utf8.AppendRune(dst, r)
+			s = s[n:]
+		}
+	}
+}
+
+// decodeOneEntityBytes is decodeOneEntity over bytes: it decodes the
+// character reference at the start of s (s[0] == '&'), returning the rune
+// and the number of bytes consumed, or (0,0) if s does not start a valid
+// reference.
+func decodeOneEntityBytes(s []byte) (rune, int) {
+	semi := bytes.IndexByte(s, ';')
+	if semi < 0 || semi == 1 || semi > 32 {
+		return 0, 0
+	}
+	body := s[1:semi]
+	if body[0] == '#' {
+		num := body[1:]
+		hex := false
+		if len(num) > 0 && (num[0] == 'x' || num[0] == 'X') {
+			hex = true
+			num = num[1:]
+		}
+		v, ok := parseEntityNum(num, hex)
+		if !ok || v <= 0 || v > 0x10FFFF {
+			return 0, 0
+		}
+		return rune(v), semi + 1
+	}
+	if r, ok := namedEntities[string(body)]; ok {
+		return r, semi + 1
+	}
+	return 0, 0
+}
+
+// parseEntityNum parses a numeric character reference body the way
+// decodeOneEntity's strconv.ParseInt call does: an optional sign, then
+// base-10 or base-16 digits, bounded to 32 bits. Negative references are
+// rejected outright — the caller rejects v <= 0 anyway.
+//
+//ceres:allocfree
+func parseEntityNum(s []byte, hex bool) (int64, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	if s[0] == '-' {
+		return 0, false
+	}
+	if s[0] == '+' {
+		s = s[1:]
+		if len(s) == 0 {
+			return 0, false
+		}
+	}
+	var v int64
+	for _, c := range s {
+		var d int64
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case hex && c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case hex && c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		if hex {
+			v = v*16 + d
+		} else {
+			v = v*10 + d
+		}
+		if v > 1<<31-1 {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// appendCollapse appends src to dst with whitespace collapsed exactly as
+// CollapseSpace collapses a string: leading/trailing whitespace dropped,
+// internal runs (including Unicode spaces) replaced by single spaces.
+//
+//ceres:allocfree
+func appendCollapse(dst, src []byte) []byte {
+	base := len(dst)
+	i := 0
+	for i < len(src) {
+		for i < len(src) {
+			c := src[i]
+			if c < utf8.RuneSelf {
+				if !isASCIISpace(c) {
+					break
+				}
+				i++
+			} else {
+				r, n := utf8.DecodeRune(src[i:])
+				if !unicode.IsSpace(r) {
+					break
+				}
+				i += n
+			}
+		}
+		if i >= len(src) {
+			break
+		}
+		start := i
+		for i < len(src) {
+			c := src[i]
+			if c < utf8.RuneSelf {
+				if isASCIISpace(c) {
+					break
+				}
+				i++
+			} else {
+				r, n := utf8.DecodeRune(src[i:])
+				if unicode.IsSpace(r) {
+					break
+				}
+				i += n
+			}
+		}
+		if len(dst) > base {
+			dst = append(dst, ' ')
+		}
+		dst = append(dst, src[start:i]...)
+	}
+	return dst
+}
+
+// appendCollapseBounded is appendCollapse under a length bound: it stops
+// and reports overflow as soon as the collapsed output would exceed max
+// bytes, mirroring Node.TextWithin's bound semantics (the full collapsed
+// text must fit). On overflow dst holds a truncated prefix the caller must
+// treat as unusable.
+//
+//ceres:allocfree
+func appendCollapseBounded(dst, src []byte, max int) ([]byte, bool) {
+	base := len(dst)
+	i := 0
+	for i < len(src) {
+		for i < len(src) {
+			c := src[i]
+			if c < utf8.RuneSelf {
+				if !isASCIISpace(c) {
+					break
+				}
+				i++
+			} else {
+				r, n := utf8.DecodeRune(src[i:])
+				if !unicode.IsSpace(r) {
+					break
+				}
+				i += n
+			}
+		}
+		if i >= len(src) {
+			break
+		}
+		start := i
+		for i < len(src) {
+			c := src[i]
+			if c < utf8.RuneSelf {
+				if isASCIISpace(c) {
+					break
+				}
+				i++
+			} else {
+				r, n := utf8.DecodeRune(src[i:])
+				if unicode.IsSpace(r) {
+					break
+				}
+				i += n
+			}
+		}
+		need := i - start
+		if len(dst) > base {
+			need++
+		}
+		if len(dst)-base+need > max {
+			return dst, true
+		}
+		if len(dst) > base {
+			dst = append(dst, ' ')
+		}
+		dst = append(dst, src[start:i]...)
+	}
+	return dst, false
+}
+
+// appendLowerFold appends s lowercased with the same mapping
+// strings.ToLower applies: ASCII fast path, unicode.ToLower for multibyte
+// runes, invalid encodings replaced by utf8.RuneError.
+//
+//ceres:allocfree
+func appendLowerFold(dst, s []byte) []byte {
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			dst = append(dst, c)
+			i++
+		} else {
+			r, n := utf8.DecodeRune(s[i:])
+			dst = utf8.AppendRune(dst, unicode.ToLower(r))
+			i += n
+		}
+	}
+	return dst
+}
+
+// foldEqBytesASCII reports whether s equals lower under ASCII case
+// folding; lower must already be lowercase ASCII.
+//
+//ceres:allocfree
+func foldEqBytesASCII(s []byte, lower string) bool {
+	if len(s) != len(lower) {
+		return false
+	}
+	for i := 0; i < len(lower); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// eqBytesString reports whether b and s hold the same bytes.
+//
+//ceres:allocfree
+func eqBytesString(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if b[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// indexClosingTagBytes is indexClosingTag over bytes: the offset of the
+// first "</tag" in s (tag already lowercase), or -1.
+//
+//ceres:allocfree
+func indexClosingTagBytes(s []byte, tag string) int {
+	for i := 0; ; {
+		j := bytes.IndexByte(s[i:], '<')
+		if j < 0 {
+			return -1
+		}
+		i += j
+		if len(s)-i < 2+len(tag) {
+			return -1
+		}
+		if s[i+1] == '/' && foldEqBytesASCII(s[i+2:i+2+len(tag)], tag) {
+			return i
+		}
+		i++
+	}
+}

@@ -14,7 +14,9 @@ package fusion
 
 import (
 	"math"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 
 	"ceres/internal/strmatch"
@@ -116,6 +118,13 @@ type Accumulator struct {
 	// normalization (rune folding) dominates Add without it. Memory grows
 	// with distinct raw strings — the same order as the fact aggregates.
 	norm map[string]string
+
+	// Facts scratch, reused across calls: group index, per-group counts
+	// and the grouped-fact arena. Only the returned slice escapes.
+	gIdx   map[[2]string]int32
+	gOf    []int32
+	gCount []int32
+	gFacts []Fact
 }
 
 // accPool recycles accumulator storage between Release and the next
@@ -139,11 +148,23 @@ func NewAccumulator(opts Options) *Accumulator {
 // afterwards. Release is an optimization, never an obligation: an
 // unreleased accumulator is ordinary garbage.
 func (c *Accumulator) Release() {
-	clear(c.pool) // drop string references before pooling
+	// Drop string references before pooling, but keep each slot's sources
+	// capacity — the next run re-fills the same slots and would otherwise
+	// re-grow every per-fact slice from nil.
+	for i := range c.pool {
+		a := &c.pool[i]
+		clear(a.sources)
+		a.fact = Fact{}
+		a.oneMinus = 0
+		a.sources = a.sources[:0]
+	}
 	c.pool = c.pool[:0]
 	clear(c.order)
 	c.order = c.order[:0]
 	clear(c.accs)
+	clear(c.gIdx)
+	c.gOf = c.gOf[:0]
+	c.gCount = c.gCount[:0]
 	// The normalize cache survives reuse — Normalize is pure, so stale
 	// entries stay correct and a steady-state harvest keeps it warm. Cap
 	// it so adversarially distinct strings cannot grow it without bound.
@@ -178,10 +199,19 @@ func (c *Accumulator) Add(ob Observation) {
 	i, ok := c.accs[k]
 	if !ok {
 		i = int32(len(c.pool))
-		c.pool = append(c.pool, acc{
-			fact:     Fact{Subject: ob.Subject, Predicate: ob.Predicate, Object: ob.Object},
-			oneMinus: 1,
-		})
+		if len(c.pool) < cap(c.pool) {
+			// Reuse the released slot in place: an append with a fresh
+			// literal would wipe the sources capacity Release preserved.
+			c.pool = c.pool[:i+1]
+			a := &c.pool[i]
+			a.fact = Fact{Subject: ob.Subject, Predicate: ob.Predicate, Object: ob.Object}
+			a.oneMinus = 1
+		} else {
+			c.pool = append(c.pool, acc{
+				fact:     Fact{Subject: ob.Subject, Predicate: ob.Predicate, Object: ob.Object},
+				oneMinus: 1,
+			})
+		}
 		c.accs[k] = i
 		c.order = append(c.order, k)
 	}
@@ -206,58 +236,98 @@ func (c *Accumulator) Facts() []Fact {
 		return nil // preserve nil-vs-empty for callers that serialize
 	}
 	// Group facts per (subject, predicate) in first-observation order for
-	// functional-predicate resolution.
-	type group struct {
-		sp    [2]string
-		facts []Fact
+	// functional-predicate resolution. The grouping scratch (index map,
+	// ordinals, counts, grouped arena) lives on the accumulator and is
+	// reused call to call; only the returned slice escapes.
+	if c.gIdx == nil {
+		c.gIdx = make(map[[2]string]int32, len(c.order))
+	} else {
+		clear(c.gIdx)
 	}
-	groupIdx := make(map[[2]string]int, len(c.order))
-	groups := make([]group, 0, len(c.order))
+	c.gOf = c.gOf[:0]
+	c.gCount = c.gCount[:0]
 	for _, k := range c.order {
+		sp := [2]string{k.s, k.p}
+		gi, ok := c.gIdx[sp]
+		if !ok {
+			gi = int32(len(c.gCount))
+			c.gIdx[sp] = gi
+			c.gCount = append(c.gCount, 0)
+		}
+		c.gOf = append(c.gOf, gi)
+		c.gCount[gi]++
+	}
+	// Prefix-sum the counts into write cursors, then scatter the facts
+	// into one group-major arena.
+	if cap(c.gFacts) < len(c.order) {
+		c.gFacts = make([]Fact, len(c.order))
+	}
+	gFacts := c.gFacts[:len(c.order)]
+	off := int32(0)
+	for gi, n := range c.gCount {
+		c.gCount[gi] = off
+		off += n
+	}
+	// One arena for every fact's Sources copy instead of a slice per
+	// fact; three-index subslices keep the copies independent.
+	total := 0
+	for _, k := range c.order {
+		total += len(c.pool[c.accs[k]].sources)
+	}
+	srcArena := make([]string, 0, total)
+	for oi, k := range c.order {
 		a := &c.pool[c.accs[k]]
 		f := a.fact
 		f.Belief = 1 - a.oneMinus
-		f.Sources = append(make([]string, 0, len(a.sources)), a.sources...)
+		start := len(srcArena)
+		srcArena = append(srcArena, a.sources...)
+		f.Sources = srcArena[start:len(srcArena):len(srcArena)]
 		sort.Strings(f.Sources)
-		sp := [2]string{k.s, k.p}
-		i, ok := groupIdx[sp]
-		if !ok {
-			i = len(groups)
-			groupIdx[sp] = i
-			groups = append(groups, group{sp: sp})
-		}
-		groups[i].facts = append(groups[i].facts, f)
+		gi := c.gOf[oi]
+		gFacts[c.gCount[gi]] = f
+		c.gCount[gi]++
 	}
 
 	out := make([]Fact, 0, len(c.order))
-	for _, g := range groups {
-		if c.opts.Functional[g.sp[1]] && len(g.facts) > 1 {
-			sort.Slice(g.facts, func(i, j int) bool {
-				if g.facts[i].Belief != g.facts[j].Belief {
-					return g.facts[i].Belief > g.facts[j].Belief
+	start := 0
+	for _, end := range c.gCount {
+		g := gFacts[start:end]
+		start = int(end)
+		if len(g) > 1 && c.opts.Functional[g[0].Predicate] {
+			slices.SortFunc(g, func(a, b Fact) int {
+				switch {
+				case a.Belief > b.Belief:
+					return -1
+				case a.Belief < b.Belief:
+					return 1
 				}
-				return g.facts[i].Object < g.facts[j].Object
+				return strings.Compare(a.Object, b.Object)
 			})
-			winner := g.facts[0]
+			winner := g[0]
 			// Competing evidence discounts the winner.
-			winner.Belief = clamp01(winner.Belief * (1 - g.facts[1].Belief/2))
+			winner.Belief = clamp01(winner.Belief * (1 - g[1].Belief/2))
 			out = append(out, winner)
 			continue
 		}
-		out = append(out, g.facts...)
+		out = append(out, g...)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	// Drop string references from the scratch arena so pooled reuse does
+	// not pin page text.
+	clear(gFacts)
+	slices.SortFunc(out, func(a, b Fact) int {
 		if math.Abs(a.Belief-b.Belief) > 1e-12 {
-			return a.Belief > b.Belief
+			if a.Belief > b.Belief {
+				return -1
+			}
+			return 1
 		}
-		if a.Subject != b.Subject {
-			return a.Subject < b.Subject
+		if c := strings.Compare(a.Subject, b.Subject); c != 0 {
+			return c
 		}
-		if a.Predicate != b.Predicate {
-			return a.Predicate < b.Predicate
+		if c := strings.Compare(a.Predicate, b.Predicate); c != 0 {
+			return c
 		}
-		return a.Object < b.Object
+		return strings.Compare(a.Object, b.Object)
 	})
 	return out
 }

@@ -483,14 +483,22 @@ var (
 	inflPool  sync.Pool // *[]byte
 )
 
-// decodeSegment opens, inflates and frames one planned segment read,
-// returning the materialized records. The inflated bytes live in a
-// pooled buffer that is returned before decodeSegment does — record
-// strings are copied out by the framing loop.
-func (s *Store) decodeSegment(site string, sr segRead) ([]ceres.PageSource, error) {
+// recSpan locates one delivered record's payloads inside an inflated
+// segment buffer.
+type recSpan struct {
+	idLo, idHi, htmlLo, htmlHi int
+}
+
+// decodeSegmentRaw opens, inflates and frames one planned segment read,
+// returning the pooled inflated buffer and the payload spans of the
+// delivered records. Ownership of the buffer transfers to the caller,
+// which must inflPool.Put it once the spans are no longer read — this is
+// what lets PagesBytes hand record bytes to the tokenizer with no
+// []byte→string copy.
+func (s *Store) decodeSegmentRaw(site string, sr segRead) (*[]byte, []recSpan, error) {
 	f, err := os.Open(filepath.Join(s.siteDir(site), sr.seg.File))
 	if err != nil {
-		return nil, fmt.Errorf("pagestore: opening segment: %w", err)
+		return nil, nil, fmt.Errorf("pagestore: opening segment: %w", err)
 	}
 	defer f.Close()
 	br := bufioPool.Get().(*bufio.Reader)
@@ -504,7 +512,7 @@ func (s *Store) decodeSegment(site string, sr segRead) ([]ceres.PageSource, erro
 		gz, err = gzip.NewReader(br)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("pagestore: reading segment %s: %w", sr.seg.File, err)
+		return nil, nil, fmt.Errorf("pagestore: reading segment %s: %w", sr.seg.File, err)
 	}
 	defer gzipPool.Put(gz)
 
@@ -512,32 +520,154 @@ func (s *Store) decodeSegment(site string, sr segRead) ([]ceres.PageSource, erro
 	if bufp == nil {
 		bufp = new([]byte)
 	}
-	defer inflPool.Put(bufp)
 	data, err := readAllInto((*bufp)[:0], gz)
 	*bufp = data // keep the grown capacity pooled even on error
 	if err != nil {
-		return nil, fmt.Errorf("pagestore: reading segment %s: %w", sr.seg.File, err)
+		inflPool.Put(bufp)
+		return nil, nil, fmt.Errorf("pagestore: reading segment %s: %w", sr.seg.File, err)
 	}
 	if err := gz.Close(); err != nil {
-		return nil, fmt.Errorf("pagestore: reading segment %s: %w", sr.seg.File, err)
+		inflPool.Put(bufp)
+		return nil, nil, fmt.Errorf("pagestore: reading segment %s: %w", sr.seg.File, err)
 	}
 
-	pages := make([]ceres.PageSource, 0, sr.take)
+	spans := make([]recSpan, 0, sr.take)
 	off := 0
 	for i := 0; i < sr.skip+sr.take; i++ {
 		idLo, idHi, htmlLo, htmlHi, next, ok := frameRecord(data, off)
 		if !ok {
-			return nil, fmt.Errorf("pagestore: reading segment %s: truncated record %d", sr.seg.File, i)
+			inflPool.Put(bufp)
+			return nil, nil, fmt.Errorf("pagestore: reading segment %s: truncated record %d", sr.seg.File, i)
 		}
-		if i >= sr.skip { // skipped records never become strings
-			pages = append(pages, ceres.PageSource{
-				ID:   string(data[idLo:idHi]),
-				HTML: string(data[htmlLo:htmlHi]),
-			})
+		if i >= sr.skip { // skipped records never materialize
+			spans = append(spans, recSpan{idLo, idHi, htmlLo, htmlHi})
 		}
 		off = next
 	}
+	return bufp, spans, nil
+}
+
+// decodeSegment is decodeSegmentRaw plus record materialization: each
+// delivered record costs exactly the two string allocations its
+// ceres.PageSource needs, and the inflated buffer returns to the pool
+// before decodeSegment does.
+func (s *Store) decodeSegment(site string, sr segRead) ([]ceres.PageSource, error) {
+	bufp, spans, err := s.decodeSegmentRaw(site, sr)
+	if err != nil {
+		return nil, err
+	}
+	defer inflPool.Put(bufp)
+	data := *bufp
+	pages := make([]ceres.PageSource, 0, len(spans))
+	for _, sp := range spans {
+		pages = append(pages, ceres.PageSource{
+			ID:   string(data[sp.idLo:sp.idHi]),
+			HTML: string(data[sp.htmlLo:sp.htmlHi]),
+		})
+	}
 	return pages, nil
+}
+
+// PagesBytes is Pages delivering raw record bytes: fn receives views into
+// the pooled inflated segment buffer, valid only during the call — the
+// zero-copy feed for the streaming serve path, which copies strings out
+// only for emitted extractions. Ordering, range semantics, parallel
+// readahead and error behaviour match Pages exactly.
+func (s *Store) PagesBytes(ctx context.Context, site string, start, n int, fn func(id, html []byte) error) error {
+	if start < 0 {
+		return fmt.Errorf("pagestore: negative start %d", start)
+	}
+	info, err := s.Info(site)
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		n = info.Pages - start
+	}
+	reads := planReads(info, start, n)
+	if len(reads) == 0 {
+		return nil
+	}
+	if len(reads) == 1 {
+		bufp, spans, err := s.decodeSegmentRaw(site, reads[0])
+		if err != nil {
+			return err
+		}
+		defer inflPool.Put(bufp)
+		return deliverSpans(*bufp, spans, fn)
+	}
+	return s.readAheadBytes(ctx, site, reads, fn)
+}
+
+// deliverSpans feeds each framed record to fn as buffer views.
+func deliverSpans(data []byte, spans []recSpan, fn func(id, html []byte) error) error {
+	for _, sp := range spans {
+		if err := fn(data[sp.idLo:sp.idHi], data[sp.htmlLo:sp.htmlHi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readAheadBytes is readAhead for the raw-bytes path: workers inflate
+// segments in parallel, the consumer delivers each segment's records in
+// plan order and returns its buffer to the pool only after the last
+// record was consumed. Buffers stranded in result channels by an early
+// return are simply garbage collected.
+func (s *Store) readAheadBytes(ctx context.Context, site string, reads []segRead, fn func(id, html []byte) error) error {
+	workers := min(runtime.GOMAXPROCS(0), len(reads), maxReadahead)
+	type result struct {
+		bufp  *[]byte
+		spans []recSpan
+		err   error
+	}
+	results := make([]chan result, len(reads))
+	for i := range results {
+		results[i] = make(chan result, 1) // sends never block
+	}
+	sem := make(chan struct{}, workers)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer close(done)
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case sem <- struct{}{}: // a readahead slot; the consumer frees it
+				case <-done:
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(reads) || ctx.Err() != nil {
+					return
+				}
+				bufp, spans, err := s.decodeSegmentRaw(site, reads[i])
+				results[i] <- result{bufp, spans, err}
+			}
+		}()
+	}
+	for i := range reads {
+		var res result
+		select {
+		case res = <-results[i]:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		<-sem // the segment is ours; free its readahead slot
+		if res.err != nil {
+			return res.err
+		}
+		err := deliverSpans(*res.bufp, res.spans, fn)
+		inflPool.Put(res.bufp)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // readAllInto reads r to EOF appending to buf (reusing its capacity),

@@ -124,4 +124,40 @@ func BenchmarkRegistryBoot(b *testing.B) {
 			}
 		})
 	}
+
+	// scale tracks the ROADMAP "10k models under a second" target over the
+	// binary format. Laying out and booting 10k model files is too slow
+	// for the -short smoke runs, so it only executes in full bench mode.
+	b.Run("scale", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("skipping 10k-model boot in -short mode")
+		}
+		const scaleSites = 10000
+		data := binBuf.String()
+		root := b.TempDir()
+		for i := 0; i < scaleSites; i++ {
+			dir := filepath.Join(root, fmt.Sprintf("site-%05d.example", i))
+			if err := os.Mkdir(dir, 0o755); err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, "v000001.bin"), []byte(data), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+		store, err := NewDirStore(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(scaleSites * len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reg, err := OpenRegistry(context.Background(), store)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if reg.Len() != scaleSites {
+				b.Fatalf("booted %d sites, want %d", reg.Len(), scaleSites)
+			}
+		}
+	})
 }

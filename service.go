@@ -176,6 +176,46 @@ func (s *Service) Extract(ctx context.Context, req ExtractRequest) (*ExtractResp
 	return resp, nil
 }
 
+// ExtractScan serves one site's pages from raw bytes: scan drives a
+// yield callback with (id, html) pairs — typically decoded pagestore
+// record bytes — and the model's streaming serve path featurizes them in
+// a single tokenizer pass, with no DOM and no []byte→string copy of the
+// page. Pages are processed sequentially in yield order; the html slice
+// is only read during its yield call and may be reused by the caller
+// afterwards. Options.Workers is ignored — callers wanting parallelism
+// run concurrent scans (the model is safe for concurrent serving).
+//
+// The error contract matches Extract: ErrUnknownSite, ErrNotTrained,
+// ErrNoPages (zero pages yielded), and ctx.Err() on cancellation.
+func (s *Service) ExtractScan(ctx context.Context, site string, opts RequestOptions, scan func(yield func(id string, html []byte) error) error) (*ExtractResponse, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	start := time.Now()
+	e, threshold, err := s.resolve(ExtractRequest{Site: site, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	exts, stats, err := e.Model.sm.ExtractScan(ctx, scan)
+	if err != nil {
+		return nil, err
+	}
+	resp := &ExtractResponse{
+		Site:      e.Site,
+		Version:   e.Version,
+		Threshold: threshold,
+		Triples:   tripleize(exts, threshold),
+	}
+	resp.Stats = ServeStats{
+		Pages:          stats.Pages,
+		Triples:        len(resp.Triples),
+		RoutedClusters: stats.RoutedClusters(),
+		Latency:        time.Since(start),
+	}
+	return resp, nil
+}
+
 // ExtractStream serves one request with bounded memory, calling emit for
 // every triple at or above the request's effective threshold as its page
 // finishes (pages complete in worker order; emit is never called

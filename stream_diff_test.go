@@ -1,0 +1,210 @@
+package ceres
+
+// Differential tests for the streaming serve path (DESIGN.md §11):
+// serving through the zero-DOM single-pass tokenizer must be
+// bit-identical to the DOM serve path — same extractions, same
+// confidences, same order, same XPath strings — across every DemoCorpus
+// kind, under malformed markup, and under concurrent use of one compiled
+// model from many streaming workers.
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"ceres/internal/core"
+)
+
+// diffStreamServe serves the same pages down the DOM path
+// (DisableStreaming) and the streaming path and requires identical
+// output. It returns the extraction count so callers can assert the
+// comparison was not vacuous.
+func diffStreamServe(t *testing.T, name string, sm *core.SiteModel, serve []core.PageSource) int {
+	t.Helper()
+	sm.DisableStreaming = true
+	want, err := sm.ExtractSources(context.Background(), serve)
+	if err != nil {
+		t.Fatalf("%s: dom path: %v", name, err)
+	}
+	sm.DisableStreaming = false
+	got, err := sm.ExtractSources(context.Background(), serve)
+	if err != nil {
+		t.Fatalf("%s: streaming path: %v", name, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		max := len(got)
+		if len(want) < max {
+			max = len(want)
+		}
+		for i := 0; i < max; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("%s: extraction %d diverges\nstreaming: %+v\ndom:       %+v", name, i, got[i], want[i])
+			}
+		}
+		t.Fatalf("%s: streaming path %d extractions, dom path %d", name, len(got), len(want))
+	}
+	return len(want)
+}
+
+func trainHalf(t *testing.T, kind string, seed int64, pages int) (*core.SiteModel, []core.PageSource) {
+	t.Helper()
+	src, c := corpusSources(t, kind, seed, pages)
+	var train, serve []core.PageSource
+	for i, s := range src {
+		if i%2 == 0 {
+			train = append(train, s)
+		} else {
+			serve = append(serve, s)
+		}
+	}
+	sm, _, err := core.TrainSite(context.Background(), train, c.KB, core.Config{Train: core.TrainOptions{Seed: 1}})
+	if err != nil {
+		t.Fatalf("%s: %v", kind, err)
+	}
+	return sm, serve
+}
+
+func TestStreamServeMatchesDOMAllCorpora(t *testing.T) {
+	kinds := []string{"movies", "movies-longtail", "imdb-films", "imdb-people", "crawl-czech"}
+	total := 0
+	for _, kind := range kinds {
+		sm, serve := trainHalf(t, kind, 7, 40)
+		total += diffStreamServe(t, kind, sm, serve)
+	}
+	if total == 0 {
+		t.Fatal("differential covered zero extractions")
+	}
+}
+
+// TestStreamServeMatchesDOMMalformed mutates served pages with the
+// malformed constructs the parser tolerates — unclosed tags, raw-text
+// elements, comments inside tables, stray end tags, truncation — and
+// requires both paths to agree on every mutant.
+func TestStreamServeMatchesDOMMalformed(t *testing.T) {
+	sm, serve := trainHalf(t, "movies", 7, 30)
+	mutate := []struct {
+		name string
+		fn   func(html string) string
+	}{
+		{"unclosed divs", func(h string) string {
+			return strings.Replace(h, "<body", "<div><div class=\"open\"><body", 1)
+		}},
+		{"comment in table", func(h string) string {
+			return strings.ReplaceAll(h, "<tr>", "<!-- row --><tr>")
+		}},
+		{"raw text", func(h string) string {
+			return strings.Replace(h, "</body>", "<script>if (a<b) { x(\"</div>\"); }</script><style>p>a{}</style></body>", 1)
+		}},
+		{"stray end tags", func(h string) string {
+			return strings.ReplaceAll(h, "<td>", "</span></p><td>")
+		}},
+		{"truncated", func(h string) string {
+			return h[:len(h)*3/4]
+		}},
+		{"unclosed raw", func(h string) string {
+			return h + "<script>never closed"
+		}},
+	}
+	for _, m := range mutate {
+		mutated := make([]core.PageSource, len(serve))
+		for i, s := range serve {
+			mutated[i] = core.PageSource{ID: s.ID, HTML: m.fn(s.HTML)}
+		}
+		diffStreamServe(t, m.name, sm, mutated)
+	}
+}
+
+// TestStreamServeSharedModelRace drives 8 goroutines through one compiled
+// model on the streaming path simultaneously; run with -race it proves
+// the per-worker scratch discipline. Every worker must also produce the
+// same output.
+func TestStreamServeSharedModelRace(t *testing.T) {
+	sm, serve := trainHalf(t, "movies", 7, 24)
+	want, err := sm.ExtractSources(context.Background(), serve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	results := make([][]core.Extraction, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			results[w], errs[w] = sm.ExtractSources(context.Background(), serve)
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if !reflect.DeepEqual(results[w], want) {
+			t.Fatalf("worker %d diverged from sequential output", w)
+		}
+	}
+}
+
+// TestStreamExtractScanMatches feeds pages through the byte-scan entry
+// point and requires the same extractions as the string-source path.
+func TestStreamExtractScanMatches(t *testing.T) {
+	sm, serve := trainHalf(t, "imdb-films", 7, 24)
+	want, err := sm.ExtractSources(context.Background(), serve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := sm.ExtractScan(context.Background(), func(yield func(id string, html []byte) error) error {
+		for _, s := range serve {
+			if err := yield(s.ID, []byte(s.HTML)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pages != len(serve) {
+		t.Fatalf("stats.Pages = %d, want %d", stats.Pages, len(serve))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scan path %d extractions, source path %d", len(got), len(want))
+	}
+}
+
+// TestStreamWatermarkRouting exercises prefix-watermark routing on a
+// two-cluster model: with a generous watermark the routed output must
+// still match full-page routing on template pages, and the fallback must
+// keep pages with inconclusive prefixes extractable.
+func TestStreamWatermarkRouting(t *testing.T) {
+	movieSrc, movieCorpus := corpusSources(t, "movies", 7, 30)
+	imdbSrc, _ := corpusSources(t, "imdb-films", 3, 20)
+	train := append(append([]core.PageSource{}, movieSrc[:15]...), imdbSrc[:10]...)
+	sm, _, err := core.TrainSite(context.Background(), train, movieCorpus.KB, core.Config{Train: core.TrainOptions{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sm.Clusters) < 2 {
+		t.Skipf("expected multi-cluster model, got %d", len(sm.Clusters))
+	}
+	serve := append(append([]core.PageSource{}, movieSrc[15:]...), imdbSrc[10:]...)
+	want, err := sm.ExtractSources(context.Background(), serve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{64, 256} {
+		sm.SignatureWatermark = w
+		got, err := sm.ExtractSources(context.Background(), serve)
+		sm.SignatureWatermark = 0
+		if err != nil {
+			t.Fatalf("watermark %d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("watermark %d: output diverges from full-page routing (%d vs %d extractions)",
+				w, len(got), len(want))
+		}
+	}
+}
