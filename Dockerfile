@@ -1,0 +1,18 @@
+# Build a static ceres-serve image. The binary is pure Go (stdlib only),
+# so the runtime layer is scratch plus CA certs — a few MB total.
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /ceres-serve ./cmd/ceres-serve
+
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /ceres-serve /ceres-serve
+# Replicas share one model store volume; the watcher (CERES_WATCH)
+# converges every replica on a publish with no restart.
+ENV CERES_ADDR=:8080 \
+    CERES_STORE=/models \
+    CERES_WATCH=2s \
+    CERES_ADMISSION_WAIT=1s
+VOLUME /models
+EXPOSE 8080
+ENTRYPOINT ["/ceres-serve"]

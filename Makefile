@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-json clean
+.PHONY: all build test race lint bench bench-json fleet docker clean
 
 all: build lint test
 
@@ -41,5 +41,20 @@ bench-json:
 	| $(GO) run ./cmd/ceres-benchjson -out $(BENCH_OUT)
 	@echo wrote $(BENCH_OUT)
 
+# Fleet e2e: build the daemon, stand up REPLICAS of it behind the
+# round-robin harness, roll a model publish mid-load and require zero
+# dropped or misrouted requests plus convergence on every replica's
+# /metrics (DESIGN.md §12).
+REPLICAS ?= 2
+fleet:
+	$(GO) build -o bin/ceres-serve ./cmd/ceres-serve
+	$(GO) run ./cmd/ceres-fleet -serve-bin bin/ceres-serve -replicas $(REPLICAS)
+
+# Container image for the serving daemon (see docker-compose.yml for a
+# two-replica fleet sharing one model volume).
+docker:
+	docker build -t ceres-serve .
+
 clean:
 	$(GO) clean ./...
+	rm -rf bin

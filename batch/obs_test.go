@@ -1,0 +1,50 @@
+package batch
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ceres"
+)
+
+// TestRunnerMetrics runs a small harvest through an instrumented runner
+// and checks the batch counter families against the run report.
+func TestRunnerMetrics(t *testing.T) {
+	f := newCrawlFixture(t, t.TempDir(), []string{"blaxploitation.com", "kinobox.cz"})
+	sink := NewCountingSink()
+	m := ceres.NewMetrics()
+	r, err := NewRunner(Config{Provider: f.store, Sink: sink, Pipeline: f.pipeline, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background(), Job{Sites: f.sites, ShardPages: 10, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards == 0 || rep.Pages == 0 {
+		t.Fatalf("trivial run: %+v", rep)
+	}
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for series, want := range map[string]int{
+		"ceres_batch_shards_done_total": rep.Shards,
+		"ceres_batch_pages_total":       rep.Pages,
+		"ceres_batch_triples_total":     rep.Triples,
+	} {
+		if !strings.Contains(text, series+" "+strconv.Itoa(want)) {
+			t.Errorf("exposition missing %s %d:\n%s", series, want, text)
+		}
+	}
+	// The throughput gauge is live after a run (elapsed > 0, pages > 0).
+	if strings.Contains(text, "ceres_batch_pages_per_second 0\n") {
+		t.Errorf("pages_per_second gauge stayed zero:\n%s", text)
+	}
+	if !strings.Contains(text, "ceres_batch_pages_per_second ") {
+		t.Errorf("pages_per_second gauge missing:\n%s", text)
+	}
+}

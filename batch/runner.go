@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ceres"
+	"ceres/internal/obs"
 )
 
 // ErrSinkNotReplayable reports a Job with Fuse set over a sink that
@@ -39,6 +41,10 @@ type Config struct {
 	// CheckpointPath is the manifest file recording committed shards;
 	// empty disables checkpointing (the run is not resumable).
 	CheckpointPath string
+	// Metrics instruments the runner (shards/pages/triples counters and
+	// a live pages-per-second gauge, DESIGN.md §12); nil leaves it
+	// uninstrumented.
+	Metrics *ceres.Metrics
 }
 
 // Runner executes batch harvest jobs: shard-parallel extraction through
@@ -56,6 +62,29 @@ type Runner struct {
 	// inside are owned by the extraction results, never by the slice, so
 	// reuse is safe.
 	shardBufs sync.Pool
+	metrics   *runnerMetrics // nil = uninstrumented
+	// runStart (unix nanos; 0 = no run yet) and runPages feed the live
+	// pages-per-second gauge, which is read from the metrics handler's
+	// goroutine while a run is in flight.
+	runStart atomic.Int64
+	runPages atomic.Int64
+}
+
+// runnerMetrics is the runner's instrument panel (all obs operations are
+// nil-safe, matching the service's discipline).
+type runnerMetrics struct {
+	shards  *obs.Counter // ceres_batch_shards_done_total
+	pages   *obs.Counter // ceres_batch_pages_total
+	triples *obs.Counter // ceres_batch_triples_total
+}
+
+func (rm *runnerMetrics) shardDone(pages, triples int) {
+	if rm == nil {
+		return
+	}
+	rm.shards.Inc()
+	rm.pages.Add(int64(pages))
+	rm.triples.Add(int64(triples))
 }
 
 // NewRunner builds a runner over the configuration.
@@ -67,7 +96,31 @@ func NewRunner(cfg Config) (*Runner, error) {
 		return nil, fmt.Errorf("batch: config needs a Sink")
 	}
 	reg := ceres.NewRegistry()
-	return &Runner{cfg: cfg, shared: cfg.Registry, reg: reg, svc: ceres.NewService(reg)}, nil
+	r := &Runner{cfg: cfg, shared: cfg.Registry, reg: reg, svc: ceres.NewService(reg)}
+	if m := cfg.Metrics; m != nil {
+		r.metrics = &runnerMetrics{
+			shards: m.Counter("ceres_batch_shards_done_total",
+				"Shards extracted and committed by this run (resumed shards excluded)."),
+			pages: m.Counter("ceres_batch_pages_total",
+				"Pages extracted by batch runs."),
+			triples: m.Counter("ceres_batch_triples_total",
+				"Triples written to the sink by batch runs."),
+		}
+		m.GaugeFunc("ceres_batch_pages_per_second",
+			"Live page throughput of the current (or last) run.",
+			func() float64 {
+				start := r.runStart.Load()
+				if start == 0 {
+					return 0
+				}
+				elapsed := time.Since(time.Unix(0, start)).Seconds()
+				if elapsed <= 0 {
+					return 0
+				}
+				return float64(r.runPages.Load()) / elapsed
+			})
+	}
+	return r, nil
 }
 
 // Registry returns the registry the runner resolves models from and
@@ -145,6 +198,8 @@ type Report struct {
 // crawl) do not fail the run; they are reported per site.
 func (r *Runner) Run(ctx context.Context, job Job) (*Report, error) {
 	start := time.Now()
+	r.runStart.Store(start.UnixNano())
+	r.runPages.Store(0)
 	plan, err := PlanJob(job, r.cfg.Provider)
 	if err != nil {
 		return nil, err
@@ -360,6 +415,8 @@ func (r *Runner) runShard(ctx context.Context, job Job, ck *checkpoint, st *site
 	tally.triples += len(resp.Triples)
 	tally.done++
 	mu.Unlock()
+	r.runPages.Add(int64(resp.Stats.Pages))
+	r.metrics.shardDone(resp.Stats.Pages, len(resp.Triples))
 }
 
 // ensureModel resolves the model serving a site, in precedence order: the

@@ -368,6 +368,21 @@ func BenchmarkServiceExtract(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(pages))*float64(b.N)/b.Elapsed().Seconds(), "pages/s")
 	})
+	// SequentialMetrics is Sequential with full instrumentation wired
+	// (WithMetrics: per-site counters, latency histogram, inflight
+	// gauge), so the benchjson trajectory records the observability tax —
+	// the acceptance bar is within 2% of the uninstrumented path.
+	b.Run("SequentialMetrics", func(b *testing.B) {
+		msvc := NewService(reg, WithMetrics(NewMetrics()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := msvc.Extract(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(pages))*float64(b.N)/b.Elapsed().Seconds(), "pages/s")
+	})
 	b.Run("Parallel", func(b *testing.B) {
 		// One page per request, many requests in flight: the request
 		// fan-in shape of the HTTP daemon.

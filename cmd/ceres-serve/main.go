@@ -5,43 +5,113 @@
 //
 // On boot it loads the latest stored version of every site into a
 // Registry; thereafter models are published and hot-swapped over HTTP
-// without a restart. The API (see DESIGN.md §7 for the wire format):
+// without a restart, and a ModelWatcher (-watch > 0) polls the store so
+// a fleet of replicas sharing one store converges on every publish. The
+// API (see DESIGN.md §7 for the wire format, §12 for operations):
 //
-//	PUT  /v1/sites/{site}/model    publish a serialized SiteModel (next version)
+//	PUT  /v1/sites/{site}/model    publish a SiteModel (binary or JSON; next version)
 //	POST /v1/sites/{site}/extract  extract triples from JSON pages
 //	GET  /v1/sites                 list the serving fleet
-//	GET  /healthz                  liveness probe
+//	GET  /healthz                  liveness probe (200 even while draining)
+//	GET  /readyz                   readiness probe (503 while draining)
+//	GET  /metrics                  Prometheus text exposition
 //
 // Extraction requests carry optional per-request "threshold" and "workers"
 // overrides; concurrent requests never observe each other's settings.
-// -max-inflight bounds concurrently served extractions (the request
-// limiter); -store "" runs registry-only, losing models on restart.
-// SIGINT/SIGTERM drain in-flight requests before exit.
+// -max-inflight bounds concurrently served extractions; a request that
+// cannot get a slot within -admission-wait is shed with 429. -rate-limit
+// caps per-site request rates (token bucket of -rate-burst). -store ""
+// runs registry-only, losing models on restart. SIGINT/SIGTERM flip
+// /readyz to 503 and drain in-flight requests before exit.
+//
+// Every flag's default can be set by environment variable (CERES_ADDR,
+// CERES_STORE, CERES_MAX_INFLIGHT, CERES_ADMISSION_WAIT, CERES_DRAIN,
+// CERES_RATE_LIMIT, CERES_RATE_BURST, CERES_WATCH, CERES_LOG_LEVEL), so
+// container fleets configure replicas without templating argv.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	"ceres"
 )
 
+// envString and friends give flags environment-driven defaults: the
+// flag, when passed, still wins.
+func envString(name, def string) string {
+	if v, ok := os.LookupEnv(name); ok {
+		return v
+	}
+	return def
+}
+
+func envInt(name string, def int) int {
+	if v, ok := os.LookupEnv(name); ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+		fmt.Fprintf(os.Stderr, "ceres-serve: ignoring %s=%q: not an integer\n", name, v)
+	}
+	return def
+}
+
+func envDuration(name string, def time.Duration) time.Duration {
+	if v, ok := os.LookupEnv(name); ok {
+		if d, err := time.ParseDuration(v); err == nil {
+			return d
+		}
+		fmt.Fprintf(os.Stderr, "ceres-serve: ignoring %s=%q: not a duration\n", name, v)
+	}
+	return def
+}
+
+func envFloat(name string, def float64) float64 {
+	if v, ok := os.LookupEnv(name); ok {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+		fmt.Fprintf(os.Stderr, "ceres-serve: ignoring %s=%q: not a number\n", name, v)
+	}
+	return def
+}
+
+func logLevel(name string) slog.Level {
+	switch name {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		storeDir    = flag.String("store", "./models", "model store directory (empty: serve from memory only)")
-		maxInflight = flag.Int("max-inflight", 64, "max concurrently served extraction requests (0 = unbounded)")
-		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		addr        = flag.String("addr", envString("CERES_ADDR", ":8080"), "listen address")
+		storeDir    = flag.String("store", envString("CERES_STORE", "./models"), "model store directory (empty: serve from memory only)")
+		maxInflight = flag.Int("max-inflight", envInt("CERES_MAX_INFLIGHT", 64), "max concurrently served extraction requests (0 = unbounded)")
+		admitWait   = flag.Duration("admission-wait", envDuration("CERES_ADMISSION_WAIT", time.Second), "max wait for an inflight slot before shedding with 429 (0: wait until the client gives up)")
+		drain       = flag.Duration("drain", envDuration("CERES_DRAIN", 30*time.Second), "graceful-shutdown drain timeout")
+		rateLimit   = flag.Float64("rate-limit", envFloat("CERES_RATE_LIMIT", 0), "per-site request rate limit in req/s (0: unlimited)")
+		rateBurst   = flag.Int("rate-burst", envInt("CERES_RATE_BURST", 10), "per-site rate-limit burst size")
+		watch       = flag.Duration("watch", envDuration("CERES_WATCH", 0), "model-store poll interval for fleet convergence (0: off; needs -store)")
+		logLvl      = flag.String("log-level", envString("CERES_LOG_LEVEL", "info"), "log level: debug, info, warn, error")
 	)
 	flag.Parse()
-	logger := log.New(os.Stderr, "ceres-serve: ", log.LstdFlags)
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel(*logLvl)}))
 
 	// The signal context is created before the registry boot so an early
 	// SIGINT cancels the (parallel) model loading too.
@@ -53,37 +123,72 @@ func main() {
 	if *storeDir != "" {
 		ds, err := ceres.NewDirStore(*storeDir)
 		if err != nil {
-			logger.Fatal(err)
+			logger.Error("opening store", "error", err)
+			os.Exit(1)
 		}
 		store = ds
 		reg, err = ceres.OpenRegistry(ctx, ds)
 		if err != nil {
-			logger.Fatal(err)
+			logger.Error("loading registry", "error", err)
+			os.Exit(1)
 		}
-		logger.Printf("store %s: loaded %d site(s)", ds.Root(), reg.Len())
+		logger.Info("store loaded", "root", ds.Root(), "sites", reg.Len())
+	}
+
+	metrics := ceres.NewMetrics()
+	handler := newServer(serverConfig{
+		store:         store,
+		reg:           reg,
+		metrics:       metrics,
+		maxInflight:   *maxInflight,
+		admissionWait: *admitWait,
+		rateLimit:     *rateLimit,
+		rateBurst:     *rateBurst,
+		logger:        logger,
+	})
+
+	// The watcher is what makes a fleet: every replica polls the shared
+	// store and hot-swaps publishes it didn't receive over HTTP itself.
+	if *watch > 0 && store != nil {
+		w := ceres.NewModelWatcher(store, reg, ceres.WatcherOptions{
+			Interval: *watch,
+			Metrics:  metrics,
+			OnSwap: func(site string, from, to int) {
+				logger.Info("watcher swap", "site", site, "from", from, "to", to)
+			},
+		})
+		go func() {
+			if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				logger.Error("watcher stopped", "error", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(store, reg, *maxInflight, logger),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Printf("listening on %s (%d sites)", *addr, reg.Len())
+	logger.Info("listening", "addr", *addr, "sites", reg.Len())
 
 	select {
 	case err := <-errc:
-		logger.Fatal(err)
+		logger.Error("serve", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	logger.Printf("shutting down, draining for up to %s", *drain)
+	// Drain: flip /readyz to 503 first so load balancers stop sending
+	// new work, then let http.Server wait out the in-flight requests.
+	handler.StartDrain()
+	logger.Info("draining", "timeout", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		logger.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "error", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Printf("serve: %v", err)
+		logger.Warn("serve", "error", err)
 	}
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"sync"
+	"time"
+)
+
+// maxRateBuckets caps the per-site bucket map. A client probing random
+// site names must not grow server memory without bound; once the cap is
+// hit, unseen sites share one overflow bucket (keyed ""), which is
+// strictly more aggressive than a private bucket — exactly what an
+// abusive traffic pattern deserves.
+const maxRateBuckets = 4096
+
+// rateLimiter is a per-site token bucket: each site accrues rate tokens
+// per second up to burst, and a request spends one. The daemon-level
+// granularity (a handful of sites, one check per request) makes a single
+// mutex cheaper than anything cleverer.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*rateBucket
+}
+
+type rateBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter returns nil (no limiting) when rate <= 0. A burst < 1
+// is raised to 1: a limiter that can never admit is a misconfiguration,
+// not a policy.
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*rateBucket),
+	}
+}
+
+// allow reports whether a request for site may proceed at now, spending
+// a token if so.
+func (l *rateLimiter) allow(site string, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[site]
+	if !ok {
+		if len(l.buckets) >= maxRateBuckets {
+			site = ""
+			if b, ok = l.buckets[site]; !ok {
+				b = &rateBucket{tokens: l.burst, last: now}
+				l.buckets[site] = b
+			}
+		} else {
+			b = &rateBucket{tokens: l.burst, last: now}
+			l.buckets[site] = b
+		}
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -2,15 +2,21 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ceres"
+	"ceres/internal/obs"
 )
 
 // maxModelBytes bounds a PUT model body (a serialized SiteModel is
@@ -23,37 +29,165 @@ const (
 	maxExtractBytes = 256 << 20
 )
 
-// server wires the store/registry/service stack into HTTP handlers.
-type server struct {
-	store ceres.ModelStore // nil: registry-only, models don't survive restarts
+// serverConfig wires the daemon's HTTP layer. Zero values mean: no
+// store (registry-only), unbounded inflight, unbounded admission wait
+// (legacy queueing), no rate limit, discard logs, fresh metrics.
+type serverConfig struct {
+	store ceres.ModelStore
 	reg   *ceres.Registry
-	svc   *ceres.Service
-	log   *log.Logger
+	// metrics is the process metrics registry served on /metrics; nil
+	// creates one. newServer instruments the registry and service
+	// against it, so pass one uninstrumented.
+	metrics     *ceres.Metrics
+	maxInflight int
+	// admissionWait bounds how long a request waits for an inflight slot
+	// before a 429 (ceres.ErrOverloaded). Zero or negative: wait until
+	// the client gives up (the pre-fleet unbounded-queue behavior).
+	admissionWait time.Duration
+	// rateLimit is the per-site request rate (req/s, token bucket of
+	// rateBurst capacity); 0 disables limiting.
+	rateLimit float64
+	rateBurst int
+	logger    *slog.Logger
+}
+
+// server wires the store/registry/service stack into HTTP handlers, plus
+// the operational armor: request IDs, structured access logs, /metrics,
+// drain-aware readiness and per-site rate limits (DESIGN.md §12).
+type server struct {
+	store   ceres.ModelStore // nil: registry-only, models don't survive restarts
+	reg     *ceres.Registry
+	svc     *ceres.Service
+	metrics *ceres.Metrics
+	log     *slog.Logger
+	mux     *http.ServeMux
+	limiter *rateLimiter // nil: no rate limiting
+
+	// draining flips once at shutdown: /readyz goes 503 so load
+	// balancers stop routing here, new extract/publish requests are
+	// refused, and in-flight requests run to completion under the
+	// http.Server drain. /healthz stays 200 — the process is alive.
+	draining atomic.Bool
+
+	// idPrefix + idSeq mint request IDs unique within and across
+	// replicas (the prefix is random per process).
+	idPrefix string
+	idSeq    atomic.Uint64
+
+	httpResponses *obs.CounterVec // ceres_http_responses_total{code}
+	rateLimited   *obs.CounterVec // ceres_http_ratelimited_total{site}
+
 	// pubMu makes store.Publish + reg.Publish one atomic step, so
 	// concurrent PUTs can't hot-swap the registry to an older version than
 	// the store's latest.
 	pubMu sync.Mutex
 }
 
-// newServer builds the daemon's HTTP handler. maxInflight bounds
-// concurrently served extraction requests (0 = unbounded); excess requests
-// wait for a worker slot until their client gives up.
-func newServer(store ceres.ModelStore, reg *ceres.Registry, maxInflight int, logger *log.Logger) http.Handler {
-	if logger == nil {
-		logger = log.New(io.Discard, "", 0)
+// newServer builds the daemon's HTTP layer; the returned server is the
+// root http.Handler.
+func newServer(cfg serverConfig) *server {
+	if cfg.logger == nil {
+		cfg.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if cfg.metrics == nil {
+		cfg.metrics = ceres.NewMetrics()
+	}
+	svcOpts := []ceres.ServiceOption{
+		ceres.WithMaxInflight(cfg.maxInflight),
+		ceres.WithMetrics(cfg.metrics),
+	}
+	if cfg.admissionWait > 0 {
+		svcOpts = append(svcOpts, ceres.WithAdmissionWait(cfg.admissionWait))
+	}
+	var prefix [4]byte
+	rand.Read(prefix[:]) //nolint:errcheck // crypto/rand.Read never fails
 	s := &server{
-		store: store,
-		reg:   reg,
-		svc:   ceres.NewService(reg, ceres.WithMaxInflight(maxInflight)),
-		log:   logger,
+		store:    cfg.store,
+		reg:      cfg.reg,
+		svc:      ceres.NewService(cfg.reg, svcOpts...),
+		metrics:  cfg.metrics,
+		log:      cfg.logger,
+		limiter:  newRateLimiter(cfg.rateLimit, cfg.rateBurst),
+		idPrefix: hex.EncodeToString(prefix[:]),
 	}
+	cfg.reg.Instrument(cfg.metrics)
+	s.httpResponses = cfg.metrics.CounterVec("ceres_http_responses_total",
+		"HTTP responses sent, by status code.", "code")
+	s.rateLimited = cfg.metrics.CounterVec("ceres_http_ratelimited_total",
+		"Requests rejected by the per-site rate limit, by site.", "site")
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sites/{site}/extract", s.handleExtract)
 	mux.HandleFunc("PUT /v1/sites/{site}/model", s.handlePublish)
 	mux.HandleFunc("GET /v1/sites", s.handleSites)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// StartDrain flips the server into drain mode: /readyz reports 503 and
+// new extract/publish requests are refused with 503, while in-flight
+// requests finish. Idempotent; there is no way back — drain precedes
+// process exit.
+func (s *server) StartDrain() { s.draining.Store(true) }
+
+// requestIDKey carries the request ID through a request's context.
+type requestIDKey struct{}
+
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// nextID mints a process-unique request ID.
+func (s *server) nextID() string {
+	return s.idPrefix + "-" + strconv.FormatUint(s.idSeq.Add(1), 10)
+}
+
+// ServeHTTP is the outermost handler: assign (or adopt) the request ID,
+// dispatch, then emit one structured access-log line and count the
+// response. Every response — success or error — carries X-Request-ID,
+// so a fleet's logs are correlatable from either side.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = s.nextID()
+	}
+	w.Header().Set("X-Request-ID", id)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+	s.mux.ServeHTTP(sw, r)
+	s.httpResponses.With(strconv.Itoa(sw.status)).Inc()
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.status),
+		slog.Int64("bytes", sw.bytes),
+		slog.Duration("elapsed", time.Since(start)),
+		slog.String("remote", r.RemoteAddr),
+	)
+}
+
+// statusWriter captures the response status and size for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // wire types ------------------------------------------------------------
@@ -112,10 +246,26 @@ type siteJSON struct {
 	TrainPages       int     `json:"trainPages"`
 }
 
+// errorJSON is every error body: the message plus the request ID, so a
+// client-side report can be joined against the fleet's access logs.
+type errorJSON struct {
+	Error     string `json:"error"`
+	RequestID string `json:"requestId,omitempty"`
+}
+
 // handlers --------------------------------------------------------------
 
 func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	site := r.PathValue("site")
+	if s.draining.Load() {
+		s.fail(w, r, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	if s.limiter != nil && !s.limiter.allow(site, time.Now()) {
+		s.rateLimited.With(site).Inc()
+		s.fail(w, r, http.StatusTooManyRequests, fmt.Errorf("site %q over its request rate", site))
+		return
+	}
 	var req extractRequestJSON
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxExtractBytes)).Decode(&req); err != nil {
 		status := http.StatusBadRequest
@@ -123,7 +273,7 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &tooBig) {
 			status = http.StatusRequestEntityTooLarge
 		}
-		s.fail(w, status, fmt.Errorf("decoding request: %w", err))
+		s.fail(w, r, status, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	pages := make([]ceres.PageSource, len(req.Pages))
@@ -139,7 +289,7 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		},
 	})
 	if err != nil {
-		s.fail(w, statusOf(err), err)
+		s.fail(w, r, statusOf(err), err)
 		return
 	}
 	out := extractResponseJSON{
@@ -166,9 +316,16 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	site := r.PathValue("site")
 	if site == "" {
-		s.fail(w, http.StatusBadRequest, errors.New("empty site name"))
+		s.fail(w, r, http.StatusBadRequest, errors.New("empty site name"))
 		return
 	}
+	if s.draining.Load() {
+		s.fail(w, r, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	// ReadSiteModel sniffs the payload, so a PUT body may be either the
+	// binary ceres.sitemodel/3 format (DirStore's publish default) or a
+	// v1/v2 JSON envelope.
 	m, err := ceres.ReadSiteModel(http.MaxBytesReader(w, r.Body, maxModelBytes))
 	if err != nil {
 		status := http.StatusBadRequest
@@ -176,7 +333,7 @@ func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &tooBig) {
 			status = http.StatusRequestEntityTooLarge
 		}
-		s.fail(w, status, err)
+		s.fail(w, r, status, err)
 		return
 	}
 	var version int
@@ -184,7 +341,7 @@ func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		s.pubMu.Lock()
 		if version, err = s.store.Publish(site, m); err != nil {
 			s.pubMu.Unlock()
-			s.fail(w, http.StatusInternalServerError, err)
+			s.fail(w, r, http.StatusInternalServerError, err)
 			return
 		}
 		s.reg.Publish(site, version, m)
@@ -192,8 +349,13 @@ func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	} else {
 		version = s.reg.PublishNext(site, m)
 	}
-	s.log.Printf("published site %q version %d (%d/%d clusters trained)",
-		site, version, m.TrainedClusters(), m.TemplateClusters())
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "published",
+		slog.String("id", requestID(r.Context())),
+		slog.String("site", site),
+		slog.Int("version", version),
+		slog.Int("trainedClusters", m.TrainedClusters()),
+		slog.Int("templateClusters", m.TemplateClusters()),
+	)
 	s.reply(w, http.StatusOK, publishResponseJSON{
 		Site:             site,
 		Version:          version,
@@ -218,18 +380,45 @@ func (s *server) handleSites(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, http.StatusOK, out)
 }
 
+// handleHealthz is liveness: 200 as long as the process serves HTTP,
+// drain included — a draining replica must not be restarted by its
+// supervisor.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, http.StatusOK, map[string]any{"status": "ok", "sites": s.reg.Len()})
 }
 
+// handleReadyz is readiness: 503 while draining, so load balancers stop
+// routing new work here while in-flight requests finish.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.reply(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	s.reply(w, http.StatusOK, map[string]any{"status": "ready", "sites": s.reg.Len()})
+}
+
+// handleMetrics serves the Prometheus text exposition. It stays up
+// during drain: the final scrape of a terminating replica is the one
+// that records its shed/drain counters.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.WritePrometheus(w); err != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "writing metrics",
+			slog.String("error", err.Error()))
+	}
+}
+
 // helpers ---------------------------------------------------------------
 
-// statusOf maps service errors onto HTTP statuses. Context errors are not
-// server faults: the client went away, or gave up waiting for an inflight
-// slot — 503 keeps load-shedding out of the 5xx-error signal operators
-// alert on.
+// statusOf maps service errors onto HTTP statuses. ErrOverloaded is the
+// load-shed signal — 429, distinguishable from real faults. Context
+// errors are not server faults either: the client went away, or gave up
+// waiting for an inflight slot — 503 keeps load-shedding out of the
+// 5xx-error signal operators alert on.
 func statusOf(err error) int {
 	switch {
+	case errors.Is(err, ceres.ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, ceres.ErrUnknownSite):
 		return http.StatusNotFound
 	case errors.Is(err, ceres.ErrNotTrained):
@@ -247,10 +436,11 @@ func (s *server) reply(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(body); err != nil {
-		s.log.Printf("writing response: %v", err)
+		s.log.LogAttrs(context.Background(), slog.LevelWarn, "writing response",
+			slog.String("error", err.Error()))
 	}
 }
 
-func (s *server) fail(w http.ResponseWriter, status int, err error) {
-	s.reply(w, status, map[string]string{"error": err.Error()})
+func (s *server) fail(w http.ResponseWriter, r *http.Request, status int, err error) {
+	s.reply(w, status, errorJSON{Error: err.Error(), RequestID: requestID(r.Context())})
 }

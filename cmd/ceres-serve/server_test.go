@@ -85,7 +85,7 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := ceres.NewRegistry()
-	ts := httptest.NewServer(newServer(store, reg, 4, nil))
+	ts := httptest.NewServer(newServer(serverConfig{store: store, reg: reg, maxInflight: 4}))
 	defer ts.Close()
 	client := ts.Client()
 
@@ -187,7 +187,7 @@ func TestServeEndToEnd(t *testing.T) {
 }
 
 func TestServeErrorPaths(t *testing.T) {
-	ts := httptest.NewServer(newServer(nil, ceres.NewRegistry(), 0, nil))
+	ts := httptest.NewServer(newServer(serverConfig{reg: ceres.NewRegistry()}))
 	defer ts.Close()
 	client := ts.Client()
 

@@ -91,6 +91,27 @@
 // layout, version-negotiation matrix and the pagestore readahead
 // ordering guarantee are specified in DESIGN.md §10.
 //
+// # Operations
+//
+// The serving stack is built to run as a fleet: N ceres-serve replicas
+// sharing one ModelStore behind a load balancer. NewMetrics creates the
+// process metrics registry (Prometheus text format, stdlib only) that
+// Service (WithMetrics), Registry (Instrument), ModelWatcher and
+// batch.Runner instrument themselves against — per-site request/page/
+// triple counters, latency histograms, an inflight gauge, model
+// versions and hot-swap counts, exposed by WritePrometheus (the
+// daemon's GET /metrics). ModelWatcher polls the store on a jittered
+// interval and hot-swaps each site's stored latest into the Registry,
+// with per-site exponential backoff on corrupt artifacts, so a publish
+// to any replica converges across the fleet with no restart.
+// WithAdmissionWait bounds how long a request may wait for a
+// WithMaxInflight slot before failing with ErrOverloaded (HTTP 429) —
+// shed, not queued, so retries land on replicas with capacity.
+// cmd/ceres-serve adds request IDs, structured access logs, /readyz
+// drain semantics and per-site rate limits; cmd/ceres-fleet (make
+// fleet) proves a rolling publish under load drops nothing. DESIGN.md
+// §12 specifies the metric families and the drain/shed contracts.
+//
 // # Development
 //
 // `make lint` is the gate every change must pass: go vet plus

@@ -1,0 +1,67 @@
+// Package obstest parses the Prometheus text exposition strictly, for
+// tests and harnesses that assert on a live /metrics endpoint. It lives
+// outside package obs so that obs never links a parser into serving
+// binaries' hot paths — but the fleet harness and the daemon's tests
+// share one set of format checks.
+package obstest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse checks every line of a text exposition against the format and
+// returns the samples as a series → value map (series = name{labels}
+// exactly as rendered). It enforces the invariants WritePrometheus
+// promises: HELP/TYPE comments, known TYPEs, every sample inside its
+// family's TYPE block, no duplicate series.
+func Parse(text string) (map[string]float64, error) {
+	samples := map[string]float64{}
+	var lastType, lastName string
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				return nil, fmt.Errorf("line %d: malformed comment %q", ln+1, line)
+			}
+			if parts[1] == "TYPE" {
+				lastName, lastType = parts[2], parts[3]
+				switch lastType {
+				case "counter", "gauge", "histogram":
+				default:
+					return nil, fmt.Errorf("line %d: unknown TYPE %q", ln+1, lastType)
+				}
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("line %d: no value separator in %q", ln+1, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				return nil, fmt.Errorf("line %d: unterminated label set in %q", ln+1, series)
+			}
+			name = series[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if name != lastName && base != lastName {
+			return nil, fmt.Errorf("line %d: sample %q outside its TYPE block (last TYPE %q)", ln+1, name, lastName)
+		}
+		if _, dup := samples[series]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %q", ln+1, series)
+		}
+		samples[series] = val
+	}
+	return samples, nil
+}

@@ -1,0 +1,127 @@
+package ceres
+
+import (
+	"ceres/internal/obs"
+)
+
+// Metrics is the process-wide metrics registry of the serving stack
+// (DESIGN.md §12): a stdlib-only Prometheus-text-format registry that the
+// Service, Registry, ModelWatcher and batch Runner instrument themselves
+// against. One Metrics is typically shared by every component of a
+// process and exposed on GET /metrics via WritePrometheus.
+type Metrics = obs.Registry
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// serviceMetrics is the Service's instrument panel. All fields are
+// nil-safe (obs metrics no-op on nil receivers, and the whole struct may
+// be nil on an uninstrumented service), so the serve path never branches
+// on "is observability on" beyond one pointer test.
+type serviceMetrics struct {
+	requests *obs.CounterVec   // ceres_requests_total{site}
+	errors   *obs.CounterVec   // ceres_request_errors_total{site}
+	shed     *obs.Counter      // ceres_requests_shed_total
+	pages    *obs.CounterVec   // ceres_pages_total{site}
+	triples  *obs.CounterVec   // ceres_triples_total{site}
+	latency  *obs.HistogramVec // ceres_request_latency_seconds{site}
+	inflight *obs.Gauge        // ceres_inflight_requests
+}
+
+// unknownSiteLabel is the site label recorded for requests that failed
+// before resolving to a registered site. Using one fixed value keeps a
+// scanner probing random site names from minting unbounded label
+// cardinality.
+const unknownSiteLabel = "_unknown"
+
+func newServiceMetrics(m *Metrics) *serviceMetrics {
+	if m == nil {
+		return nil
+	}
+	return &serviceMetrics{
+		requests: m.CounterVec("ceres_requests_total",
+			"Extraction requests admitted, by site.", "site"),
+		errors: m.CounterVec("ceres_request_errors_total",
+			"Extraction requests that failed (site _unknown: before resolving), by site.", "site"),
+		shed: m.Counter("ceres_requests_shed_total",
+			"Requests rejected by bounded admission (ErrOverloaded)."),
+		pages: m.CounterVec("ceres_pages_total",
+			"Pages served, by site.", "site"),
+		triples: m.CounterVec("ceres_triples_total",
+			"Triples emitted at or above the request threshold, by site.", "site"),
+		latency: m.HistogramVec("ceres_request_latency_seconds",
+			"Request serving latency in seconds, by site.", "site", obs.DefBuckets),
+		inflight: m.Gauge("ceres_inflight_requests",
+			"Extraction requests currently being served."),
+	}
+}
+
+// admitted records a request entering service; done undoes it.
+func (sm *serviceMetrics) admitted() {
+	if sm == nil {
+		return
+	}
+	sm.inflight.Add(1)
+}
+
+func (sm *serviceMetrics) done() {
+	if sm == nil {
+		return
+	}
+	sm.inflight.Add(-1)
+}
+
+// requestShed records a bounded-admission rejection.
+func (sm *serviceMetrics) requestShed() {
+	if sm == nil {
+		return
+	}
+	sm.shed.Inc()
+}
+
+// requestFailed records a failed request. site may be "" when the
+// failure happened before the request resolved to a registered site.
+func (sm *serviceMetrics) requestFailed(site string) {
+	if sm == nil {
+		return
+	}
+	if site == "" {
+		site = unknownSiteLabel
+	}
+	sm.errors.With(site).Inc()
+}
+
+// requestServed records one successful request's serve-side outcome.
+func (sm *serviceMetrics) requestServed(site string, stats ServeStats) {
+	if sm == nil {
+		return
+	}
+	sm.requests.With(site).Inc()
+	sm.pages.With(site).Add(int64(stats.Pages))
+	sm.triples.With(site).Add(int64(stats.Triples))
+	sm.latency.With(site).Observe(stats.Latency.Seconds())
+}
+
+// Instrument registers the registry's fleet-level metrics on m:
+// cumulative hot-swap count (ceres_registry_swaps_total), registered
+// site count (ceres_registry_sites) and the per-site serving model
+// version (ceres_model_version{site}). Values are read live at
+// exposition time, so Instrument is called once, not per publish.
+func (r *Registry) Instrument(m *Metrics) {
+	if m == nil {
+		return
+	}
+	m.CounterFunc("ceres_registry_swaps_total",
+		"Model publishes (hot swaps) applied to the registry since boot.",
+		func() float64 { return float64(r.Swaps()) })
+	m.GaugeFunc("ceres_registry_sites",
+		"Sites currently registered for serving.",
+		func() float64 { return float64(r.Len()) })
+	m.GaugeVecFunc("ceres_model_version",
+		"Model version currently serving each site.", "site",
+		func(emit func(string, float64)) {
+			for _, e := range r.Snapshot() {
+				emit(e.Site, float64(e.Version))
+			}
+		})
+}

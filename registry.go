@@ -27,6 +27,10 @@ type RegisteredModel struct {
 type Registry struct {
 	mu   sync.Mutex // serializes writers
 	snap atomic.Pointer[map[string]RegisteredModel]
+	// swaps counts Publish/PublishNext hot-swaps since construction — the
+	// fleet-convergence signal exposed as ceres_registry_swaps_total
+	// (obs.go). OpenRegistry's boot snapshot is not a swap.
+	swaps atomic.Int64
 }
 
 // NewRegistry builds an empty registry.
@@ -118,6 +122,7 @@ func (r *Registry) Publish(site string, version int, m *SiteModel) {
 	next := r.clone()
 	next[site] = RegisteredModel{Site: site, Version: version, Model: m}
 	r.snap.Store(&next)
+	r.swaps.Add(1)
 }
 
 // PublishNext publishes m under the site's current version + 1 (1 for a
@@ -130,6 +135,7 @@ func (r *Registry) PublishNext(site string, m *SiteModel) int {
 	version := next[site].Version + 1
 	next[site] = RegisteredModel{Site: site, Version: version, Model: m}
 	r.snap.Store(&next)
+	r.swaps.Add(1)
 	return version
 }
 
@@ -148,6 +154,10 @@ func (r *Registry) Drop(site string) bool {
 
 // Len returns the number of registered sites.
 func (r *Registry) Len() int { return len(*r.snap.Load()) }
+
+// Swaps returns the cumulative number of model publishes (hot swaps)
+// applied to the registry since it was built.
+func (r *Registry) Swaps() int64 { return r.swaps.Load() }
 
 // Snapshot lists the registered models, sorted by site. The slice is the
 // caller's; the registry never mutates a returned snapshot.

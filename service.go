@@ -13,6 +13,13 @@ import (
 // not serving; test with errors.Is.
 var ErrUnknownSite = errors.New("ceres: site not registered")
 
+// ErrOverloaded reports a request shed by bounded admission: every
+// inflight slot was busy and none freed up within the service's
+// admission wait. It is a load signal, not a fault — HTTP frontends map
+// it to 429 so shed traffic stays out of the 5xx error budget; test with
+// errors.Is.
+var ErrOverloaded = errors.New("ceres: service overloaded")
+
 // RequestOptions are per-request serving overrides. They replace
 // cross-request model mutation: two concurrent requests with different
 // options each observe exactly their own settings, and the model itself is
@@ -82,6 +89,30 @@ func WithMaxInflight(n int) ServiceOption {
 	}
 }
 
+// WithAdmissionWait bounds how long a request may wait for an inflight
+// slot before being shed with ErrOverloaded (load-shedding on top of
+// WithMaxInflight). d <= 0 sheds immediately when every slot is busy.
+// Without this option a request queues until its own context gives up —
+// unbounded queueing, the behavior a daemon under sustained overload
+// must not have. The option is inert unless WithMaxInflight is also set.
+func WithAdmissionWait(d time.Duration) ServiceOption {
+	return func(s *Service) {
+		s.admissionWait = d
+		s.boundedAdmission = true
+	}
+}
+
+// WithMetrics instruments the service against a metrics registry:
+// per-site request/page/triple counters, request latency histograms, an
+// inflight gauge, shed and error counters (DESIGN.md §12). The per-
+// request cost is a handful of atomic adds; a nil registry leaves the
+// service uninstrumented.
+func WithMetrics(m *Metrics) ServiceOption {
+	return func(s *Service) {
+		s.metrics = newServiceMetrics(m)
+	}
+}
+
 // Service is the request-scoped extraction API over a Registry: stateless,
 // safe for any number of concurrent callers, and tunable per request
 // instead of by mutating models. Models hot-swapped into the registry are
@@ -90,6 +121,11 @@ func WithMaxInflight(n int) ServiceOption {
 type Service struct {
 	reg *Registry
 	sem chan struct{} // nil = unbounded
+	// boundedAdmission switches acquire from queue-until-cancelled to
+	// shed-after-admissionWait (WithAdmissionWait).
+	boundedAdmission bool
+	admissionWait    time.Duration
+	metrics          *serviceMetrics // nil = uninstrumented
 }
 
 // NewService builds a service over a registry.
@@ -104,13 +140,46 @@ func NewService(reg *Registry, opts ...ServiceOption) *Service {
 // Registry returns the registry the service serves from.
 func (s *Service) Registry() *Registry { return s.reg }
 
-// acquire takes an inflight slot, or fails with ctx's error.
+// acquire takes an inflight slot. It fails with ctx's error when the
+// caller gives up first, or — under bounded admission — with
+// ErrOverloaded when no slot frees up within the admission wait.
+// Successful admission is recorded on the inflight gauge; release undoes
+// both the slot and the gauge.
 func (s *Service) acquire(ctx context.Context) error {
 	if s.sem == nil {
-		return ctx.Err()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.metrics.admitted()
+		return nil
 	}
 	select {
 	case s.sem <- struct{}{}:
+		s.metrics.admitted()
+		return nil
+	default:
+	}
+	if s.boundedAdmission {
+		if s.admissionWait <= 0 {
+			s.metrics.requestShed()
+			return ErrOverloaded
+		}
+		t := time.NewTimer(s.admissionWait)
+		defer t.Stop()
+		select {
+		case s.sem <- struct{}{}:
+			s.metrics.admitted()
+			return nil
+		case <-t.C:
+			s.metrics.requestShed()
+			return ErrOverloaded
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.admitted()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -118,6 +187,7 @@ func (s *Service) acquire(ctx context.Context) error {
 }
 
 func (s *Service) release() {
+	s.metrics.done()
 	if s.sem != nil {
 		<-s.sem
 	}
@@ -151,14 +221,17 @@ func (s *Service) Extract(ctx context.Context, req ExtractRequest) (*ExtractResp
 	start := time.Now()
 	e, threshold, err := s.resolve(req)
 	if err != nil {
+		s.metrics.requestFailed("")
 		return nil, err
 	}
 	src, err := toSources(req.Pages)
 	if err != nil {
+		s.metrics.requestFailed(e.Site)
 		return nil, err
 	}
 	exts, stats, err := e.Model.sm.ExtractSourcesOpts(ctx, src, core.ServeOptions{Workers: req.Options.Workers})
 	if err != nil {
+		s.metrics.requestFailed(e.Site)
 		return nil, err
 	}
 	resp := &ExtractResponse{
@@ -173,6 +246,7 @@ func (s *Service) Extract(ctx context.Context, req ExtractRequest) (*ExtractResp
 		RoutedClusters: stats.RoutedClusters(),
 		Latency:        time.Since(start),
 	}
+	s.metrics.requestServed(e.Site, resp.Stats)
 	return resp, nil
 }
 
@@ -195,10 +269,12 @@ func (s *Service) ExtractScan(ctx context.Context, site string, opts RequestOpti
 	start := time.Now()
 	e, threshold, err := s.resolve(ExtractRequest{Site: site, Options: opts})
 	if err != nil {
+		s.metrics.requestFailed("")
 		return nil, err
 	}
 	exts, stats, err := e.Model.sm.ExtractScan(ctx, scan)
 	if err != nil {
+		s.metrics.requestFailed(e.Site)
 		return nil, err
 	}
 	resp := &ExtractResponse{
@@ -213,6 +289,7 @@ func (s *Service) ExtractScan(ctx context.Context, site string, opts RequestOpti
 		RoutedClusters: stats.RoutedClusters(),
 		Latency:        time.Since(start),
 	}
+	s.metrics.requestServed(e.Site, resp.Stats)
 	return resp, nil
 }
 
@@ -229,10 +306,12 @@ func (s *Service) ExtractStream(ctx context.Context, req ExtractRequest, emit fu
 	start := time.Now()
 	e, threshold, err := s.resolve(req)
 	if err != nil {
+		s.metrics.requestFailed("")
 		return nil, err
 	}
 	src, err := toSources(req.Pages)
 	if err != nil {
+		s.metrics.requestFailed(e.Site)
 		return nil, err
 	}
 	emitted := 0
@@ -244,6 +323,7 @@ func (s *Service) ExtractStream(ctx context.Context, req ExtractRequest, emit fu
 		return emit(toTriple(ex))
 	})
 	if err != nil {
+		s.metrics.requestFailed(e.Site)
 		return nil, err
 	}
 	resp := &ExtractResponse{Site: e.Site, Version: e.Version, Threshold: threshold}
@@ -253,5 +333,6 @@ func (s *Service) ExtractStream(ctx context.Context, req ExtractRequest, emit fu
 		RoutedClusters: stats.RoutedClusters(),
 		Latency:        time.Since(start),
 	}
+	s.metrics.requestServed(e.Site, resp.Stats)
 	return resp, nil
 }

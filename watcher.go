@@ -1,0 +1,215 @@
+package ceres
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ceres/internal/obs"
+)
+
+// WatcherOptions tunes a ModelWatcher.
+type WatcherOptions struct {
+	// Interval is the base poll period (default 5s). Each wait is
+	// jittered around it so a fleet of replicas sharing one store does
+	// not poll in lockstep.
+	Interval time.Duration
+	// Jitter is the fraction of Interval each wait may deviate by,
+	// uniformly in ±Jitter (default 0.2; 0 < Jitter < 1). Negative
+	// disables jitter.
+	Jitter float64
+	// Backoff is the delay before retrying a site whose model failed to
+	// load (default Interval). Consecutive failures double it up to
+	// MaxBackoff (default 16×Backoff) — one corrupt artifact must not
+	// make every poll re-read it.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Metrics instruments the watcher (poll/swap/rollback/error
+	// counters); nil leaves it uninstrumented.
+	Metrics *Metrics
+	// OnSwap, when non-nil, is called after each applied swap with the
+	// version the site moved from (0 = previously unregistered) and to.
+	// Called from the watcher goroutine; keep it fast.
+	OnSwap func(site string, from, to int)
+}
+
+func (o WatcherOptions) withDefaults() WatcherOptions {
+	if o.Interval <= 0 {
+		o.Interval = 5 * time.Second
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.2
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = o.Interval
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 16 * o.Backoff
+	}
+	return o
+}
+
+// ModelWatcher converges a Registry onto a ModelStore: it polls the
+// store and hot-swaps any site whose stored latest version differs from
+// the registry's serving version. A fleet of replica processes each
+// running a watcher over one shared DirStore converges on a publish with
+// no restart and no coordination — the store's atomic link-into-place
+// publish is the only synchronization point (DESIGN.md §12).
+//
+// Version skew in either direction is converged: a store version above
+// the registry's is a rollout, below it is a rollback (counted
+// separately — e.g. an operator deleted a bad version file and the
+// fleet must fall back). Sites missing from the store are left serving;
+// the watcher only ever adds or replaces models, so a listing hiccup
+// cannot unserve a fleet.
+//
+// A watcher is owned by the goroutine running Run; Poll may be called
+// directly instead for externally-scheduled convergence (tests, cron).
+type ModelWatcher struct {
+	store ModelStore
+	reg   *Registry
+	opt   WatcherOptions
+
+	// fail tracks per-site load-failure backoff; owned by the polling
+	// goroutine (Run and Poll are not safe for concurrent use).
+	fail map[string]*siteFailure
+	now  func() time.Time // test hook; time.Now outside tests
+
+	polls     *obs.Counter // ceres_watcher_polls_total
+	swapped   *obs.Counter // ceres_watcher_swaps_total
+	rollbacks *obs.Counter // ceres_watcher_rollbacks_total
+	loadErrs  *obs.Counter // ceres_watcher_errors_total
+}
+
+// siteFailure is one site's load-failure state: how many consecutive
+// failures, and when the next attempt is allowed.
+type siteFailure struct {
+	consecutive int
+	notBefore   time.Time
+}
+
+// NewModelWatcher builds a watcher converging reg onto store.
+func NewModelWatcher(store ModelStore, reg *Registry, opts WatcherOptions) *ModelWatcher {
+	w := &ModelWatcher{
+		store: store,
+		reg:   reg,
+		opt:   opts.withDefaults(),
+		fail:  map[string]*siteFailure{},
+		now:   time.Now,
+	}
+	if m := w.opt.Metrics; m != nil {
+		w.polls = m.Counter("ceres_watcher_polls_total",
+			"Model-store polls completed (including failed ones).")
+		w.swapped = m.Counter("ceres_watcher_swaps_total",
+			"Model hot-swaps applied by the watcher.")
+		w.rollbacks = m.Counter("ceres_watcher_rollbacks_total",
+			"Watcher swaps that moved a site to a lower version.")
+		w.loadErrs = m.Counter("ceres_watcher_errors_total",
+			"Store listing or model load failures observed by the watcher.")
+	}
+	return w
+}
+
+// Run polls the store until ctx is cancelled, waiting a jittered
+// interval between polls, and returns ctx.Err(). Poll errors (store
+// listing or model loads) are counted and retried with backoff, never
+// fatal: a serving replica must keep serving its current models through
+// a store outage.
+func (w *ModelWatcher) Run(ctx context.Context) error {
+	// Seeded from the clock per watcher: replica processes get distinct
+	// phases, which is the whole point of the jitter.
+	rng := rand.New(rand.NewSource(w.now().UnixNano()))
+	t := time.NewTimer(w.jittered(rng))
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+		w.Poll(ctx) //nolint:errcheck // counted in metrics; Run must outlive store outages
+		t.Reset(w.jittered(rng))
+	}
+}
+
+// jittered returns the next wait: Interval ± Jitter·Interval.
+func (w *ModelWatcher) jittered(rng *rand.Rand) time.Duration {
+	j := w.opt.Jitter
+	if j <= 0 {
+		return w.opt.Interval
+	}
+	scale := 1 + j*(2*rng.Float64()-1)
+	return time.Duration(float64(w.opt.Interval) * scale)
+}
+
+// Poll performs one convergence pass: list the store, and for every site
+// whose stored latest version differs from the registry's, load and
+// publish it. It returns the number of swaps applied and the first error
+// (a listing failure aborts the pass; per-site load failures are counted,
+// backed off and skipped, and do not stop other sites from converging).
+func (w *ModelWatcher) Poll(ctx context.Context) (swapped int, err error) {
+	w.polls.Inc()
+	ents, err := w.store.List()
+	if err != nil {
+		w.loadErrs.Inc()
+		return 0, fmt.Errorf("ceres: watcher: listing store: %w", err)
+	}
+	var firstErr error
+	now := w.now()
+	for _, ent := range ents {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		if len(ent.Versions) == 0 {
+			continue
+		}
+		latest := ent.Versions[len(ent.Versions)-1]
+		cur, registered := w.reg.Lookup(ent.Site)
+		if registered && cur.Version == latest {
+			delete(w.fail, ent.Site) // converged; clear any backoff
+			continue
+		}
+		if f, ok := w.fail[ent.Site]; ok && now.Before(f.notBefore) {
+			continue // backing off a previously failed load
+		}
+		m, err := w.store.Open(ent.Site, latest)
+		if err != nil {
+			w.loadErrs.Inc()
+			w.backoff(ent.Site, now)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("ceres: watcher: site %q version %d: %w", ent.Site, latest, err)
+			}
+			continue
+		}
+		w.reg.Publish(ent.Site, latest, m)
+		delete(w.fail, ent.Site)
+		swapped++
+		w.swapped.Inc()
+		if registered && latest < cur.Version {
+			w.rollbacks.Inc()
+		}
+		if w.opt.OnSwap != nil {
+			w.opt.OnSwap(ent.Site, cur.Version, latest)
+		}
+	}
+	return swapped, firstErr
+}
+
+// backoff records a failed load: exponential per-site delay, capped.
+func (w *ModelWatcher) backoff(site string, now time.Time) {
+	f := w.fail[site]
+	if f == nil {
+		f = &siteFailure{}
+		w.fail[site] = f
+	}
+	d := w.opt.Backoff << f.consecutive
+	if d > w.opt.MaxBackoff || d <= 0 { // <=0: shift overflow
+		d = w.opt.MaxBackoff
+	}
+	f.consecutive++
+	f.notBefore = now.Add(d)
+}
