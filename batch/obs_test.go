@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"ceres"
 )
@@ -46,5 +47,93 @@ func TestRunnerMetrics(t *testing.T) {
 	}
 	if !strings.Contains(text, "ceres_batch_pages_per_second ") {
 		t.Errorf("pages_per_second gauge missing:\n%s", text)
+	}
+}
+
+// TestRunnerTraceAndStages runs a traced harvest and checks both views
+// of the same work: the per-shard span trees (batch.shard →
+// resolve[→train→parse/cluster]/extract[→parse/route/score]/sink/
+// checkpoint) and the report's aggregated stage breakdown.
+func TestRunnerTraceAndStages(t *testing.T) {
+	f := newCrawlFixture(t, t.TempDir(), []string{"blaxploitation.com", "kinobox.cz"})
+	tr := ceres.NewTracer(ceres.TracerOptions{SampleEvery: 1, Capacity: 64})
+	r, err := NewRunner(Config{Provider: f.store, Sink: NewCountingSink(), Pipeline: f.pipeline, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background(), Job{Sites: f.sites, ShardPages: 10, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Aggregated stage breakdown: every executed stage accumulated time,
+	// and the serve-side stages are a subset of extract.
+	st := rep.Stages
+	if st.Train <= 0 || st.Resolve < st.Train {
+		t.Errorf("train %v should be nonzero and nested in resolve %v", st.Train, st.Resolve)
+	}
+	if st.Extract <= 0 || st.Score <= 0 || st.Parse <= 0 {
+		t.Errorf("extract stage times missing: %+v", st)
+	}
+	if sub := st.Parse + st.Route + st.Score; sub > st.Extract {
+		t.Errorf("serve stages %v exceed extract wall %v", sub, st.Extract)
+	}
+	if st.Sink <= 0 || st.Checkpoint < 0 {
+		t.Errorf("sink/checkpoint stage times missing: %+v", st)
+	}
+	var names []string
+	var total time.Duration
+	st.Each(func(name string, d time.Duration) {
+		names = append(names, name)
+		total += d
+	})
+	if len(names) != 9 || names[0] != "resolve" || names[8] != "fuse" || total <= 0 {
+		t.Errorf("Each visited %v (total %v)", names, total)
+	}
+
+	// Span trees: one batch.shard root per attempted shard — committed
+	// ones carry the full extract/sink/checkpoint chain, shards of a
+	// skipped site stop after resolve. The first shard of each site
+	// carries the resolve→train subtree with the training pipeline's own
+	// spans hanging off it (a failed training run is traced too).
+	planned := 0
+	for _, sr := range rep.Sites {
+		planned += sr.Shards
+	}
+	roots := tr.Roots()
+	if len(roots) != planned-rep.Resumed {
+		t.Fatalf("%d shard traces for %d attempted shards", len(roots), planned-rep.Resumed)
+	}
+	committed, trained := 0, 0
+	for _, root := range roots {
+		if root.Name() != "batch.shard" || !root.Ended() {
+			t.Fatalf("root %q ended=%v", root.Name(), root.Ended())
+		}
+		if ex := root.Child("extract"); ex != nil {
+			if ex.Child("score") == nil || ex.Child("parse") == nil || ex.Child("route") == nil {
+				t.Fatalf("extract span lost its stage children")
+			}
+			if root.Child("sink") == nil || root.Child("checkpoint") == nil {
+				t.Fatalf("committed shard trace missing sink/checkpoint: %v", root.JSON())
+			}
+			committed++
+		}
+		if rsp := root.Child("resolve"); rsp != nil {
+			if tsp := rsp.Child("train"); tsp != nil {
+				trained++
+				if tsp.Child("parse") == nil || tsp.Child("cluster") == nil {
+					t.Errorf("train span lost the pipeline's spans: %+v", tsp.JSON())
+				}
+			}
+		}
+	}
+	if committed != rep.Shards {
+		t.Errorf("%d full shard traces, want %d committed shards", committed, rep.Shards)
+	}
+	if trained != 2 {
+		t.Errorf("%d train subtrees, want one per site (both sites resolve, one fails)", trained)
+	}
+	if s := tr.Stats(); s.Started != s.Ended || s.DoubleEnds != 0 {
+		t.Errorf("span lifecycle imbalance: %+v", s)
 	}
 }

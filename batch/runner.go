@@ -45,6 +45,12 @@ type Config struct {
 	// a live pages-per-second gauge, DESIGN.md §12); nil leaves it
 	// uninstrumented.
 	Metrics *ceres.Metrics
+	// Tracer samples per-shard span trees (DESIGN.md §13): a batch.shard
+	// root with resolve (train nested under it, with the pipeline's
+	// parse/cluster/annotate/fit children), extract (with its
+	// parse/route/score stage spans), sink and checkpoint children. Nil
+	// traces nothing and costs nothing.
+	Tracer *ceres.Tracer
 }
 
 // Runner executes batch harvest jobs: shard-parallel extraction through
@@ -68,6 +74,65 @@ type Runner struct {
 	// goroutine while a run is in flight.
 	runStart atomic.Int64
 	runPages atomic.Int64
+	// stages accumulates the run's per-stage wall time across workers
+	// (nanosecond sums; reset per Run, snapshotted into Report.Stages).
+	stages stageAcc
+}
+
+// stageAcc sums stage wall time across shard workers.
+type stageAcc struct {
+	resolve, train, extract, parse, route, score, sink, checkpoint, fuse atomic.Int64
+}
+
+func (a *stageAcc) reset() {
+	for _, v := range []*atomic.Int64{&a.resolve, &a.train, &a.extract, &a.parse, &a.route, &a.score, &a.sink, &a.checkpoint, &a.fuse} {
+		v.Store(0)
+	}
+}
+
+// StageDurations is a run's per-stage wall-time breakdown, summed across
+// shard workers — so a stage's total may exceed the run's elapsed wall
+// clock, and the ratio between the two is the stage's effective
+// parallelism. Train is nested inside Resolve (a site's first shard
+// resolves its model, training it when nothing is published);
+// Parse/Route/Score are the serve-side stages nested inside Extract.
+type StageDurations struct {
+	Resolve    time.Duration `json:"resolve"`
+	Train      time.Duration `json:"train"`
+	Extract    time.Duration `json:"extract"`
+	Parse      time.Duration `json:"parse"`
+	Route      time.Duration `json:"route"`
+	Score      time.Duration `json:"score"`
+	Sink       time.Duration `json:"sink"`
+	Checkpoint time.Duration `json:"checkpoint"`
+	Fuse       time.Duration `json:"fuse"`
+}
+
+// Each visits the stages in pipeline order.
+func (s StageDurations) Each(f func(name string, d time.Duration)) {
+	f("resolve", s.Resolve)
+	f("train", s.Train)
+	f("extract", s.Extract)
+	f("parse", s.Parse)
+	f("route", s.Route)
+	f("score", s.Score)
+	f("sink", s.Sink)
+	f("checkpoint", s.Checkpoint)
+	f("fuse", s.Fuse)
+}
+
+func (a *stageAcc) snapshot() StageDurations {
+	return StageDurations{
+		Resolve:    time.Duration(a.resolve.Load()),
+		Train:      time.Duration(a.train.Load()),
+		Extract:    time.Duration(a.extract.Load()),
+		Parse:      time.Duration(a.parse.Load()),
+		Route:      time.Duration(a.route.Load()),
+		Score:      time.Duration(a.score.Load()),
+		Sink:       time.Duration(a.sink.Load()),
+		Checkpoint: time.Duration(a.checkpoint.Load()),
+		Fuse:       time.Duration(a.fuse.Load()),
+	}
 }
 
 // runnerMetrics is the runner's instrument panel (all obs operations are
@@ -184,8 +249,11 @@ type Report struct {
 	// Facts is the fused output (Job.Fuse), aggregated by streaming every
 	// committed shard through a ceres.Fuser in plan order.
 	Facts []ceres.FusedFact
-	// Elapsed is the run's wall-clock time.
+	// Elapsed is the run's wall-clock time; Stages breaks the work down
+	// per pipeline stage (summed across workers, so stage totals can
+	// exceed Elapsed).
 	Elapsed time.Duration
+	Stages  StageDurations
 }
 
 // Run executes one job to completion: plan, resume from the checkpoint,
@@ -200,6 +268,7 @@ func (r *Runner) Run(ctx context.Context, job Job) (*Report, error) {
 	start := time.Now()
 	r.runStart.Store(start.UnixNano())
 	r.runPages.Store(0)
+	r.stages.reset()
 	plan, err := PlanJob(job, r.cfg.Provider)
 	if err != nil {
 		return nil, err
@@ -270,6 +339,7 @@ feed:
 	rep := &Report{Elapsed: time.Since(start)}
 	fuseTally := map[string]int{}
 	if job.Fuse {
+		fuseStart := time.Now()
 		replayer, ok := r.cfg.Sink.(Replayer)
 		if !ok {
 			return nil, fmt.Errorf("%w (%T)", ErrSinkNotReplayable, r.cfg.Sink)
@@ -294,7 +364,9 @@ feed:
 		}
 		rep.Facts = fuser.Facts()
 		fuser.Release()
+		r.stages.fuse.Add(int64(time.Since(fuseStart)))
 	}
+	rep.Stages = r.stages.snapshot()
 
 	for _, sp := range plan.Sites {
 		st, tally := states[sp.Site], tallies[sp.Site]
@@ -342,20 +414,38 @@ func (r *Runner) runShard(ctx context.Context, job Job, ck *checkpoint, st *site
 		mu.Unlock()
 		return
 	}
-	st.once.Do(func() { r.ensureModel(ctx, job, ck, st, shard.Site) })
+	sp := r.cfg.Tracer.StartRoot("batch.shard")
+	defer sp.End()
+	sp.SetStr("site", shard.Site)
+	sp.SetInt("shard", int64(shard.Index))
+	st.once.Do(func() {
+		rsp := sp.StartChild("resolve")
+		t0 := time.Now()
+		r.ensureModel(ceres.ContextWithSpan(ctx, rsp), job, ck, st, shard.Site)
+		r.stages.resolve.Add(int64(time.Since(t0)))
+		rsp.EndErr(st.infraErr)
+	})
 	if st.infraErr != nil {
+		sp.SetErr(st.infraErr)
 		fail(st.infraErr)
 		return
 	}
 	if st.skipReason != "" {
+		sp.SetStr("skipped", st.skipReason)
 		return
 	}
+	// Batch runs always collect the per-stage serve breakdown: the stage
+	// report is part of the run's output, not a sampling decision.
+	opts := job.optionsFor(shard.Site)
+	opts.CollectStages = true
+	esp := sp.StartChild("extract")
+	extractStart := time.Now()
 	var resp *ceres.ExtractResponse
 	var err error
 	if rp, ok := r.cfg.Provider.(RawPageProvider); ok {
 		// Byte path: record bytes flow from the provider straight into
 		// the streaming serve path — no PageSource materialization.
-		resp, err = r.svc.ExtractScan(ctx, shard.Site, job.optionsFor(shard.Site),
+		resp, err = r.svc.ExtractScan(ctx, shard.Site, opts,
 			func(yield func(id string, html []byte) error) error {
 				return rp.PagesBytes(ctx, shard.Site, shard.Start, shard.Pages,
 					func(id, html []byte) error { return yield(string(id), html) })
@@ -368,20 +458,25 @@ func (r *Runner) runShard(ctx context.Context, job Job, ck *checkpoint, st *site
 		var pages []ceres.PageSource
 		pages, err = readPages(ctx, r.cfg.Provider, shard.Site, shard.Start, shard.Pages, (*bufp)[:0])
 		if err != nil {
+			esp.EndErr(err)
+			sp.SetErr(err)
 			fail(err)
 			return
 		}
 		resp, err = r.svc.Extract(ctx, ceres.ExtractRequest{
 			Site:    shard.Site,
 			Pages:   pages,
-			Options: job.optionsFor(shard.Site),
+			Options: opts,
 		})
 		// The service has deep-copied nothing it still needs from pages —
 		// extraction results own their strings — so the shard slice recycles.
 		*bufp = pages
 		r.shardBufs.Put(bufp)
 	}
+	r.stages.extract.Add(int64(time.Since(extractStart)))
 	if err != nil {
+		esp.EndErr(err)
+		sp.SetErr(err)
 		if ctx.Err() != nil {
 			return // cancelled mid-shard: nothing committed, resume re-runs it
 		}
@@ -390,26 +485,51 @@ func (r *Runner) runShard(ctx context.Context, job Job, ck *checkpoint, st *site
 		mu.Unlock()
 		return
 	}
+	esp.AddTimed("parse", resp.Stats.Stages.Parse)
+	esp.AddTimed("route", resp.Stats.Stages.Route)
+	esp.AddTimed("score", resp.Stats.Stages.Score)
+	esp.End()
+	r.stages.parse.Add(int64(resp.Stats.Stages.Parse))
+	r.stages.route.Add(int64(resp.Stats.Stages.Route))
+	r.stages.score.Add(int64(resp.Stats.Stages.Score))
+	ssp := sp.StartChild("sink")
+	sinkStart := time.Now()
 	w, err := r.cfg.Sink.OpenShard(shard)
 	if err != nil {
+		ssp.EndErr(err)
+		sp.SetErr(err)
 		fail(err)
 		return
 	}
 	for _, t := range resp.Triples {
 		if err := w.Write(t); err != nil {
 			w.Abort()
+			ssp.EndErr(err)
+			sp.SetErr(err)
 			fail(err)
 			return
 		}
 	}
 	if err := w.Commit(); err != nil {
+		ssp.EndErr(err)
+		sp.SetErr(err)
 		fail(err)
 		return
 	}
+	ssp.End()
+	r.stages.sink.Add(int64(time.Since(sinkStart)))
+	csp := sp.StartChild("checkpoint")
+	ckStart := time.Now()
 	if err := ck.markDone(shard.Site, shard.Index); err != nil {
+		csp.EndErr(err)
+		sp.SetErr(err)
 		fail(err)
 		return
 	}
+	csp.End()
+	r.stages.checkpoint.Add(int64(time.Since(ckStart)))
+	sp.SetInt("pages", int64(resp.Stats.Pages))
+	sp.SetInt("triples", int64(len(resp.Triples)))
 	mu.Lock()
 	tally.pages += resp.Stats.Pages
 	tally.triples += len(resp.Triples)
@@ -494,7 +614,12 @@ func (r *Runner) ensureModel(ctx context.Context, job Job, ck *checkpoint, st *s
 		st.infraErr = err
 		return
 	}
-	m, err := r.cfg.Pipeline.Train(ctx, pages)
+	tsp := ceres.SpanFromContext(ctx).StartChild("train")
+	tsp.SetInt("pages", int64(len(pages)))
+	trainStart := time.Now()
+	m, err := r.cfg.Pipeline.Train(ceres.ContextWithSpan(ctx, tsp), pages)
+	r.stages.train.Add(int64(time.Since(trainStart)))
+	tsp.EndErr(err)
 	if err != nil {
 		if ctx.Err() != nil {
 			// Cancellation, not a site failure: leave no skip record so a

@@ -383,6 +383,22 @@ func BenchmarkServiceExtract(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(pages))*float64(b.N)/b.Elapsed().Seconds(), "pages/s")
 	})
+	// SequentialTraced is Sequential with a tracer attached but sampling
+	// off — the fleet's default posture. The nil-span fast path must make
+	// this allocation-identical to Sequential (asserted exactly in
+	// TestServiceSampledOutAllocParity; the benchjson trajectory records
+	// the residual time tax, which must stay within noise).
+	b.Run("SequentialTraced", func(b *testing.B) {
+		tsvc := NewService(reg, WithTracer(NewTracer(TracerOptions{SampleEvery: 0})))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tsvc.Extract(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(pages))*float64(b.N)/b.Elapsed().Seconds(), "pages/s")
+	})
 	b.Run("Parallel", func(b *testing.B) {
 		// One page per request, many requests in flight: the request
 		// fan-in shape of the HTTP daemon.

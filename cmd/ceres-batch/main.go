@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"ceres"
 	"ceres/batch"
@@ -151,6 +152,9 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if err := writeStats(filepath.Join(*dir, "stats.json"), report); err != nil {
+		log.Fatal(err)
+	}
 	printReport(report, *fuse)
 
 	// Skipped long-tail sites are an expected harvest outcome; extraction
@@ -237,8 +241,38 @@ func writeFused(path string, facts []ceres.FusedFact) error {
 	return fsatomic.Commit(f, path)
 }
 
+// writeStats writes the machine-readable run report — the Table-8
+// numbers plus the per-stage wall-time breakdown — next to the harvest
+// output, atomically so a reader never sees a half-written report.
+func writeStats(path string, rep *batch.Report) error {
+	type stage struct {
+		Stage string `json:"stage"`
+		Ns    int64  `json:"ns"`
+	}
+	var stages []stage
+	rep.Stages.Each(func(name string, d time.Duration) {
+		stages = append(stages, stage{Stage: name, Ns: d.Nanoseconds()})
+	})
+	doc := map[string]any{
+		"sites":     rep.Sites,
+		"pages":     rep.Pages,
+		"triples":   rep.Triples,
+		"shards":    rep.Shards,
+		"resumed":   rep.Resumed,
+		"facts":     len(rep.Facts),
+		"elapsedNs": rep.Elapsed.Nanoseconds(),
+		"stages":    stages,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return fsatomic.WriteFile(path, append(b, '\n'))
+}
+
 // printReport writes the per-site harvest summary — the CLI's analogue of
-// the paper's Table 8.
+// the paper's Table 8 — followed by the run's per-stage wall-time
+// breakdown (worker-summed, so stages can exceed elapsed).
 func printReport(rep *batch.Report, fused bool) {
 	fmt.Printf("%-32s %7s %7s %7s %8s %8s %3s  %s\n",
 		"site", "pages", "shards", "done", "resumed", "triples", "v", "status")
@@ -257,6 +291,13 @@ func printReport(rep *batch.Report, fused bool) {
 	}
 	fmt.Printf("\nrun: %d pages extracted, %d triples, %d shards executed, %d resumed, %s elapsed\n",
 		rep.Pages, rep.Triples, rep.Shards, rep.Resumed, rep.Elapsed.Round(1e6))
+	fmt.Printf("stages (worker-summed):")
+	rep.Stages.Each(func(name string, d time.Duration) {
+		if d > 0 {
+			fmt.Printf(" %s %s", name, d.Round(1e5))
+		}
+	})
+	fmt.Println()
 	if fused {
 		fmt.Printf("fused: %d facts -> fused.jsonl\n", len(rep.Facts))
 	}

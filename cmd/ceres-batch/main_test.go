@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -83,5 +84,38 @@ func TestGenerateAndHarvest(t *testing.T) {
 	}
 	if fi, err := os.Stat(fusedPath); err != nil || fi.Size() == 0 {
 		t.Fatalf("fused output missing: %v", err)
+	}
+
+	// The stats report carries the Table-8 numbers plus the per-stage
+	// wall-time breakdown.
+	statsPath := filepath.Join(dir, "stats.json")
+	if err := writeStats(statsPath, rep); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Triples int `json:"triples"`
+		Stages  []struct {
+			Stage string `json:"stage"`
+			Ns    int64  `json:"ns"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("stats.json malformed: %v", err)
+	}
+	if doc.Triples != rep.Triples || len(doc.Stages) != 9 {
+		t.Fatalf("stats.json content wrong: %+v", doc)
+	}
+	byStage := map[string]int64{}
+	for _, s := range doc.Stages {
+		byStage[s.Stage] = s.Ns
+	}
+	for _, stage := range []string{"train", "extract", "score", "fuse"} {
+		if byStage[stage] <= 0 {
+			t.Errorf("stats.json stage %q recorded no time: %v", stage, byStage)
+		}
 	}
 }

@@ -7,6 +7,12 @@
 //     the requested site (or an explicit 429 shed), never a 5xx;
 //   - every replica converges on the new model version without a
 //     restart (verified by scraping ceres_model_version from /metrics);
+//   - every replica exposes the drift and trace metric families
+//     (extraction confidence, empty-page and routing-miss counters,
+//     trace span counters) with load recorded in them;
+//   - serving the load leaks no goroutines: each replica's pprof
+//     goroutine profile returns to its pre-load baseline once the load
+//     drains;
 //   - replicas shut down cleanly on SIGTERM.
 //
 // It exits nonzero on any violation, so `make fleet` is a CI gate.
@@ -27,6 +33,7 @@ import (
 	"os"
 	"os/exec"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -191,6 +198,8 @@ func run(serveBin string, replicaN, clients int, loadFor, watch time.Duration) e
 			"-watch", watch.String(),
 			"-admission-wait", "2s",
 			"-max-inflight", "64",
+			"-trace-sample", "1",
+			"-pprof",
 			"-log-level", "warn",
 		)
 		cmd.Stdout = os.Stderr
@@ -207,6 +216,17 @@ func run(serveBin string, replicaN, clients int, loadFor, watch time.Duration) e
 		}
 	}
 	fmt.Printf("%d replicas ready on shared store %s\n", replicaN, storeDir)
+
+	// Pre-load goroutine baseline per replica, measured through the same
+	// client and profile endpoint as the post-load check so the
+	// measurement overhead cancels out.
+	client.CloseIdleConnections()
+	baselines := make([]int, replicaN)
+	for i, r := range replicas {
+		if baselines[i], err = goroutineTotal(client, r.url); err != nil {
+			return fmt.Errorf("replica %d goroutine baseline: %w", i, err)
+		}
+	}
 
 	// Publish v1 of both sites to replica 0 (binary wire format); every
 	// other replica must converge through its store watcher.
@@ -283,6 +303,42 @@ func run(serveBin string, replicaN, clients int, loadFor, watch time.Duration) e
 		return fmt.Errorf("%d empty extractions", n)
 	}
 
+	// Every replica took load, so every replica must expose the drift
+	// signals for both sites and the trace counters — scraped through the
+	// strict exposition parser, so a malformed family fails here too.
+	for _, r := range replicas {
+		samples, err := scrape(client, r.url)
+		if err != nil {
+			return fmt.Errorf("replica %d: %w", r.index, err)
+		}
+		for _, s := range sites {
+			if samples[`ceres_extraction_confidence_count{site="`+s.name+`"}`] <= 0 {
+				return fmt.Errorf("replica %d recorded no extraction confidences for %s", r.index, s.name)
+			}
+			for _, family := range []string{"ceres_empty_pages_total", "ceres_routing_miss_total"} {
+				if _, ok := samples[family+`{site="`+s.name+`"}`]; !ok {
+					return fmt.Errorf("replica %d missing drift family %s for %s", r.index, family, s.name)
+				}
+			}
+		}
+		if samples["ceres_trace_spans_total"] <= 0 || samples["ceres_trace_roots_sampled_total"] <= 0 {
+			return fmt.Errorf("replica %d traced nothing: spans=%v sampled=%v", r.index,
+				samples["ceres_trace_spans_total"], samples["ceres_trace_roots_sampled_total"])
+		}
+	}
+	fmt.Println("drift and trace families present on every replica")
+
+	// With the load drained and the client's keep-alive connections shut,
+	// every replica must fall back to its pre-load goroutine count — a
+	// bounded surplus allows for connection teardown still in flight.
+	client.CloseIdleConnections()
+	for i, r := range replicas {
+		if err := waitGoroutinesBelow(client, r.url, baselines[i]+8, 15*time.Second); err != nil {
+			return fmt.Errorf("replica %d: %w", i, err)
+		}
+	}
+	fmt.Println("no goroutine leak across the load cycle")
+
 	// Clean shutdown: SIGTERM drains and exits 0.
 	for _, r := range replicas {
 		if err := r.cmd.Process.Signal(syscall.SIGTERM); err != nil {
@@ -303,6 +359,49 @@ func run(serveBin string, replicaN, clients int, loadFor, watch time.Duration) e
 	}
 	fmt.Println("all replicas drained and exited cleanly")
 	return nil
+}
+
+// goroutineTotal reads a replica's pprof goroutine profile (debug=1
+// text form) and returns the leading "goroutine profile: total N".
+func goroutineTotal(client *http.Client, url string) (int, error) {
+	resp, err := client.Get(url + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != 200 {
+		return 0, fmt.Errorf("GET /debug/pprof/goroutine = %d", resp.StatusCode)
+	}
+	first, _, _ := strings.Cut(string(raw), "\n")
+	var n int
+	if _, err := fmt.Sscanf(first, "goroutine profile: total %d", &n); err != nil {
+		return 0, fmt.Errorf("unrecognized goroutine profile header %q", first)
+	}
+	return n, nil
+}
+
+// waitGoroutinesBelow polls the replica's goroutine profile until the
+// total drops to at most limit.
+func waitGoroutinesBelow(client *http.Client, url string, limit int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	n, err := goroutineTotal(client, url)
+	for {
+		if err == nil && n <= limit {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return err
+			}
+			return fmt.Errorf("goroutine leak: %d goroutines still running, want <= %d", n, limit)
+		}
+		time.Sleep(50 * time.Millisecond)
+		n, err = goroutineTotal(client, url)
+	}
 }
 
 func waitReady(client *http.Client, url string, timeout time.Duration) error {

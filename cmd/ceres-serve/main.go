@@ -12,9 +12,12 @@
 //	PUT  /v1/sites/{site}/model    publish a SiteModel (binary or JSON; next version)
 //	POST /v1/sites/{site}/extract  extract triples from JSON pages
 //	GET  /v1/sites                 list the serving fleet
+//	GET  /v1/sites/{site}/stats    per-site extraction-quality drift snapshot
 //	GET  /healthz                  liveness probe (200 even while draining)
 //	GET  /readyz                   readiness probe (503 while draining)
 //	GET  /metrics                  Prometheus text exposition
+//	GET  /debug/traces             retained request span trees, NDJSON (-trace-sample > 0)
+//	GET  /debug/pprof/...          runtime profiles (-pprof only)
 //
 // Extraction requests carry optional per-request "threshold" and "workers"
 // overrides; concurrent requests never observe each other's settings.
@@ -24,10 +27,16 @@
 // runs registry-only, losing models on restart. SIGINT/SIGTERM flip
 // /readyz to 503 and drain in-flight requests before exit.
 //
+// -trace-sample N samples 1-in-N extract requests into span trees
+// (admission → lookup → extract stages → fuse) retained in a ring and
+// served on /debug/traces; sampled-out requests cost nothing. -pprof
+// exposes the Go runtime profiles under /debug/pprof/ — off by default.
+//
 // Every flag's default can be set by environment variable (CERES_ADDR,
 // CERES_STORE, CERES_MAX_INFLIGHT, CERES_ADMISSION_WAIT, CERES_DRAIN,
-// CERES_RATE_LIMIT, CERES_RATE_BURST, CERES_WATCH, CERES_LOG_LEVEL), so
-// container fleets configure replicas without templating argv.
+// CERES_RATE_LIMIT, CERES_RATE_BURST, CERES_WATCH, CERES_TRACE_SAMPLE,
+// CERES_PPROF, CERES_LOG_LEVEL), so container fleets configure replicas
+// without templating argv.
 package main
 
 import (
@@ -75,6 +84,16 @@ func envDuration(name string, def time.Duration) time.Duration {
 	return def
 }
 
+func envBool(name string, def bool) bool {
+	if v, ok := os.LookupEnv(name); ok {
+		if b, err := strconv.ParseBool(v); err == nil {
+			return b
+		}
+		fmt.Fprintf(os.Stderr, "ceres-serve: ignoring %s=%q: not a boolean\n", name, v)
+	}
+	return def
+}
+
 func envFloat(name string, def float64) float64 {
 	if v, ok := os.LookupEnv(name); ok {
 		if f, err := strconv.ParseFloat(v, 64); err == nil {
@@ -108,6 +127,8 @@ func main() {
 		rateLimit   = flag.Float64("rate-limit", envFloat("CERES_RATE_LIMIT", 0), "per-site request rate limit in req/s (0: unlimited)")
 		rateBurst   = flag.Int("rate-burst", envInt("CERES_RATE_BURST", 10), "per-site rate-limit burst size")
 		watch       = flag.Duration("watch", envDuration("CERES_WATCH", 0), "model-store poll interval for fleet convergence (0: off; needs -store)")
+		traceSample = flag.Int("trace-sample", envInt("CERES_TRACE_SAMPLE", 0), "trace 1-in-N extract requests onto /debug/traces (0: tracing off)")
+		pprofOn     = flag.Bool("pprof", envBool("CERES_PPROF", false), "expose Go runtime profiles under /debug/pprof/")
 		logLvl      = flag.String("log-level", envString("CERES_LOG_LEVEL", "info"), "log level: debug, info, warn, error")
 	)
 	flag.Parse()
@@ -144,6 +165,8 @@ func main() {
 		admissionWait: *admitWait,
 		rateLimit:     *rateLimit,
 		rateBurst:     *rateBurst,
+		traceSample:   *traceSample,
+		pprof:         *pprofOn,
 		logger:        logger,
 	})
 

@@ -143,8 +143,10 @@ func TestServeDrain(t *testing.T) {
 		}
 		done <- out
 	}()
-	// Wait until the big request is visibly in flight, then drain.
-	deadline := time.Now().Add(10 * time.Second)
+	// Wait until the big request is visibly in flight, then drain. The
+	// deadline is generous: under a fully parallel `go test ./...` the
+	// body decode alone can be starved for seconds.
+	deadline := time.Now().Add(30 * time.Second)
 	for scrape(t, client, ts.URL)["ceres_inflight_requests"] < 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("big request never became visible in the inflight gauge")

@@ -10,6 +10,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -48,7 +49,14 @@ type serverConfig struct {
 	// rateBurst capacity); 0 disables limiting.
 	rateLimit float64
 	rateBurst int
-	logger    *slog.Logger
+	// traceSample samples 1-in-N extract requests into span trees served
+	// on GET /debug/traces; 0 disables tracing entirely (no tracer is
+	// built, the endpoint 404s, and the serve path pays nothing).
+	traceSample int
+	// pprof exposes the runtime profiles under /debug/pprof/ (opt-in:
+	// profiles reveal code structure and can cost CPU to capture).
+	pprof  bool
+	logger *slog.Logger
 }
 
 // server wires the store/registry/service stack into HTTP handlers, plus
@@ -59,6 +67,7 @@ type server struct {
 	reg     *ceres.Registry
 	svc     *ceres.Service
 	metrics *ceres.Metrics
+	tracer  *ceres.Tracer // nil: tracing off, /debug/traces 404s
 	log     *slog.Logger
 	mux     *http.ServeMux
 	limiter *rateLimiter // nil: no rate limiting
@@ -99,6 +108,12 @@ func newServer(cfg serverConfig) *server {
 	if cfg.admissionWait > 0 {
 		svcOpts = append(svcOpts, ceres.WithAdmissionWait(cfg.admissionWait))
 	}
+	var tracer *ceres.Tracer
+	if cfg.traceSample > 0 {
+		tracer = ceres.NewTracer(ceres.TracerOptions{SampleEvery: cfg.traceSample})
+		tracer.Instrument(cfg.metrics)
+		svcOpts = append(svcOpts, ceres.WithTracer(tracer))
+	}
 	var prefix [4]byte
 	rand.Read(prefix[:]) //nolint:errcheck // crypto/rand.Read never fails
 	s := &server{
@@ -106,6 +121,7 @@ func newServer(cfg serverConfig) *server {
 		reg:      cfg.reg,
 		svc:      ceres.NewService(cfg.reg, svcOpts...),
 		metrics:  cfg.metrics,
+		tracer:   tracer,
 		log:      cfg.logger,
 		limiter:  newRateLimiter(cfg.rateLimit, cfg.rateBurst),
 		idPrefix: hex.EncodeToString(prefix[:]),
@@ -120,9 +136,20 @@ func newServer(cfg serverConfig) *server {
 	mux.HandleFunc("POST /v1/sites/{site}/extract", s.handleExtract)
 	mux.HandleFunc("PUT /v1/sites/{site}/model", s.handlePublish)
 	mux.HandleFunc("GET /v1/sites", s.handleSites)
+	mux.HandleFunc("GET /v1/sites/{site}/stats", s.handleSiteStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	if cfg.pprof {
+		// Gated, not ambient: the pprof handlers are wired onto this mux
+		// only when asked for, so a default fleet exposes no profiles.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
 }
@@ -378,6 +405,34 @@ func (s *server) handleSites(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.reply(w, http.StatusOK, out)
+}
+
+// handleSiteStats serves one site's extraction-quality drift snapshot:
+// the same confidence/empty-page/routing-miss signals /metrics exposes,
+// resolved per site and normalized into rates — what a continuous
+// harvest loop polls to decide a model has gone stale.
+func (s *server) handleSiteStats(w http.ResponseWriter, r *http.Request) {
+	site := r.PathValue("site")
+	st, ok := s.svc.SiteStats(site)
+	if !ok {
+		s.fail(w, r, http.StatusNotFound, fmt.Errorf("site %q: %w", site, ceres.ErrUnknownSite))
+		return
+	}
+	s.reply(w, http.StatusOK, st)
+}
+
+// handleTraces streams the tracer's retained span trees as NDJSON, one
+// root trace per line, oldest first. 404 when the daemon runs untraced.
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		s.fail(w, r, http.StatusNotFound, errors.New("tracing disabled (start with -trace-sample N)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.tracer.WriteJSONL(w); err != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "writing traces",
+			slog.String("error", err.Error()))
+	}
 }
 
 // handleHealthz is liveness: 200 as long as the process serves HTTP,

@@ -225,3 +225,93 @@ func TestServeErrorPaths(t *testing.T) {
 		t.Errorf("empty page ID = %d (%s), want 400", code, errResp.Error)
 	}
 }
+
+// TestServeObservabilityEndpoints exercises the drift snapshot, the
+// trace dump and the gated pprof surface: on when asked for, absent on
+// a default daemon.
+func TestServeObservabilityEndpoints(t *testing.T) {
+	ts := httptest.NewServer(newServer(serverConfig{
+		reg: ceres.NewRegistry(), traceSample: 1, pprof: true,
+	}))
+	defer ts.Close()
+	client := ts.Client()
+
+	modelBytes, unseen := trainedModelBytes(t)
+	var pub publishResponseJSON
+	if code := doJSON(t, client, "PUT", ts.URL+"/v1/sites/films.example/model", modelBytes, &pub); code != 200 {
+		t.Fatalf("publish = %d", code)
+	}
+	body, _ := json.Marshal(extractRequestJSON{Pages: []pageJSON{{ID: unseen.ID, HTML: unseen.HTML}}})
+	var ext extractResponseJSON
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/sites/films.example/extract", body, &ext); code != 200 {
+		t.Fatalf("extract = %d", code)
+	}
+
+	// Drift snapshot: the served request is visible per site.
+	var stats ceres.SiteDriftStats
+	if code := doJSON(t, client, "GET", ts.URL+"/v1/sites/films.example/stats", nil, &stats); code != 200 {
+		t.Fatalf("stats = %d", code)
+	}
+	if stats.Site != "films.example" || stats.Requests != 1 || stats.Pages != 1 || stats.Confidence.Count == 0 {
+		t.Fatalf("drift snapshot wrong: %+v", stats)
+	}
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	if code := doJSON(t, client, "GET", ts.URL+"/v1/sites/nope/stats", nil, &errResp); code != http.StatusNotFound {
+		t.Errorf("unknown-site stats = %d, want 404", code)
+	}
+
+	// Trace dump: the sampled request's span tree, one NDJSON line per
+	// retained root.
+	resp, err := client.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBody := new(bytes.Buffer)
+	if _, err := traceBody.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "application/x-ndjson" {
+		t.Fatalf("traces = %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	var root struct {
+		Name     string `json:"name"`
+		Children []struct {
+			Name string `json:"name"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(traceBody.Bytes(), &root); err != nil {
+		t.Fatalf("trace line is not JSON: %v\n%s", err, traceBody)
+	}
+	if root.Name != "service.extract" || len(root.Children) < 4 {
+		t.Fatalf("trace tree = %+v", root)
+	}
+
+	// pprof: wired when opted in.
+	resp, err = client.Get(ts.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := new(bytes.Buffer)
+	profile.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.HasPrefix(profile.String(), "goroutine profile:") {
+		t.Fatalf("pprof goroutine = %d %q", resp.StatusCode, profile.String()[:min(60, profile.Len())])
+	}
+
+	// A default daemon exposes neither surface.
+	bare := httptest.NewServer(newServer(serverConfig{reg: ceres.NewRegistry()}))
+	defer bare.Close()
+	for _, path := range []string{"/debug/traces", "/debug/pprof/goroutine"} {
+		resp, err := bare.Client().Get(bare.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("default daemon %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

@@ -112,6 +112,31 @@
 // fleet) proves a rolling publish under load drops nothing. DESIGN.md
 // §12 specifies the metric families and the drain/shed contracts.
 //
+// # Observability
+//
+// NewTracer builds the request tracer: 1-in-N sampled span trees over
+// the serve path (admission → lookup → extract with per-stage
+// parse/route/score children → fuse), the batch runner's shards and
+// the training pipeline, retained in a ring and exported as JSONL (the
+// daemon's GET /debug/traces). A sampled-out request costs nothing —
+// the nil *Span no-op path is allocation-free, ceresvet-enforced, and
+// BenchmarkServiceExtract/SequentialTraced shows allocs/op identical
+// to the untraced path. Attach with WithTracer; propagate across
+// layers with ContextWithSpan / SpanFromContext.
+//
+// Extraction-quality drift is tracked per site: every extraction's
+// pre-threshold confidence (ceres_extraction_confidence), pages that
+// extracted nothing (ceres_empty_pages_total) and pages routed to no
+// trained cluster (ceres_routing_miss_total). Service.SiteStats — the
+// daemon's GET /v1/sites/{site}/stats — snapshots the same counters
+// into rates a continuous-harvest loop can threshold to decide a model
+// has gone stale. RequestOptions.CollectStages gathers the per-stage
+// serve-time breakdown into ServeStats.Stages without tracing; batch
+// runs use it for their per-stage report (batch.Report.Stages). The
+// daemon exposes Go runtime profiles under /debug/pprof only with
+// -pprof. DESIGN.md §13 specifies the span model, the sampling
+// contract and the drift-signal definitions.
+//
 // # Development
 //
 // `make lint` is the gate every change must pass: go vet plus

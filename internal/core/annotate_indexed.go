@@ -7,6 +7,7 @@ import (
 	"unicode/utf8"
 
 	"ceres/internal/kb"
+	"ceres/internal/obs/trace"
 	"ceres/internal/strmatch"
 )
 
@@ -285,7 +286,11 @@ func AnnotateCtx(ctx context.Context, pages []*Page, K *kb.KB, topts TopicOption
 		workers = defaultWorkers()
 	}
 	ix := K.BuildIndex()
+	// Topic identification (§3.1) is annotation's dominant stage; give it
+	// its own child span under the caller's "annotate" span.
+	tsp := trace.FromContext(ctx).StartChild("topics")
 	topics, pidx, err := identifyTopicsIndexed(ctx, pages, ix, topts, workers)
+	tsp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"ceres/internal/cluster"
 	"ceres/internal/kb"
+	"ceres/internal/obs/trace"
 )
 
 // Sentinel errors of the training/serving lifecycle. The public ceres
@@ -148,11 +149,18 @@ func TrainSite(ctx context.Context, sources []PageSource, K *kb.KB, cfg Config) 
 	if len(sources) == 0 {
 		return nil, nil, ErrNoPages
 	}
+	// Training is traced through the caller's context: a span installed
+	// there (batch model resolution, an instrumented CLI) gets children
+	// for each pipeline stage; an untraced context costs one Value read.
+	tsp := trace.FromContext(ctx)
+	psp := tsp.StartChild("parse")
 	pages, err := parsePagesCtx(ctx, sources, cfg.Workers)
+	psp.EndErr(err)
 	if err != nil {
 		return nil, nil, err
 	}
 
+	csp := tsp.StartChild("cluster")
 	var sigs []cluster.PageSignature
 	var groups [][]int
 	if cfg.DisablePageClustering {
@@ -168,10 +176,13 @@ func TrainSite(ctx context.Context, sources []PageSource, K *kb.KB, cfg Config) 
 		if err := parallelFor(ctx, len(pages), cfg.Workers, func(i int) {
 			sigs[i] = cluster.Signature(pages[i].Doc)
 		}); err != nil {
+			csp.EndErr(err)
 			return nil, nil, err
 		}
 		groups = cluster.ClusterPages(sigs, cfg.PageCluster)
 	}
+	csp.SetInt("clusters", int64(len(groups)))
+	csp.End()
 
 	sm := &SiteModel{
 		Extract:    cfg.Extract,
@@ -231,26 +242,33 @@ func runCluster(ctx context.Context, pages []*Page, group []int, K *kb.KB, cfg C
 		sub[i] = pages[pi]
 	}
 	var ann *AnnotationResult
+	actx, asp := trace.StartSpan(ctx, "annotate")
+	asp.SetInt("pages", int64(len(sub)))
 	if cfg.LegacyAnnotation {
 		ann = AnnotateLegacy(sub, K, cfg.Topic, cfg.Relation)
 	} else {
 		var err error
-		ann, err = AnnotateCtx(ctx, sub, K, cfg.Topic, cfg.Relation, cfg.Workers)
+		ann, err = AnnotateCtx(actx, sub, K, cfg.Topic, cfg.Relation, cfg.Workers)
 		if err != nil {
+			asp.EndErr(err)
 			return nil, err
 		}
 	}
+	asp.End()
 	cr := &ClusterResult{PageIdxs: group, Annotation: ann}
 	if ann.NumAnnotatedPages() < cfg.MinAnnotatedPages {
 		return cr, nil
 	}
+	fsp := trace.FromContext(ctx).StartChild("fit")
 	fz := NewFeaturizer(sub, cfg.Features)
 	ds, classes := BuildExamples(sub, ann, fz, cfg.Train)
 	if classes.Len() < 2 || ds.Len() == 0 {
+		fsp.End()
 		return cr, nil
 	}
 	fz.Freeze()
 	model, err := TrainModel(ds, classes, fz, cfg.Train)
+	fsp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}

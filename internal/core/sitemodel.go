@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ceres/internal/cluster"
 	"ceres/internal/mlr"
@@ -146,6 +148,63 @@ type ServeOptions struct {
 	// Workers bounds this call's page parallelism; 0 uses the model's
 	// Workers (which itself defaults to NumCPU capped at 8).
 	Workers int
+	// Stages, when non-nil, accumulates per-stage serve time
+	// (parse/route/score) into the collector across the call's worker
+	// pool. Off (nil) the hot path pays one pointer test per stage
+	// boundary; on, two monotonic clock reads per stage per page.
+	Stages *StageTimes
+}
+
+// StageTimes accumulates per-stage serve time in nanoseconds. Fields
+// are atomic because a serve call's workers add concurrently; totals
+// are summed across workers, so they may exceed the call's wall time.
+type StageTimes struct {
+	// Parse is tokenization: the streaming pass's capture or the DOM
+	// path's tree build.
+	Parse atomic.Int64
+	// Route is cluster routing by template-signature similarity.
+	Route atomic.Int64
+	// Score is featurization plus classification plus extraction
+	// assembly (the stages interleave per field and are timed together).
+	Score atomic.Int64
+}
+
+// stageClock times stage boundaries inside one worker's page loop. With
+// no collector attached every tick is a single pointer test.
+type stageClock struct {
+	st   *StageTimes
+	last time.Time
+}
+
+const (
+	stageParse = iota
+	stageRoute
+	stageScore
+)
+
+func startStageClock(st *StageTimes) stageClock {
+	c := stageClock{st: st}
+	if st != nil {
+		c.last = time.Now()
+	}
+	return c
+}
+
+func (c *stageClock) tick(stage int) {
+	if c.st == nil {
+		return
+	}
+	now := time.Now()
+	d := int64(now.Sub(c.last))
+	c.last = now
+	switch stage {
+	case stageParse:
+		c.st.Parse.Add(d)
+	case stageRoute:
+		c.st.Route.Add(d)
+	case stageScore:
+		c.st.Score.Add(d)
+	}
 }
 
 // ServeStats reports what one serve call did.
@@ -154,6 +213,13 @@ type ServeStats struct {
 	Pages int
 	// Extractions counts the unthresholded extractions produced.
 	Extractions int
+	// EmptyPages counts served pages that produced no extraction at all
+	// — the drift signal for a template change the model no longer fits.
+	EmptyPages int
+	// RoutingMisses counts pages that routed to no cluster or to an
+	// untrained one (which yields nothing); rising values mean traffic
+	// has drifted off the trained templates.
+	RoutingMisses int
 	// ClusterPages counts the pages routed to each cluster, aligned with
 	// SiteModel.Clusters. Pages no cluster claimed (route -1) are omitted.
 	ClusterPages []int
@@ -174,6 +240,23 @@ func (s *ServeStats) addRoute(ci int) {
 	if ci >= 0 && ci < len(s.ClusterPages) {
 		s.ClusterPages[ci]++
 	}
+}
+
+// observePage folds one served page's routing outcome and extraction
+// count into the drift counters.
+func (s *ServeStats) observePage(miss bool, extractions int) {
+	if miss {
+		s.RoutingMisses++
+	}
+	if extractions == 0 {
+		s.EmptyPages++
+	}
+}
+
+// routeMiss reports whether a routing outcome is a miss: no cluster
+// claimed the page, or the claimed cluster has no trained extractor.
+func (sm *SiteModel) routeMiss(ci int) bool {
+	return ci < 0 || ci >= len(sm.Clusters) || !sm.Clusters[ci].Trained
 }
 
 func (sm *SiteModel) workersFor(opts ServeOptions) int {
@@ -215,7 +298,7 @@ func (sm *SiteModel) ExtractSourcesOpts(ctx context.Context, sources []PageSourc
 	perPage := make([][]Extraction, len(sources))
 	routes := make([]int, len(sources))
 	err := parallelForWorker(ctx, len(sources), workers, func(w, i int) {
-		routes[i], perPage[i] = sm.extractOne(sources[i], scratch[w])
+		routes[i], perPage[i] = sm.extractOne(sources[i], scratch[w], opts.Stages)
 	})
 	if err != nil {
 		return nil, nil, err
@@ -231,6 +314,7 @@ func (sm *SiteModel) ExtractSourcesOpts(ctx context.Context, sources []PageSourc
 	}
 	for i, exts := range perPage {
 		stats.addRoute(routes[i])
+		stats.observePage(sm.routeMiss(routes[i]), len(exts))
 		stats.Extractions += len(exts)
 		out = append(out, exts...)
 	}
@@ -283,9 +367,10 @@ func (sm *SiteModel) StreamSourcesOpts(ctx context.Context, sources []PageSource
 				if ctx.Err() != nil {
 					return
 				}
-				route, exts := sm.extractOne(sources[i], sc)
+				route, exts := sm.extractOne(sources[i], sc, opts.Stages)
 				mu.Lock()
 				stats.addRoute(route)
+				stats.observePage(sm.routeMiss(route), len(exts))
 				stats.Extractions += len(exts)
 				for _, e := range exts {
 					if emitErr != nil || ctx.Err() != nil {
@@ -337,29 +422,36 @@ func (sm *SiteModel) serveable(sources []PageSource) error {
 // returns the cluster the page routed to alongside the extractions. The
 // legacy (string-hashing) path remains as fallback for models whose
 // dictionary cannot compile.
-func (sm *SiteModel) extractOne(src PageSource, sc *ServeScratch) (int, []Extraction) {
+func (sm *SiteModel) extractOne(src PageSource, sc *ServeScratch, st *StageTimes) (int, []Extraction) {
 	if !sm.DisableStreaming {
 		if ok, maxText := sm.streamInfo(); ok {
 			// One copy into the worker's reusable buffer buys the
 			// zero-DOM pass; byte-native callers use extractBytes
 			// directly and skip even that.
 			sc.htmlBuf = append(sc.htmlBuf[:0], src.HTML...)
-			return sm.extractBytes(src.ID, sc.htmlBuf, sc, maxText)
+			return sm.extractBytes(src.ID, sc.htmlBuf, sc, maxText, st)
 		}
 	}
+	ck := startStageClock(st)
 	p := PrepareServePage(src.ID, src.HTML)
 	// The page dies with this call — extractions carry their own strings,
 	// never node pointers — so its node slabs recycle into the parse pool.
 	defer p.Release()
+	ck.tick(stageParse)
 	ci := sm.Route(p)
+	ck.tick(stageRoute)
 	if ci < 0 || !sm.Clusters[ci].Trained {
 		return ci, nil
 	}
 	c := sm.Clusters[ci]
 	if cm := c.Compiled(); cm != nil {
-		return ci, cm.ExtractPage(p, sm.Extract, sc)
+		exts := cm.ExtractPage(p, sm.Extract, sc)
+		ck.tick(stageScore)
+		return ci, exts
 	}
-	return ci, ExtractPage(p, c.Model, sm.Extract)
+	exts := ExtractPage(p, c.Model, sm.Extract)
+	ck.tick(stageScore)
+	return ci, exts
 }
 
 // ---------------------------------------------------------------- state

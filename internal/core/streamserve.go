@@ -428,16 +428,18 @@ func (sm *SiteModel) streamInfo() (bool, int) {
 // SignatureWatermark keys when configured (falling back to the full page
 // below watermarkFallbackSim), or the full page by default, which is
 // bit-identical to DOM routing.
-func (sm *SiteModel) extractBytes(id string, html []byte, sc *ServeScratch, maxText int) (int, []Extraction) {
+func (sm *SiteModel) extractBytes(id string, html []byte, sc *ServeScratch, maxText int, st *StageTimes) (int, []Extraction) {
 	if sc.stream == nil {
 		sc.stream = dom.NewStreamScratch()
 	}
+	ck := startStageClock(st)
 	multi := len(sm.Clusters) > 1
 	sp := sc.stream.Stream(html, dom.StreamOptions{
 		MaxText:   maxText,
 		Attrs:     structuralAttrs,
 		Signature: multi,
 	})
+	ck.tick(stageParse)
 	ci := 0
 	if multi {
 		ex := sm.exemplars()
@@ -453,10 +455,13 @@ func (sm *SiteModel) extractBytes(id string, html []byte, sc *ServeScratch, maxT
 			ci, _ = cluster.RouteSortedBytes(sc.sig, ex)
 		}
 	}
+	ck.tick(stageRoute)
 	if ci < 0 || !sm.Clusters[ci].Trained {
 		return ci, nil
 	}
-	return ci, sm.Clusters[ci].Compiled().ExtractStreamPage(sp, id, sm.Extract, sc)
+	exts := sm.Clusters[ci].Compiled().ExtractStreamPage(sp, id, sm.Extract, sc)
+	ck.tick(stageScore)
+	return ci, exts
 }
 
 // ExtractScan extracts pages delivered as raw bytes by a scan function —
@@ -465,6 +470,12 @@ func (sm *SiteModel) extractBytes(id string, html []byte, sc *ServeScratch, maxT
 // during the yield. Pages flow through the streaming path when the model
 // supports it, else through the DOM path (paying a string copy).
 func (sm *SiteModel) ExtractScan(ctx context.Context, scan func(yield func(id string, html []byte) error) error) ([]Extraction, *ServeStats, error) {
+	return sm.ExtractScanOpts(ctx, ServeOptions{}, scan)
+}
+
+// ExtractScanOpts is ExtractScan with per-call overrides (the scan loop
+// is sequential, so Workers is ignored; Stages is honored).
+func (sm *SiteModel) ExtractScanOpts(ctx context.Context, opts ServeOptions, scan func(yield func(id string, html []byte) error) error) ([]Extraction, *ServeStats, error) {
 	if sm == nil || sm.TrainedClusters() == 0 {
 		return nil, nil, ErrNotTrained
 	}
@@ -485,12 +496,13 @@ func (sm *SiteModel) ExtractScan(ctx context.Context, scan func(yield func(id st
 			exts  []Extraction
 		)
 		if streamOK {
-			route, exts = sm.extractBytes(id, html, sc, maxText)
+			route, exts = sm.extractBytes(id, html, sc, maxText, opts.Stages)
 		} else {
-			route, exts = sm.extractOne(PageSource{ID: id, HTML: string(html)}, sc)
+			route, exts = sm.extractOne(PageSource{ID: id, HTML: string(html)}, sc, opts.Stages)
 		}
 		stats.Pages++
 		stats.addRoute(route)
+		stats.observePage(sm.routeMiss(route), len(exts))
 		stats.Extractions += len(exts)
 		out = append(out, exts...)
 		return nil

@@ -158,6 +158,31 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Bounds returns a copy of the histogram's upper bounds, ascending,
+// excluding the implicit +Inf bucket.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// BucketCounts snapshots the per-bucket counts, non-cumulative, aligned
+// with Bounds plus one trailing overflow (+Inf) entry — the raw shape
+// drift-snapshot APIs serve without re-deriving it from exposition text.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
 // vec is the shared label → metric table of the labeled families:
 // copy-on-write map behind an atomic pointer, so the steady-state lookup
 // is a pointer load plus a map index.

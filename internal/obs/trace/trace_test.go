@@ -1,0 +1,277 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeParentageAndDurations(t *testing.T) {
+	tr := New(Options{SampleEvery: 1})
+	root := tr.StartRoot("req")
+	if root == nil {
+		t.Fatal("SampleEvery=1 must sample every root")
+	}
+	root.SetStr("site", "example.com")
+	root.SetInt("pages", 3)
+	a := root.StartChild("admission")
+	time.Sleep(time.Millisecond)
+	a.End()
+	ex := root.StartChild("extract")
+	ex.AddTimed("parse", 5*time.Millisecond)
+	ex.End()
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("Roots() = %d, want 1", len(roots))
+	}
+	got := roots[0]
+	if got.Name() != "req" || !got.Ended() {
+		t.Fatalf("root = %q ended=%v", got.Name(), got.Ended())
+	}
+	kids := got.Children()
+	if len(kids) != 2 || kids[0].Name() != "admission" || kids[1].Name() != "extract" {
+		t.Fatalf("children = %v", kids)
+	}
+	if kids[0].Duration() < time.Millisecond {
+		t.Fatalf("admission duration = %v, want >= 1ms", kids[0].Duration())
+	}
+	if got.Duration() < kids[0].Duration() {
+		t.Fatalf("root duration %v < child %v", got.Duration(), kids[0].Duration())
+	}
+	p := got.Child("extract").Child("parse")
+	if p == nil || p.Duration() != 5*time.Millisecond || !p.Start().Equal(ex.Start()) {
+		t.Fatalf("AddTimed child = %+v", p)
+	}
+	st := tr.Stats()
+	if st.Started != st.Ended || st.Started != 4 || st.DoubleEnds != 0 || st.Sampled != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSamplingOneInN(t *testing.T) {
+	tr := New(Options{SampleEvery: 3})
+	sampled := 0
+	for i := 0; i < 9; i++ {
+		if sp := tr.StartRoot("r"); sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 3 {
+		t.Fatalf("sampled %d of 9 with SampleEvery=3, want 3", sampled)
+	}
+	if st := tr.Stats(); st.Sampled != 3 {
+		t.Fatalf("Stats().Sampled = %d, want 3", st.Sampled)
+	}
+}
+
+// TestSampledOutPathAllocates nothing: the whole span surface — root,
+// child, attrs, context plumbing, end — must be free when the request
+// loses the sampling draw or tracing is off. This is the contract the
+// serve hot path relies on (ISSUE 10 acceptance).
+func TestSampledOutPathZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		tr   *Tracer
+	}{
+		{"nil-tracer", nil},
+		{"sampling-off", New(Options{})},
+		{"sampled-out", func() *Tracer {
+			tr := New(Options{SampleEvery: 1 << 30})
+			tr.StartRoot("winner").End() // burn the one winning draw
+			return tr
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			allocs := testing.AllocsPerRun(200, func() {
+				sp := tc.tr.StartRoot("req")
+				sp.SetStr("site", "s")
+				sp.SetInt("pages", 1)
+				c := sp.StartChild("stage")
+				c2 := FromContext(ContextWith(ctx, sp)).StartChild("x")
+				c2.EndErr(nil)
+				c.AddTimed("parse", time.Second)
+				c.End()
+				sp.End()
+			})
+			if allocs != 0 {
+				t.Fatalf("sampled-out span path allocates %.1f/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+func TestRingEvictionOldestFirst(t *testing.T) {
+	tr := New(Options{SampleEvery: 1, Capacity: 4})
+	for i := 0; i < 10; i++ {
+		sp := tr.StartRoot("r")
+		sp.SetInt("i", int64(i))
+		sp.End()
+	}
+	roots := tr.Roots()
+	if len(roots) != 4 {
+		t.Fatalf("Roots() = %d, want capacity 4", len(roots))
+	}
+	for j, r := range roots {
+		want := int64(6 + j)
+		if got := r.JSON().Attrs[0].Num; got != want {
+			t.Fatalf("roots[%d] attr i = %d, want %d (oldest first)", j, got, want)
+		}
+	}
+	if st := tr.Stats(); st.Evicted != 6 {
+		t.Fatalf("Stats().Evicted = %d, want 6", st.Evicted)
+	}
+}
+
+func TestEndExactlyOnce(t *testing.T) {
+	tr := New(Options{SampleEvery: 1})
+	sp := tr.StartRoot("r")
+	sp.End()
+	d := sp.Duration()
+	time.Sleep(2 * time.Millisecond)
+	sp.End() // a bug in the caller: must be ignored, counted in DoubleEnds
+	if sp.Duration() != d {
+		t.Fatal("second End overwrote the recorded duration")
+	}
+	if st := tr.Stats(); st.Ended != 1 || st.DoubleEnds != 1 {
+		t.Fatalf("stats = %+v, want Ended=1 DoubleEnds=1", st)
+	}
+	if len(tr.Roots()) != 1 {
+		t.Fatalf("root retained %d times, want 1", len(tr.Roots()))
+	}
+}
+
+func TestEndErrRecordsError(t *testing.T) {
+	tr := New(Options{SampleEvery: 1})
+	sp := tr.StartRoot("r")
+	sp.EndErr(errors.New("boom"))
+	if sp.Err() != "boom" {
+		t.Fatalf("Err() = %q", sp.Err())
+	}
+	js := sp.JSON()
+	if js.Err != "boom" {
+		t.Fatalf("JSON().Err = %q", js.Err)
+	}
+}
+
+// TestSharedTracerConcurrent exercises one tracer from 8 workers under
+// -race: concurrent roots, shared-parent children, attrs, ring churn.
+func TestSharedTracerConcurrent(t *testing.T) {
+	tr := New(Options{SampleEvery: 2, Capacity: 8})
+	shared := New(Options{SampleEvery: 1}).StartRoot("shared")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.StartRoot("req")
+				sp.SetInt("worker", int64(w))
+				c := sp.StartChild("stage")
+				c.AddTimed("parse", time.Microsecond)
+				c.End()
+				sp.End()
+				sc := shared.StartChild("worker-span")
+				sc.SetInt("i", int64(i))
+				sc.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	shared.End()
+	st := tr.Stats()
+	if st.Started != st.Ended {
+		t.Fatalf("started %d != ended %d", st.Started, st.Ended)
+	}
+	if st.DoubleEnds != 0 {
+		t.Fatalf("DoubleEnds = %d, want 0", st.DoubleEnds)
+	}
+	if st.Sampled != 800 {
+		t.Fatalf("Sampled = %d, want 800 (1600 roots at 1-in-2)", st.Sampled)
+	}
+	if got := len(shared.Children()); got != 1600 {
+		t.Fatalf("shared root children = %d, want 1600", got)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if got, sp := StartSpan(ctx, "x"); sp != nil || got != ctx {
+		t.Fatal("StartSpan without an active span must return (ctx, nil) untouched")
+	}
+	tr := New(Options{SampleEvery: 1})
+	root := tr.StartRoot("req")
+	ctx2 := ContextWith(ctx, root)
+	if FromContext(ctx2) != root {
+		t.Fatal("FromContext lost the span")
+	}
+	ctx3, child := StartSpan(ctx2, "stage")
+	if child == nil || FromContext(ctx3) != child {
+		t.Fatal("StartSpan did not install the child")
+	}
+	child.End()
+	root.End()
+	kids := root.Children()
+	if len(kids) != 1 || kids[0] != child {
+		t.Fatalf("child not linked under root: %v", kids)
+	}
+	if ContextWith(ctx, nil) != ctx {
+		t.Fatal("ContextWith(ctx, nil) must return ctx unchanged")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := New(Options{SampleEvery: 1, Capacity: 8})
+	for i := 0; i < 3; i++ {
+		sp := tr.StartRoot("req")
+		sp.SetStr("site", `a"b`)
+		sp.SetInt("i", int64(i))
+		c := sp.StartChild("stage")
+		c.EndErr(errors.New("stage failed"))
+		sp.End()
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var got SpanJSON
+		if err := json.Unmarshal(sc.Bytes(), &got); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if got.Name != "req" || len(got.Children) != 1 || got.Children[0].Err != "stage failed" {
+			t.Fatalf("line %d = %+v", lines, got)
+		}
+		if got.Attrs[0].Str != `a"b` {
+			t.Fatalf("attr escaping broke: %+v", got.Attrs)
+		}
+		if got.DurNs <= 0 {
+			t.Fatalf("durNs = %d, want > 0", got.DurNs)
+		}
+		if !strings.Contains(sc.Text(), `"start":"`) {
+			t.Fatalf("missing start timestamp: %s", sc.Text())
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("wrote %d lines, want 3", lines)
+	}
+	if tr.WriteJSONL(&bytes.Buffer{}) != nil {
+		t.Fatal("second export must succeed (ring is re-readable)")
+	}
+	var nilTr *Tracer
+	if err := nilTr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal("nil tracer export must be a no-op")
+	}
+}

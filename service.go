@@ -31,6 +31,12 @@ type RequestOptions struct {
 	// Workers bounds this request's page parallelism; 0 uses the model's
 	// serving default.
 	Workers int
+	// CollectStages gathers the per-stage serve-time breakdown
+	// (parse/route/score) into ServeStats.Stages even when the request is
+	// not traced — what batch runs use for their stage report. Off, the
+	// serve path pays one pointer test per stage boundary; traced
+	// requests collect stages regardless.
+	CollectStages bool
 }
 
 // ExtractRequest asks a Service to extract triples from pages of one site.
@@ -55,8 +61,51 @@ type ServeStats struct {
 	// RoutedClusters counts the distinct template clusters pages routed
 	// to.
 	RoutedClusters int
+	// EmptyPages counts served pages that produced no extraction at all
+	// (before thresholding) — the drift signal for a template the model
+	// no longer fits.
+	EmptyPages int
+	// RoutingMisses counts pages routed to no cluster or an untrained
+	// one; rising values mean traffic has drifted off the trained
+	// templates.
+	RoutingMisses int
 	// Latency is the request's wall-clock serving time.
 	Latency time.Duration
+	// Stages is the per-stage serve-time breakdown, populated when the
+	// request was traced or asked for it (RequestOptions.CollectStages).
+	Stages StageBreakdown
+}
+
+// StageBreakdown is one request's serve time by stage, summed across
+// the request's worker pool — so the stages may legitimately add up to
+// more than Latency.
+type StageBreakdown struct {
+	// Parse is tokenization (streaming capture or DOM build), Route is
+	// template-cluster routing, Score is featurize+classify+assemble
+	// (those interleave per field and are timed as one stage).
+	Parse, Route, Score time.Duration
+}
+
+func breakdownOf(st *core.StageTimes) StageBreakdown {
+	if st == nil {
+		return StageBreakdown{}
+	}
+	return StageBreakdown{
+		Parse: time.Duration(st.Parse.Load()),
+		Route: time.Duration(st.Route.Load()),
+		Score: time.Duration(st.Score.Load()),
+	}
+}
+
+// stageSpans attaches the aggregate stage timings as pre-measured child
+// spans of a traced request's extract span.
+func stageSpans(esp *Span, st *core.StageTimes) {
+	if esp == nil || st == nil {
+		return
+	}
+	esp.AddTimed("parse", time.Duration(st.Parse.Load()))
+	esp.AddTimed("route", time.Duration(st.Route.Load()))
+	esp.AddTimed("score", time.Duration(st.Score.Load()))
 }
 
 // ExtractResponse is the outcome of one Service extraction request.
@@ -104,12 +153,24 @@ func WithAdmissionWait(d time.Duration) ServiceOption {
 
 // WithMetrics instruments the service against a metrics registry:
 // per-site request/page/triple counters, request latency histograms, an
-// inflight gauge, shed and error counters (DESIGN.md §12). The per-
-// request cost is a handful of atomic adds; a nil registry leaves the
-// service uninstrumented.
+// inflight gauge, shed and error counters, plus the extraction-quality
+// drift families (confidence histogram, empty-page and routing-miss
+// counters; DESIGN.md §12–13). The per-request cost is a handful of
+// atomic adds; a nil registry leaves the service uninstrumented.
 func WithMetrics(m *Metrics) ServiceOption {
 	return func(s *Service) {
 		s.metrics = newServiceMetrics(m)
+	}
+}
+
+// WithTracer attaches a span tracer: requests that win the tracer's
+// 1-in-N sampling draw record a span tree (admission → lookup →
+// extract[parse, route, score] → fuse) retained in the tracer's ring
+// for /debug/traces. A sampled-out request pays one atomic add and
+// allocates nothing; a nil tracer leaves the service untraced.
+func WithTracer(t *Tracer) ServiceOption {
+	return func(s *Service) {
+		s.tracer = t
 	}
 }
 
@@ -126,6 +187,7 @@ type Service struct {
 	boundedAdmission bool
 	admissionWait    time.Duration
 	metrics          *serviceMetrics // nil = uninstrumented
+	tracer           *Tracer         // nil = untraced
 }
 
 // NewService builds a service over a registry.
@@ -214,40 +276,91 @@ func (s *Service) resolve(req ExtractRequest) (RegisteredModel, float64, error) 
 // ErrNoPages for an empty page set, ErrNotTrained when the registered
 // model has no trained extractor, and ctx.Err() when cancelled.
 func (s *Service) Extract(ctx context.Context, req ExtractRequest) (*ExtractResponse, error) {
+	// The root span is ended exactly once, by the deferred End; error
+	// paths record their error with SetErr and let the defer close it.
+	sp := s.tracer.StartRoot("service.extract")
+	defer sp.End()
+	sp.SetStr("site", req.Site)
+	asp := sp.StartChild("admission")
 	if err := s.acquire(ctx); err != nil {
+		asp.EndErr(err)
+		sp.SetErr(err)
 		return nil, err
 	}
+	asp.End()
 	defer s.release()
 	start := time.Now()
+	lsp := sp.StartChild("lookup")
 	e, threshold, err := s.resolve(req)
+	lsp.EndErr(err)
 	if err != nil {
+		sp.SetErr(err)
 		s.metrics.requestFailed("")
 		return nil, err
 	}
+	sp.SetInt("version", int64(e.Version))
 	src, err := toSources(req.Pages)
 	if err != nil {
+		sp.SetErr(err)
 		s.metrics.requestFailed(e.Site)
 		return nil, err
 	}
-	exts, stats, err := e.Model.sm.ExtractSourcesOpts(ctx, src, core.ServeOptions{Workers: req.Options.Workers})
+	st := s.stageTimes(sp, req.Options)
+	esp := sp.StartChild("extract")
+	exts, stats, err := e.Model.sm.ExtractSourcesOpts(ctx, src, core.ServeOptions{Workers: req.Options.Workers, Stages: st})
 	if err != nil {
+		esp.EndErr(err)
+		sp.SetErr(err)
 		s.metrics.requestFailed(e.Site)
 		return nil, err
 	}
+	stageSpans(esp, st)
+	esp.End()
+	s.observeConfidences(e.Site, exts)
+	fsp := sp.StartChild("fuse")
 	resp := &ExtractResponse{
 		Site:      e.Site,
 		Version:   e.Version,
 		Threshold: threshold,
 		Triples:   tripleize(exts, threshold),
 	}
+	fsp.End()
 	resp.Stats = ServeStats{
 		Pages:          stats.Pages,
 		Triples:        len(resp.Triples),
 		RoutedClusters: stats.RoutedClusters(),
+		EmptyPages:     stats.EmptyPages,
+		RoutingMisses:  stats.RoutingMisses,
 		Latency:        time.Since(start),
+		Stages:         breakdownOf(st),
 	}
+	sp.SetInt("pages", int64(resp.Stats.Pages))
+	sp.SetInt("triples", int64(resp.Stats.Triples))
 	s.metrics.requestServed(e.Site, resp.Stats)
 	return resp, nil
+}
+
+// stageTimes returns a stage-time collector when the request is traced
+// or explicitly asked for a breakdown, nil otherwise (the serve path
+// then pays one pointer test per stage boundary).
+func (s *Service) stageTimes(sp *Span, opts RequestOptions) *core.StageTimes {
+	if sp == nil && !opts.CollectStages {
+		return nil
+	}
+	return &core.StageTimes{}
+}
+
+// observeConfidences feeds every extraction's pre-threshold confidence
+// into the site's drift histogram. Uninstrumented services skip the
+// loop entirely.
+func (s *Service) observeConfidences(site string, exts []core.Extraction) {
+	h := s.metrics.confidenceFor(site)
+	if h == nil {
+		return
+	}
+	for i := range exts {
+		h.Observe(exts[i].Confidence)
+	}
 }
 
 // ExtractScan serves one site's pages from raw bytes: scan drives a
@@ -262,33 +375,58 @@ func (s *Service) Extract(ctx context.Context, req ExtractRequest) (*ExtractResp
 // The error contract matches Extract: ErrUnknownSite, ErrNotTrained,
 // ErrNoPages (zero pages yielded), and ctx.Err() on cancellation.
 func (s *Service) ExtractScan(ctx context.Context, site string, opts RequestOptions, scan func(yield func(id string, html []byte) error) error) (*ExtractResponse, error) {
+	sp := s.tracer.StartRoot("service.extract_scan")
+	defer sp.End()
+	sp.SetStr("site", site)
+	asp := sp.StartChild("admission")
 	if err := s.acquire(ctx); err != nil {
+		asp.EndErr(err)
+		sp.SetErr(err)
 		return nil, err
 	}
+	asp.End()
 	defer s.release()
 	start := time.Now()
+	lsp := sp.StartChild("lookup")
 	e, threshold, err := s.resolve(ExtractRequest{Site: site, Options: opts})
+	lsp.EndErr(err)
 	if err != nil {
+		sp.SetErr(err)
 		s.metrics.requestFailed("")
 		return nil, err
 	}
-	exts, stats, err := e.Model.sm.ExtractScan(ctx, scan)
+	sp.SetInt("version", int64(e.Version))
+	st := s.stageTimes(sp, opts)
+	esp := sp.StartChild("extract")
+	exts, stats, err := e.Model.sm.ExtractScanOpts(ctx, core.ServeOptions{Stages: st}, scan)
 	if err != nil {
+		esp.EndErr(err)
+		sp.SetErr(err)
 		s.metrics.requestFailed(e.Site)
 		return nil, err
 	}
+	stageSpans(esp, st)
+	esp.End()
+	s.observeConfidences(e.Site, exts)
+	fsp := sp.StartChild("fuse")
 	resp := &ExtractResponse{
 		Site:      e.Site,
 		Version:   e.Version,
 		Threshold: threshold,
 		Triples:   tripleize(exts, threshold),
 	}
+	fsp.End()
 	resp.Stats = ServeStats{
 		Pages:          stats.Pages,
 		Triples:        len(resp.Triples),
 		RoutedClusters: stats.RoutedClusters(),
+		EmptyPages:     stats.EmptyPages,
+		RoutingMisses:  stats.RoutingMisses,
 		Latency:        time.Since(start),
+		Stages:         breakdownOf(st),
 	}
+	sp.SetInt("pages", int64(resp.Stats.Pages))
+	sp.SetInt("triples", int64(resp.Stats.Triples))
 	s.metrics.requestServed(e.Site, resp.Stats)
 	return resp, nil
 }
@@ -299,23 +437,39 @@ func (s *Service) ExtractScan(ctx context.Context, site string, opts RequestOpti
 // concurrently). A non-nil error from emit stops the stream and is
 // returned. The response carries the serve statistics but no triples.
 func (s *Service) ExtractStream(ctx context.Context, req ExtractRequest, emit func(Triple) error) (*ExtractResponse, error) {
+	sp := s.tracer.StartRoot("service.extract_stream")
+	defer sp.End()
+	sp.SetStr("site", req.Site)
+	asp := sp.StartChild("admission")
 	if err := s.acquire(ctx); err != nil {
+		asp.EndErr(err)
+		sp.SetErr(err)
 		return nil, err
 	}
+	asp.End()
 	defer s.release()
 	start := time.Now()
+	lsp := sp.StartChild("lookup")
 	e, threshold, err := s.resolve(req)
+	lsp.EndErr(err)
 	if err != nil {
+		sp.SetErr(err)
 		s.metrics.requestFailed("")
 		return nil, err
 	}
+	sp.SetInt("version", int64(e.Version))
 	src, err := toSources(req.Pages)
 	if err != nil {
+		sp.SetErr(err)
 		s.metrics.requestFailed(e.Site)
 		return nil, err
 	}
+	st := s.stageTimes(sp, req.Options)
+	confH := s.metrics.confidenceFor(e.Site)
 	emitted := 0
-	stats, err := e.Model.sm.StreamSourcesOpts(ctx, src, core.ServeOptions{Workers: req.Options.Workers}, func(ex core.Extraction) error {
+	esp := sp.StartChild("extract")
+	stats, err := e.Model.sm.StreamSourcesOpts(ctx, src, core.ServeOptions{Workers: req.Options.Workers, Stages: st}, func(ex core.Extraction) error {
+		confH.Observe(ex.Confidence)
 		if ex.Confidence < threshold {
 			return nil
 		}
@@ -323,16 +477,25 @@ func (s *Service) ExtractStream(ctx context.Context, req ExtractRequest, emit fu
 		return emit(toTriple(ex))
 	})
 	if err != nil {
+		esp.EndErr(err)
+		sp.SetErr(err)
 		s.metrics.requestFailed(e.Site)
 		return nil, err
 	}
+	stageSpans(esp, st)
+	esp.End()
 	resp := &ExtractResponse{Site: e.Site, Version: e.Version, Threshold: threshold}
 	resp.Stats = ServeStats{
 		Pages:          stats.Pages,
 		Triples:        emitted,
 		RoutedClusters: stats.RoutedClusters(),
+		EmptyPages:     stats.EmptyPages,
+		RoutingMisses:  stats.RoutingMisses,
 		Latency:        time.Since(start),
+		Stages:         breakdownOf(st),
 	}
+	sp.SetInt("pages", int64(resp.Stats.Pages))
+	sp.SetInt("triples", int64(resp.Stats.Triples))
 	s.metrics.requestServed(e.Site, resp.Stats)
 	return resp, nil
 }
